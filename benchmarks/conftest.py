@@ -1,0 +1,48 @@
+"""Shared benchmark configuration.
+
+Environment knobs (all optional):
+
+* ``REPRO_PROFILE``   — parameter profile: ``fast`` (default) or ``paper``.
+* ``REPRO_TRIALS``    — fields per sweep point (default 2 for CI;
+  the paper used 10).
+* ``REPRO_DENSITIES`` — comma-separated node counts for the density
+  sweeps (default ``50,150,250,350``; the paper used 50..350 step 50).
+
+Each figure benchmark runs its full sweep exactly once (``pedantic`` with
+one round — a sweep *is* the workload) and prints the reproduced panel
+series so they land in ``bench_output.txt``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.config import PROFILES
+
+
+def _densities() -> tuple[int, ...]:
+    raw = os.environ.get("REPRO_DENSITIES", "50,150,250,350")
+    return tuple(int(x) for x in raw.split(","))
+
+
+@pytest.fixture(scope="session")
+def profile():
+    name = os.environ.get("REPRO_PROFILE", "fast")
+    return PROFILES[name]()
+
+
+@pytest.fixture(scope="session")
+def trials() -> int:
+    return int(os.environ.get("REPRO_TRIALS", "2"))
+
+
+@pytest.fixture(scope="session")
+def densities() -> tuple[int, ...]:
+    return _densities()
+
+
+def run_figure_once(benchmark, fn, *args, **kwargs):
+    """Run a figure sweep exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

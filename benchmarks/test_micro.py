@@ -1,0 +1,121 @@
+"""Micro-benchmarks: substrate throughput and solver quality/cost.
+
+These are conventional pytest-benchmark timings (many rounds) for the
+hot components underneath the packet simulation, plus the set-cover
+solver-quality ablation.
+"""
+
+import random
+
+from repro.aggregation.setcover import (
+    WeightedSubset,
+    exact_weighted_set_cover,
+    greedy_weighted_set_cover,
+    randomized_set_cover,
+)
+from repro.aggregation.solvers import genetic_set_cover, lagrangian_set_cover
+from repro.experiments.config import ExperimentConfig, smoke
+from repro.experiments.runner import run_experiment
+from repro.net.topology import generate_field
+from repro.sim import Simulator
+from repro.trees.git import greedy_incremental_tree
+from repro.trees.spt import shortest_path_tree
+
+
+def test_bench_des_engine_throughput(benchmark):
+    """Schedule-and-drain throughput of the DES kernel (50k events)."""
+
+    def run():
+        sim = Simulator()
+        rng = random.Random(1)
+        sink = []
+        for _ in range(50_000):
+            sim.schedule(rng.random() * 100.0, sink.append, None)
+        sim.run()
+        return len(sink)
+
+    assert benchmark(run) == 50_000
+
+
+def test_bench_setcover_greedy(benchmark):
+    """Greedy set cover on a realistic aggregation-point instance."""
+    rng = random.Random(3)
+    universe = list(range(14))
+    family = [
+        WeightedSubset(frozenset(rng.sample(universe, rng.randint(2, 8))), rng.uniform(1, 10))
+        for _ in range(10)
+    ]
+    family.append(WeightedSubset(frozenset(universe), 30.0))
+
+    cover = benchmark(greedy_weighted_set_cover, universe, family)
+    assert cover.weight > 0
+
+
+def test_bench_setcover_solver_quality(benchmark):
+    """Ablation: greedy heuristic quality vs the exact optimum and the
+    randomized method over a batch of instances."""
+    rng = random.Random(7)
+    instances = []
+    for _ in range(30):
+        n = rng.randint(3, 7)
+        universe = list(range(n))
+        fam = [
+            WeightedSubset(
+                frozenset(rng.sample(universe, rng.randint(1, n))), rng.uniform(0.5, 8)
+            )
+            for _ in range(rng.randint(2, 7))
+        ]
+        fam.append(WeightedSubset(frozenset(universe), 16.0))
+        instances.append((universe, fam))
+
+    def greedy_all():
+        return [greedy_weighted_set_cover(u, f).weight for u, f in instances]
+
+    greedy_w = benchmark(greedy_all)
+    exact_w = [exact_weighted_set_cover(u, f).weight for u, f in instances]
+    rand_w = [
+        randomized_set_cover(u, f, random.Random(1), rounds=16).weight
+        for u, f in instances
+    ]
+    lag_w = [lagrangian_set_cover(u, f).weight for u, f in instances]
+    ga_w = [
+        genetic_set_cover(u, f, random.Random(1), generations=12).weight
+        for u, f in instances
+    ]
+    opt = sum(exact_w)
+    print(
+        f"\nsolver quality vs optimum: greedy x{sum(greedy_w)/opt:.3f}, "
+        f"randomized x{sum(rand_w)/opt:.3f}, lagrangian x{sum(lag_w)/opt:.3f}, "
+        f"genetic x{sum(ga_w)/opt:.3f}"
+    )
+    assert 1.0 <= sum(greedy_w) / opt < 1.4  # well under the ln d + 1 bound
+    assert 1.0 <= sum(rand_w) / opt < 1.4
+    assert 1.0 <= sum(lag_w) / opt < 1.2
+    assert 1.0 <= sum(ga_w) / opt < 1.2
+
+
+def test_bench_git_construction_350(benchmark):
+    """Centralized GIT on the paper's densest field."""
+    field = generate_field(350, random.Random(5))
+    g = field.connectivity_graph()
+    sink, sources = 0, [10, 20, 30, 40, 50]
+
+    tree = benchmark(greedy_incremental_tree, g, sink, sources, "nearest")
+    assert tree.number_of_edges() > 0
+
+
+def test_bench_spt_construction_350(benchmark):
+    field = generate_field(350, random.Random(5))
+    g = field.connectivity_graph()
+
+    tree = benchmark(shortest_path_tree, g, 0, [10, 20, 30, 40, 50])
+    assert tree.number_of_edges() > 0
+
+
+def test_bench_packet_sim_single_run(benchmark):
+    """One short full-stack run (100 nodes, smoke profile): the unit of
+    work every figure sweep repeats."""
+    cfg = ExperimentConfig.from_profile(smoke(), "greedy", 100, seed=2)
+
+    result = benchmark.pedantic(run_experiment, args=(cfg,), rounds=1, iterations=1)
+    assert result.delivery_ratio > 0.8

@@ -1,0 +1,52 @@
+"""Framing comparison: flooding vs opportunistic vs greedy vs omniscient.
+
+The original diffusion work positioned diffusion between flooding (robust
+but profligate) and omniscient multicast (the zero-overhead ideal).
+This bench reproduces that framing for the aggregation study: the greedy
+scheme must land between opportunistic and the omniscient GIT.
+"""
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.report import format_table
+from repro.experiments.runner import run_experiment
+from repro.experiments.sweeps import cell_seed
+
+SCHEMES = ("flooding", "opportunistic", "greedy", "omniscient")
+N_NODES = 200
+
+
+def test_scheme_framing(benchmark, profile, trials):
+    def run_all():
+        results = {}
+        for scheme in SCHEMES:
+            runs = []
+            for trial in range(trials):
+                cfg = ExperimentConfig.from_profile(
+                    profile, scheme, N_NODES, seed=cell_seed(9, "framing", trial)
+                )
+                runs.append(run_experiment(cfg))
+            results[scheme] = runs
+        return results
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    def mean(scheme, key):
+        vals = [getattr(r, key) for r in results[scheme]]
+        return sum(vals) / len(vals)
+
+    rows = [
+        [s, mean(s, "avg_dissipated_energy"), mean(s, "avg_delay"), mean(s, "delivery_ratio")]
+        for s in SCHEMES
+    ]
+    print()
+    print(format_table(["scheme", "energy", "delay", "ratio"], rows))
+
+    e = {s: mean(s, "avg_dissipated_energy") for s in SCHEMES}
+    # The energy ordering that frames the whole study.
+    assert e["omniscient"] < e["greedy"] < e["flooding"]
+    assert e["greedy"] <= e["opportunistic"] * 1.05
+    assert e["opportunistic"] < e["flooding"]
+
+    # Everyone delivers in a static uncongested network.
+    for s in SCHEMES:
+        assert mean(s, "delivery_ratio") > 0.9

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Aggregation functions: how much does the size model matter? (§3, §5.4)
+
+Runs the same 10-source workload under every aggregation size model the
+library implements — perfect (paper default), linear packing (fig 10),
+timestamp delta-encoding, escan-style outline, and no aggregation at
+all — and reports energy and latency for the greedy scheme.
+
+Run:  python examples/aggregation_functions.py
+"""
+
+from repro import ExperimentConfig, fast, run_experiment
+from repro.aggregation.functions import by_name
+
+FUNCTIONS = ("perfect", "timestamp", "outline", "linear", "none")
+
+
+def main() -> None:
+    profile = fast()
+    print("aggregate sizes for d buffered items (bytes):")
+    print(f"{'d':>4} " + " ".join(f"{name:>10}" for name in FUNCTIONS))
+    for d in (1, 2, 5, 10):
+        row = []
+        for name in FUNCTIONS:
+            fn = by_name(name)
+            row.append(fn.size(min(d, fn.max_items or d)))
+        print(f"{d:>4} " + " ".join(f"{v:>10}" for v in row))
+    print()
+
+    print(f"{'aggregation':<12} {'energy (mJ)':>12} {'delay (ms)':>11} {'ratio':>6}")
+    baseline = None
+    for name in FUNCTIONS:
+        cfg = ExperimentConfig.from_profile(
+            profile, "greedy", n_nodes=200, seed=31, n_sources=10, aggregation=name
+        )
+        r = run_experiment(cfg)
+        if baseline is None:
+            baseline = r.avg_dissipated_energy
+        rel = r.avg_dissipated_energy / baseline
+        print(
+            f"{name:<12} {r.avg_dissipated_energy * 1e3:>12.4f} "
+            f"{r.avg_delay * 1e3:>11.0f} {r.delivery_ratio:>6.3f}   (x{rel:.2f})"
+        )
+    print()
+    print("Perfect aggregation is the paper's default assumption; linear")
+    print("packing keeps only the per-packet header savings, so its cost")
+    print("grows with the number of data items (the fig-10 effect).")
+
+
+if __name__ == "__main__":
+    main()

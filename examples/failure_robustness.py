@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Robustness under node failures: the paper's §5.3 dynamics experiment.
+
+Runs both aggregation schemes on the same field while 20% of the nodes
+are off at any instant (a fresh random set every epoch, no settling
+time), and contrasts the result with the static network.
+
+Run:  python examples/failure_robustness.py
+"""
+
+from repro import ExperimentConfig, FailureModel, fast, run_experiment
+
+
+def run(scheme, failures):
+    profile = fast()
+    cfg = ExperimentConfig.from_profile(
+        profile,
+        scheme,
+        n_nodes=200,
+        seed=17,
+        failures=FailureModel(fraction=0.2, epoch=profile.failure_epoch)
+        if failures
+        else None,
+    )
+    return run_experiment(cfg)
+
+
+def main() -> None:
+    print(f"{'scenario':<22} {'scheme':<14} {'ratio':>6} {'delay':>8} {'energy':>10}")
+    for failures in (False, True):
+        label = "20% nodes failing" if failures else "static network"
+        for scheme in ("opportunistic", "greedy"):
+            r = run(scheme, failures)
+            print(
+                f"{label:<22} {scheme:<14} {r.delivery_ratio:>6.3f} "
+                f"{r.avg_delay * 1e3:>6.0f}ms {r.avg_dissipated_energy * 1e3:>8.4f}mJ"
+            )
+    print()
+    print("Failures cost delivery for both schemes — the paper calls these")
+    print("conditions 'fairly adverse' (no settling time between failure")
+    print("epochs).  The exploratory-event cycle repairs broken paths, so")
+    print("delivery degrades instead of collapsing.")
+
+
+if __name__ == "__main__":
+    main()

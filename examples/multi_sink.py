@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Multiple sinks: the paper's fig-8 sensitivity study in miniature.
+
+Several users (sinks) subscribe to the same tracking task; each sink
+floods its own interest and draws its own aggregation tree.  With sinks
+scattered across the field, early path sharing matters less and the two
+schemes converge — while greedy's early aggregation still keeps overall
+traffic (and thus congestion losses) lower.
+
+Run:  python examples/multi_sink.py
+"""
+
+from repro import ExperimentConfig, fast, run_experiment
+
+
+def main() -> None:
+    profile = fast()
+    print(f"{'sinks':>5} {'scheme':<14} {'ratio':>6} {'delay':>8} {'energy':>10} "
+          f"{'delivered':>10}")
+    savings = {}
+    for n_sinks in (1, 3, 5):
+        energies = {}
+        for scheme in ("opportunistic", "greedy"):
+            cfg = ExperimentConfig.from_profile(
+                profile, scheme, n_nodes=200, seed=23, n_sinks=n_sinks
+            )
+            r = run_experiment(cfg)
+            energies[scheme] = r.avg_dissipated_energy
+            print(
+                f"{n_sinks:>5} {scheme:<14} {r.delivery_ratio:>6.3f} "
+                f"{r.avg_delay * 1e3:>6.0f}ms {r.avg_dissipated_energy * 1e3:>8.4f}mJ "
+                f"{r.distinct_delivered:>10}"
+            )
+        savings[n_sinks] = 1 - energies["greedy"] / energies["opportunistic"]
+    print()
+    for n_sinks, s in savings.items():
+        print(f"greedy energy savings with {n_sinks} sink(s): {s:.1%}")
+    print()
+    print("With more scattered sinks each source feeds several trees, the")
+    print("corner clustering matters less, and the greedy advantage shrinks —")
+    print("the shape of the paper's figure 8.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+#!/usr/bin/env python3
+"""Quickstart: run one greedy-aggregation experiment and read the metrics.
+
+This is the paper's basic workload at a single mid-range density: five
+sources in the bottom-left corner of a 200 m x 200 m field report
+tracking events at 2 events/s to one sink at the top-right corner, over
+the full packet-level stack (CSMA/CA MAC, disc radio, Sensoria-profile
+energy meters).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import ExperimentConfig, fast, run_experiment
+
+
+def main() -> None:
+    profile = fast()
+
+    for scheme in ("opportunistic", "greedy"):
+        cfg = ExperimentConfig.from_profile(profile, scheme, n_nodes=150, seed=42)
+        result = run_experiment(cfg)
+        print(f"--- {scheme} aggregation ---")
+        print(f"  field:                {result.n_nodes} nodes, "
+              f"mean degree {result.mean_degree:.1f}")
+        print(f"  avg dissipated energy {result.avg_dissipated_energy * 1e3:.4f} mJ/node/event")
+        print(f"  avg delay             {result.avg_delay * 1e3:.0f} ms")
+        print(f"  delivery ratio        {result.delivery_ratio:.3f}")
+        print(f"  distinct delivered    {result.distinct_delivered}/{result.events_sent}")
+        print()
+
+    print("Greedy aggregation builds a greedy incremental tree (sources graft")
+    print("onto the existing tree at the closest point), so data from the")
+    print("clustered sources merges early and fewer transmissions reach the sink.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""In-network data aggregation: size models, set cover, buffering.
+
+* :mod:`repro.aggregation.functions` — aggregate size models (perfect,
+  linear, none, timestamp, outline).
+* :mod:`repro.aggregation.setcover` — weighted set-cover solvers (the
+  paper's greedy heuristic plus exact and randomized references).
+* :mod:`repro.aggregation.aggregator` — the T_a aggregation buffer with
+  set-cover-based cost assignment.
+"""
+
+from .aggregator import AggregationBuffer, FlushResult, OutgoingAggregate
+from .functions import (
+    AggregationFunction,
+    LinearAggregation,
+    NoAggregation,
+    OutlineAggregation,
+    PerfectAggregation,
+    TimestampAggregation,
+    by_name,
+)
+from .setcover import (
+    CoverResult,
+    SetCoverError,
+    WeightedSubset,
+    exact_weighted_set_cover,
+    greedy_weighted_set_cover,
+    randomized_set_cover,
+    transform_to_sources,
+)
+from .solvers import genetic_set_cover, lagrangian_set_cover
+
+__all__ = [
+    "AggregationBuffer",
+    "FlushResult",
+    "OutgoingAggregate",
+    "AggregationFunction",
+    "PerfectAggregation",
+    "LinearAggregation",
+    "NoAggregation",
+    "TimestampAggregation",
+    "OutlineAggregation",
+    "by_name",
+    "CoverResult",
+    "SetCoverError",
+    "WeightedSubset",
+    "greedy_weighted_set_cover",
+    "exact_weighted_set_cover",
+    "randomized_set_cover",
+    "lagrangian_set_cover",
+    "genetic_set_cover",
+    "transform_to_sources",
+]

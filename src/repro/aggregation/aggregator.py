@@ -1,0 +1,150 @@
+"""Aggregation buffer: delay, merge, and cost outgoing data (§4.2).
+
+Intermediate nodes "process or delay received data for a period of time
+T_a before sending them".  The buffer collects data items arriving within
+one aggregation window together with *where they came from* (each incoming
+aggregate is a candidate subset with its advertised energy cost w_i), and
+on flush:
+
+1. merges all distinct pending items into outgoing aggregates (respecting
+   the aggregation function's ``max_items``);
+2. computes the outgoing energy cost as the weight of a greedy
+   weighted-set cover of the items by the incoming aggregates, **plus one**
+   for this hop's own transmission (fig 4(a): w4 = w1 + w2 + 1);
+3. reports which contributions made the cover, so the truncation rule can
+   judge neighbors (§4.3).
+
+Locally generated items (at sources) enter as zero-weight contributions:
+delivering your own reading to yourself is free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Hashable
+
+from .functions import AggregationFunction
+from .setcover import CoverResult, WeightedSubset, greedy_weighted_set_cover
+
+if TYPE_CHECKING:  # imported for annotations only (avoids a layer cycle)
+    from ..diffusion.messages import AggregateMsg, DataItem
+
+__all__ = ["OutgoingAggregate", "FlushResult", "AggregationBuffer"]
+
+
+@dataclass(frozen=True)
+class OutgoingAggregate:
+    """One packet ready to be sent: items, set-cover cost, wire size."""
+
+    items: tuple[DataItem, ...]
+    cost: float
+    size: int
+
+
+@dataclass(frozen=True)
+class FlushResult:
+    """Everything one flush produced."""
+
+    aggregates: tuple[OutgoingAggregate, ...]
+    #: tags of the contributions selected by the set cover (None = local)
+    cover_tags: tuple[Hashable, ...]
+
+    @property
+    def item_count(self) -> int:
+        return sum(len(a.items) for a in self.aggregates)
+
+
+@dataclass
+class _Contribution:
+    keys: frozenset
+    weight: float
+    tag: Hashable
+
+
+class AggregationBuffer:
+    """Pending data for one interest at one node."""
+
+    def __init__(self, aggfn: AggregationFunction) -> None:
+        self.aggfn = aggfn
+        self._items: dict[tuple[int, int], DataItem] = {}
+        self._contributions: list[_Contribution] = []
+
+    # ------------------------------------------------------------------
+    # filling
+    # ------------------------------------------------------------------
+    def add_incoming(
+        self, aggregate: AggregateMsg, accepted: list[DataItem], tag: Hashable
+    ) -> None:
+        """Buffer the not-yet-seen items of an incoming aggregate.
+
+        ``accepted`` is the deduplicated subset of ``aggregate.items``; the
+        contribution's covering power is limited to those items, at the
+        aggregate's advertised cost.
+        """
+        if not accepted:
+            return
+        for item in accepted:
+            self._items.setdefault(item.key, item)
+        self._contributions.append(
+            _Contribution(
+                frozenset(item.key for item in accepted), aggregate.energy_cost, tag
+            )
+        )
+
+    def add_local(self, item: DataItem) -> None:
+        """Buffer a locally sensed item (zero-cost contribution)."""
+        self._items.setdefault(item.key, item)
+        self._contributions.append(_Contribution(frozenset([item.key]), 0.0, None))
+
+    # ------------------------------------------------------------------
+    # state
+    # ------------------------------------------------------------------
+    @property
+    def empty(self) -> bool:
+        return not self._items
+
+    def pending_count(self) -> int:
+        return len(self._items)
+
+    def pending_sources(self) -> frozenset[int]:
+        return frozenset(src for (src, _seq) in self._items)
+
+    # ------------------------------------------------------------------
+    # flushing
+    # ------------------------------------------------------------------
+    def flush(self) -> FlushResult:
+        """Empty the buffer into outgoing aggregates with covered costs."""
+        if not self._items:
+            return FlushResult((), ())
+        universe = frozenset(self._items)
+        family = [
+            WeightedSubset(c.keys & universe, c.weight, tag=i)
+            for i, c in enumerate(self._contributions)
+            if c.keys & universe
+        ]
+        cover = greedy_weighted_set_cover(universe, family)
+        cover_tags = tuple(
+            self._contributions[family[i].tag].tag for i in cover.chosen
+        )
+        items = sorted(self._items.values(), key=lambda it: it.key)
+        aggregates = self._pack(items, cover)
+        self._items.clear()
+        self._contributions.clear()
+        return FlushResult(tuple(aggregates), cover_tags)
+
+    def _pack(self, items: list[DataItem], cover: CoverResult) -> list[OutgoingAggregate]:
+        """Split items into packets under the function's max_items."""
+        cap = self.aggfn.max_items or len(items)
+        chunks = [items[i : i + cap] for i in range(0, len(items), cap)]
+        # The +1 hop cost is charged once per flush (one "logical" send);
+        # when packing forces several packets, each carries its share of
+        # the cover weight plus its own transmission.
+        per_chunk_weight = cover.weight / len(chunks)
+        return [
+            OutgoingAggregate(
+                tuple(chunk),
+                per_chunk_weight + 1.0,
+                self.aggfn.size(len(chunk)),
+            )
+            for chunk in chunks
+        ]

@@ -1,0 +1,146 @@
+"""Aggregation functions: how many bytes does a d-item aggregate occupy?
+
+§3 and §5.4 of the paper distinguish aggregation by its size behaviour:
+
+* **perfect** — the aggregate is the size of a single event (64 B)
+  regardless of item count.  The paper's default assumption; models
+  high-level data where events are fully redundant.
+* **linear** — ``z(S) = d·|x| + h`` with item size 28 B and header 36 B;
+  lossless packing where "the only savings are the packet headers"
+  (fig 10's sensitivity study).
+* **none** — no aggregation at all: every item is its own 64 B packet
+  (a baseline below anything in the paper, useful for calibration).
+* **timestamp** — lossless delta-encoding of temporally correlated events
+  (§3's surveillance example): the first item is full-size, subsequent
+  items shed their redundant timestamp fields.
+* **outline** — lossy escan-style bounding-polygon summarisation (§3):
+  size grows with item count only up to a vertex cap.
+
+All functions are pure size models — item *identity* is always preserved
+in the simulator so distinct-event accounting stays exact; "lossy" refers
+to the application payload, which the study never inspects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..constants import CONTROL_SIZE, EVENT_SIZE
+
+__all__ = [
+    "AggregationFunction",
+    "PerfectAggregation",
+    "LinearAggregation",
+    "NoAggregation",
+    "TimestampAggregation",
+    "OutlineAggregation",
+    "by_name",
+]
+
+
+@dataclass(frozen=True)
+class AggregationFunction:
+    """Base: subclasses define ``size(d)`` for a d-item aggregate."""
+
+    name: str = "base"
+    #: max items per outgoing packet (None = unbounded)
+    max_items: int | None = None
+
+    def size(self, n_items: int) -> int:
+        raise NotImplementedError
+
+    def _check(self, n_items: int) -> None:
+        if n_items < 1:
+            raise ValueError("aggregate needs at least one item")
+        if self.max_items is not None and n_items > self.max_items:
+            raise ValueError(f"{self.name} aggregation carries at most {self.max_items} items")
+
+
+@dataclass(frozen=True)
+class PerfectAggregation(AggregationFunction):
+    """Aggregate size == single event size, however many items (§5.1)."""
+
+    name: str = "perfect"
+    event_size: int = EVENT_SIZE
+
+    def size(self, n_items: int) -> int:
+        self._check(n_items)
+        return self.event_size
+
+
+@dataclass(frozen=True)
+class LinearAggregation(AggregationFunction):
+    """z(S) = d·|x| + h — lossless packing, header savings only (§5.4)."""
+
+    name: str = "linear"
+    item_size: int = 28
+    header_size: int = CONTROL_SIZE
+
+    def size(self, n_items: int) -> int:
+        self._check(n_items)
+        return n_items * self.item_size + self.header_size
+
+
+@dataclass(frozen=True)
+class NoAggregation(AggregationFunction):
+    """Every item travels alone in a full event packet."""
+
+    name: str = "none"
+    max_items: int | None = 1
+    event_size: int = EVENT_SIZE
+
+    def size(self, n_items: int) -> int:
+        self._check(n_items)
+        return self.event_size
+
+
+@dataclass(frozen=True)
+class TimestampAggregation(AggregationFunction):
+    """Delta-encoded timestamps: first item full, later items shed the
+    redundant hour/minute fields (§3's lossless example)."""
+
+    name: str = "timestamp"
+    item_size: int = 28
+    header_size: int = CONTROL_SIZE
+    delta_item_size: int = 12
+
+    def size(self, n_items: int) -> int:
+        self._check(n_items)
+        return self.header_size + self.item_size + (n_items - 1) * self.delta_item_size
+
+
+@dataclass(frozen=True)
+class OutlineAggregation(AggregationFunction):
+    """escan-style lossy outline: a bounding polygon whose size saturates
+    at ``max_vertices`` vertices (§3's lossy example)."""
+
+    name: str = "outline"
+    header_size: int = CONTROL_SIZE
+    vertex_size: int = 8
+    max_vertices: int = 8
+
+    def size(self, n_items: int) -> int:
+        self._check(n_items)
+        return self.header_size + min(n_items, self.max_vertices) * self.vertex_size
+
+
+_REGISTRY = {
+    fn.name: fn
+    for fn in (
+        PerfectAggregation(),
+        LinearAggregation(),
+        NoAggregation(),
+        TimestampAggregation(),
+        OutlineAggregation(),
+    )
+}
+
+
+def by_name(name: str) -> AggregationFunction:
+    """Look up a default-configured aggregation function by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown aggregation function {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None

@@ -1,0 +1,252 @@
+"""Weighted set cover: the combinatorial core of §4.2 and §4.3.
+
+Computing the energy cost of an outgoing aggregate — "find the set of
+incoming aggregates which cover the data items at the smallest cost" — is
+a weighted set-covering problem, NP-hard in general.  The paper adopts the
+classical greedy heuristic (approximation ratio ln d + 1, where d is the
+largest subset), with a final pruning pass that removes subsets made
+redundant by the rest of the cover.
+
+This module implements:
+
+* :func:`greedy_weighted_set_cover` — the paper's heuristic, including the
+  redundant-subset pruning step and the worked example of fig 4;
+* :func:`exact_weighted_set_cover` — branch-and-bound optimum for small
+  instances (used by tests to check the ln d + 1 bound and by the
+  set-cover ablation bench);
+* :func:`randomized_set_cover` — a simple probabilistic rounding method in
+  the spirit of [Sen 93], for the solver-quality ablation;
+* :func:`transform_to_sources` — §4.3's events -> sources transformation
+  with reweighting w* = w·|S*|/|S|, used by the energy-efficient
+  truncation rule.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Optional, Sequence
+
+__all__ = [
+    "WeightedSubset",
+    "CoverResult",
+    "SetCoverError",
+    "greedy_weighted_set_cover",
+    "exact_weighted_set_cover",
+    "randomized_set_cover",
+    "transform_to_sources",
+]
+
+
+class SetCoverError(ValueError):
+    """Raised when the family cannot cover the universe."""
+
+
+@dataclass(frozen=True)
+class WeightedSubset:
+    """One candidate subset S_i with weight w_i and an opaque tag.
+
+    The tag identifies where the subset came from (an incoming aggregate,
+    a neighbor) so callers can act on the chosen cover.
+    """
+
+    elements: frozenset
+    weight: float
+    tag: Hashable = None
+
+    def __post_init__(self) -> None:
+        if self.weight < 0:
+            raise ValueError("subset weight must be non-negative")
+
+
+@dataclass(frozen=True)
+class CoverResult:
+    """A cover: the chosen subsets (by index into the input family)."""
+
+    chosen: tuple[int, ...]
+    weight: float
+
+    def tags(self, family: Sequence[WeightedSubset]) -> list[Hashable]:
+        return [family[i].tag for i in self.chosen]
+
+
+def _validate(universe: frozenset, family: Sequence[WeightedSubset]) -> None:
+    covered = frozenset().union(*(s.elements for s in family)) if family else frozenset()
+    missing = universe - covered
+    if missing:
+        raise SetCoverError(f"family cannot cover elements {sorted(map(repr, missing))}")
+
+
+def greedy_weighted_set_cover(
+    universe: Iterable, family: Sequence[WeightedSubset]
+) -> CoverResult:
+    """The paper's greedy heuristic (§4.2).
+
+    Repeatedly pick the subset with the lowest cost ratio
+    ``r_i = w_i / |S_i ∩ uncovered|`` until the universe is covered, then
+    prune subsets whose elements are covered by the union of the others.
+
+    Zero-weight subsets have cost ratio 0 and are always preferred —
+    matching the aggregation use where a locally generated item is free.
+    """
+    uni = frozenset(universe)
+    if not uni:
+        return CoverResult((), 0.0)
+    _validate(uni, family)
+
+    uncovered = set(uni)
+    chosen: list[int] = []
+    chosen_set = set()
+    while uncovered:
+        best_idx = -1
+        best_ratio = float("inf")
+        best_gain = 0
+        for idx, subset in enumerate(family):
+            if idx in chosen_set:
+                continue
+            gain = len(subset.elements & uncovered)
+            if gain == 0:
+                continue
+            ratio = subset.weight / gain
+            # Tie-break on larger gain, then lower index, for determinism.
+            if ratio < best_ratio or (ratio == best_ratio and gain > best_gain):
+                best_idx, best_ratio, best_gain = idx, ratio, gain
+        assert best_idx >= 0, "validated family must always offer progress"
+        chosen.append(best_idx)
+        chosen_set.add(best_idx)
+        uncovered -= family[best_idx].elements
+
+    pruned = _prune_redundant(uni, family, chosen)
+    weight = sum(family[i].weight for i in pruned)
+    return CoverResult(tuple(pruned), weight)
+
+
+def _prune_redundant(
+    universe: frozenset, family: Sequence[WeightedSubset], chosen: Sequence[int]
+) -> list[int]:
+    """Final greedy step: drop subsets covered by the union of the rest.
+
+    Heaviest subsets are considered for removal first, so pruning can only
+    lower the cover weight.
+    """
+    kept = list(chosen)
+    for idx in sorted(chosen, key=lambda i: -family[i].weight):
+        others = frozenset().union(
+            *(family[j].elements for j in kept if j != idx), frozenset()
+        )
+        if (universe & family[idx].elements) <= others:
+            kept.remove(idx)
+    return sorted(kept)
+
+
+def exact_weighted_set_cover(
+    universe: Iterable, family: Sequence[WeightedSubset], max_subsets: int = 24
+) -> CoverResult:
+    """Optimal cover by branch and bound (small instances only).
+
+    Used as the ground truth for property tests and the solver ablation;
+    refuses instances with more than ``max_subsets`` candidate subsets.
+    """
+    uni = frozenset(universe)
+    if not uni:
+        return CoverResult((), 0.0)
+    if len(family) > max_subsets:
+        raise SetCoverError(f"exact solver limited to {max_subsets} subsets")
+    _validate(uni, family)
+
+    # Order subsets by weight so the greedy-found incumbent prunes early.
+    order = sorted(range(len(family)), key=lambda i: family[i].weight)
+    incumbent = greedy_weighted_set_cover(uni, family)
+    best_weight = incumbent.weight
+    best_choice = list(incumbent.chosen)
+
+    def recurse(pos: int, covered: frozenset, weight: float, picked: list[int]) -> None:
+        nonlocal best_weight, best_choice
+        if weight >= best_weight:
+            return
+        if covered >= uni:
+            best_weight = weight
+            best_choice = sorted(picked)
+            return
+        if pos >= len(order):
+            return
+        remaining = frozenset().union(
+            *(family[order[k]].elements for k in range(pos, len(order))), frozenset()
+        )
+        if not (uni - covered) <= remaining:
+            return  # cannot finish from here
+        idx = order[pos]
+        # Branch 1: take idx (only if it helps).
+        if family[idx].elements - covered:
+            picked.append(idx)
+            recurse(pos + 1, covered | family[idx].elements, weight + family[idx].weight, picked)
+            picked.pop()
+        # Branch 2: skip idx.
+        recurse(pos + 1, covered, weight, picked)
+
+    recurse(0, frozenset(), 0.0, [])
+    return CoverResult(tuple(best_choice), best_weight)
+
+
+def randomized_set_cover(
+    universe: Iterable,
+    family: Sequence[WeightedSubset],
+    rng: random.Random,
+    rounds: int = 32,
+) -> CoverResult:
+    """Probabilistic method: repeated randomized greedy restarts.
+
+    Each round ranks subsets by cost ratio perturbed with exponential
+    noise; the best cover over all rounds is returned.  Matches the
+    "probabilistic methods" family the paper cites as an alternative.
+    """
+    uni = frozenset(universe)
+    if not uni:
+        return CoverResult((), 0.0)
+    _validate(uni, family)
+
+    best: Optional[CoverResult] = None
+    for _ in range(max(1, rounds)):
+        uncovered = set(uni)
+        chosen: list[int] = []
+        chosen_set: set[int] = set()
+        while uncovered:
+            candidates = []
+            for idx, subset in enumerate(family):
+                if idx in chosen_set:
+                    continue
+                gain = len(subset.elements & uncovered)
+                if gain == 0:
+                    continue
+                noisy = (subset.weight / gain) * rng.expovariate(1.0)
+                candidates.append((noisy, idx, subset))
+            _, idx, subset = min(candidates, key=lambda c: (c[0], c[1]))
+            chosen.append(idx)
+            chosen_set.add(idx)
+            uncovered -= subset.elements
+        pruned = _prune_redundant(uni, family, chosen)
+        weight = sum(family[i].weight for i in pruned)
+        if best is None or weight < best.weight:
+            best = CoverResult(tuple(sorted(pruned)), weight)
+    assert best is not None
+    return best
+
+
+def transform_to_sources(
+    family: Sequence[WeightedSubset], source_of: dict
+) -> list[WeightedSubset]:
+    """§4.3's transformation for the energy-efficient truncation rule.
+
+    Each element of every subset is replaced by its source; the weight is
+    rescaled by ``w* = w·|S*|/|S|`` so initial cost ratios are preserved
+    (fig 4(b)'s worked example: S1={a1,a2,b1}, w1=5 becomes S1*={A,B},
+    w1*=10/3).
+    """
+    transformed = []
+    for subset in family:
+        sources = frozenset(source_of[e] for e in subset.elements)
+        if not subset.elements:
+            raise ValueError("cannot transform an empty subset")
+        new_weight = subset.weight * len(sources) / len(subset.elements)
+        transformed.append(WeightedSubset(sources, new_weight, subset.tag))
+    return transformed

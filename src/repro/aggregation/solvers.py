@@ -1,0 +1,195 @@
+"""Alternative weighted set-cover solvers the paper surveys (§4.2).
+
+The paper chooses the greedy heuristic "because of its high-quality
+solutions", citing several alternatives; two of them are implemented here
+so the solver ablation can quantify that choice:
+
+* :func:`lagrangian_set_cover` — a compact Lagrangian-relaxation
+  heuristic in the style of Beasley [1990]: subgradient optimisation of
+  the LP multipliers, a primal greedy repair per iteration, and the best
+  feasible cover found.
+* :func:`genetic_set_cover` — a genetic algorithm in the style of
+  Liepins et al.: bit-string chromosomes with a feasibility-repair
+  operator, tournament selection, uniform crossover, and mutation.
+
+Both accept the same ``(universe, family)`` inputs as
+:func:`repro.aggregation.setcover.greedy_weighted_set_cover` and return a
+:class:`~repro.aggregation.setcover.CoverResult`.  They are reference
+implementations tuned for solution quality on the small instances that
+appear at aggregation points, not for scale.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Sequence
+
+from .setcover import (
+    CoverResult,
+    SetCoverError,
+    WeightedSubset,
+    _prune_redundant,
+    greedy_weighted_set_cover,
+)
+
+__all__ = ["lagrangian_set_cover", "genetic_set_cover"]
+
+
+def _validate(universe: frozenset, family: Sequence[WeightedSubset]) -> None:
+    covered = frozenset().union(*(s.elements for s in family)) if family else frozenset()
+    if universe - covered:
+        raise SetCoverError("family cannot cover the universe")
+
+
+def _repair_to_cover(
+    universe: frozenset,
+    family: Sequence[WeightedSubset],
+    chosen: set[int],
+) -> list[int]:
+    """Make ``chosen`` feasible greedily, then prune redundancy."""
+    covered = frozenset().union(*(family[i].elements for i in chosen), frozenset())
+    uncovered = set(universe - covered)
+    picks = set(chosen)
+    while uncovered:
+        best_idx, best_ratio, best_gain = -1, float("inf"), 0
+        for idx, subset in enumerate(family):
+            if idx in picks:
+                continue
+            gain = len(subset.elements & uncovered)
+            if gain == 0:
+                continue
+            ratio = subset.weight / gain
+            if ratio < best_ratio or (ratio == best_ratio and gain > best_gain):
+                best_idx, best_ratio, best_gain = idx, ratio, gain
+        assert best_idx >= 0
+        picks.add(best_idx)
+        uncovered -= family[best_idx].elements
+    return _prune_redundant(universe, family, sorted(picks))
+
+
+def lagrangian_set_cover(
+    universe: Iterable,
+    family: Sequence[WeightedSubset],
+    iterations: int = 60,
+    step_scale: float = 2.0,
+) -> CoverResult:
+    """Lagrangian-relaxation heuristic (Beasley-style).
+
+    Relaxes the covering constraints with multipliers ``u_e >= 0``; at
+    each subgradient iteration, subsets with negative reduced cost form a
+    tentative primal solution that is repaired to feasibility; the best
+    feasible cover over all iterations is returned.
+    """
+    uni = frozenset(universe)
+    if not uni:
+        return CoverResult((), 0.0)
+    _validate(uni, family)
+
+    elements = sorted(uni, key=repr)
+    # Start multipliers at each element's cheapest covering ratio.
+    u = {}
+    for e in elements:
+        ratios = [
+            s.weight / len(s.elements) for s in family if e in s.elements
+        ]
+        u[e] = min(ratios)
+
+    incumbent = greedy_weighted_set_cover(uni, family)
+    best_choice = list(incumbent.chosen)
+    best_weight = incumbent.weight
+    scale = step_scale
+
+    for _ in range(max(1, iterations)):
+        reduced = [
+            s.weight - sum(u[e] for e in s.elements if e in u) for s in family
+        ]
+        tentative = {i for i, rc in enumerate(reduced) if rc < 0}
+        # Lower bound from the relaxation (not returned, drives the step).
+        lower = sum(u.values()) + sum(rc for rc in reduced if rc < 0)
+
+        chosen = _repair_to_cover(uni, family, tentative)
+        weight = sum(family[i].weight for i in chosen)
+        if weight < best_weight:
+            best_weight = weight
+            best_choice = chosen
+
+        # Subgradient: 1 - (times covered by the tentative solution).
+        coverage = {e: 0 for e in elements}
+        for i in tentative:
+            for e in family[i].elements:
+                if e in coverage:
+                    coverage[e] += 1
+        subgrad = {e: 1 - c for e, c in coverage.items()}
+        norm = sum(g * g for g in subgrad.values())
+        if norm == 0:
+            break
+        gap = max(best_weight - lower, 1e-9)
+        step = scale * gap / norm
+        for e in elements:
+            u[e] = max(0.0, u[e] + step * subgrad[e])
+        scale *= 0.95  # geometric cooling
+
+    return CoverResult(tuple(sorted(best_choice)), best_weight)
+
+
+def genetic_set_cover(
+    universe: Iterable,
+    family: Sequence[WeightedSubset],
+    rng: random.Random,
+    population: int = 24,
+    generations: int = 40,
+    mutation_rate: float = 0.08,
+) -> CoverResult:
+    """Genetic-algorithm heuristic (Liepins-et-al.-style).
+
+    Chromosomes are subset-inclusion bit strings; infeasible offspring
+    are repaired with the greedy covering step, and redundant genes are
+    pruned, so every individual is a valid cover.  Fitness is the cover
+    weight (lower is better).
+    """
+    uni = frozenset(universe)
+    if not uni:
+        return CoverResult((), 0.0)
+    _validate(uni, family)
+    n = len(family)
+
+    def weight_of(chosen: Sequence[int]) -> float:
+        return sum(family[i].weight for i in chosen)
+
+    def random_individual() -> list[int]:
+        seed = {i for i in range(n) if rng.random() < 0.4}
+        return _repair_to_cover(uni, family, seed)
+
+    # Seed the population with the greedy solution plus random covers.
+    pop = [list(greedy_weighted_set_cover(uni, family).chosen)]
+    pop.extend(random_individual() for _ in range(population - 1))
+    best = min(pop, key=weight_of)
+
+    def tournament() -> list[int]:
+        a, b = rng.choice(pop), rng.choice(pop)
+        return a if weight_of(a) <= weight_of(b) else b
+
+    for _ in range(max(1, generations)):
+        offspring = []
+        for _ in range(population):
+            pa, pb = set(tournament()), set(tournament())
+            child = set()
+            for i in pa | pb:
+                # Uniform crossover over the union of parent genes.
+                if i in pa and i in pb:
+                    child.add(i)
+                elif rng.random() < 0.5:
+                    child.add(i)
+            # Mutation: flip a few genes.
+            for i in range(n):
+                if rng.random() < mutation_rate:
+                    child.symmetric_difference_update({i})
+            offspring.append(_repair_to_cover(uni, family, child))
+        # Elitism: carry the best individual forward.
+        offspring[0] = list(best)
+        pop = offspring
+        cand = min(pop, key=weight_of)
+        if weight_of(cand) < weight_of(best):
+            best = cand
+
+    return CoverResult(tuple(sorted(best)), weight_of(best))

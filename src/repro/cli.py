@@ -1,0 +1,203 @@
+"""Command-line driver: ``repro-wsn`` / ``python -m repro``.
+
+Subcommands::
+
+    repro-wsn run   --scheme greedy -n 150 --seed 1          # one experiment
+    repro-wsn fig   fig5 --profile fast --trials 2           # one paper figure
+    repro-wsn trees --nodes 100 200 350 --trials 5           # GIT vs SPT table
+    repro-wsn all   --profile fast                           # every figure
+
+Figures print the same series the paper plots (see
+:mod:`repro.experiments.report`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .experiments import (
+    FIGURES,
+    PROFILES,
+    ExperimentConfig,
+    FailureModel,
+    format_figure,
+    format_tree_table,
+    git_vs_spt_table,
+    run_experiment,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-wsn",
+        description="Greedy aggregation in WSNs (ICDCS 2002) — reproduction driver",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run one experiment and print its metrics")
+    run_p.add_argument("--scheme", choices=("greedy", "opportunistic"), default="greedy")
+    run_p.add_argument("-n", "--nodes", type=int, default=150)
+    run_p.add_argument("--sources", type=int, default=5)
+    run_p.add_argument("--sinks", type=int, default=1)
+    run_p.add_argument("--seed", type=int, default=1)
+    run_p.add_argument("--duration", type=float, default=50.0)
+    run_p.add_argument("--warmup", type=float, default=17.0)
+    run_p.add_argument(
+        "--placement", choices=("corner", "random", "event-radius"), default="corner"
+    )
+    run_p.add_argument(
+        "--aggregation",
+        choices=("perfect", "linear", "none", "timestamp", "outline"),
+        default="perfect",
+    )
+    run_p.add_argument("--failures", action="store_true", help="enable §5.3 node dynamics")
+    run_p.add_argument("--include-idle", action="store_true")
+
+    fig_p = sub.add_parser("fig", help="reproduce one of figures 5-10")
+    fig_p.add_argument("figure", choices=sorted(FIGURES))
+    fig_p.add_argument("--profile", choices=sorted(PROFILES), default="fast")
+    fig_p.add_argument("--trials", type=int, default=None)
+    fig_p.add_argument("--workers", type=int, default=0)
+    fig_p.add_argument("--save", metavar="PATH", help="write the result as JSON")
+    fig_p.add_argument("--csv", metavar="PATH", help="export the series as CSV")
+
+    inspect_p = sub.add_parser(
+        "inspect", help="run one experiment and print its aggregation tree"
+    )
+    inspect_p.add_argument("--scheme", choices=("greedy", "opportunistic"), default="greedy")
+    inspect_p.add_argument("-n", "--nodes", type=int, default=120)
+    inspect_p.add_argument("--sources", type=int, default=5)
+    inspect_p.add_argument("--seed", type=int, default=1)
+    inspect_p.add_argument("--duration", type=float, default=50.0)
+
+    trees_p = sub.add_parser("trees", help="GIT vs SPT abstract comparison table")
+    trees_p.add_argument("--nodes", type=int, nargs="+", default=[100, 200, 350])
+    trees_p.add_argument("--sources", type=int, default=5)
+    trees_p.add_argument("--trials", type=int, default=10)
+    trees_p.add_argument("--seed", type=int, default=7)
+
+    all_p = sub.add_parser("all", help="reproduce every figure")
+    all_p.add_argument("--profile", choices=sorted(PROFILES), default="fast")
+    all_p.add_argument("--trials", type=int, default=None)
+    all_p.add_argument("--workers", type=int, default=0)
+
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from .experiments.config import fast
+
+    profile = fast()
+    cfg = ExperimentConfig(
+        scheme=args.scheme,
+        n_nodes=args.nodes,
+        n_sources=args.sources,
+        n_sinks=args.sinks,
+        seed=args.seed,
+        duration=args.duration,
+        warmup=args.warmup,
+        diffusion=profile.diffusion,
+        source_placement=args.placement,
+        aggregation=args.aggregation,
+        failures=FailureModel(epoch=profile.failure_epoch) if args.failures else None,
+        include_idle=args.include_idle,
+    )
+    result = run_experiment(cfg)
+    print(f"scheme                 {result.scheme}")
+    print(f"nodes                  {result.n_nodes} (mean degree {result.mean_degree:.1f})")
+    print(f"avg dissipated energy  {result.avg_dissipated_energy:.6f} J/node/event")
+    print(f"avg delay              {result.avg_delay:.4f} s")
+    print(f"delivery ratio         {result.delivery_ratio:.3f}")
+    print(f"distinct delivered     {result.distinct_delivered} / {result.events_sent}")
+    return 0
+
+
+def _cmd_fig(args: argparse.Namespace) -> int:
+    profile = PROFILES[args.profile]()
+    result = FIGURES[args.figure](profile, trials=args.trials, workers=args.workers)
+    print(format_figure(result))
+    if args.save:
+        from .experiments.persistence import save_figure_json
+
+        print(f"saved: {save_figure_json(result, args.save)}")
+    if args.csv:
+        from .experiments.persistence import export_figure_csv
+
+        print(f"exported: {export_figure_csv(result, args.csv)}")
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    from .experiments.config import fast
+    from .experiments.inspect import active_tree, compare_with_ideal, tree_stats
+    from .experiments.runner import build_world
+
+    profile = fast()
+    cfg = ExperimentConfig(
+        scheme=args.scheme,
+        n_nodes=args.nodes,
+        n_sources=args.sources,
+        seed=args.seed,
+        duration=args.duration,
+        warmup=min(profile.warmup, args.duration / 2),
+        diffusion=profile.diffusion,
+    )
+    world = build_world(cfg)
+    world.sim.run(until=cfg.duration)
+    tree = active_tree(world)
+    stats = tree_stats(tree, world.sources, world.sinks[0])
+    cmp = compare_with_ideal(world)
+    print(f"scheme {args.scheme}, {args.nodes} nodes, sources {sorted(world.sources)}, "
+          f"sink {world.sinks[0]}")
+    print(f"live tree: {stats.n_edges} edges, {stats.n_junctions} junction(s), "
+          f"depth {stats.depth}, stranded sources {list(stats.stranded_sources) or 'none'}")
+    print(
+        "centralized references: "
+        f"SPT {cmp['spt_edges']:.0f} edges, GIT {cmp['git_edges']:.0f}, "
+        f"Steiner(KMB) {cmp['steiner_edges']:.0f}"
+    )
+    print("\nedges (node -> preferred downstream):")
+    for u, v in sorted(tree.edges()):
+        role = "source" if u in world.sources else "relay "
+        print(f"  {role} {u:4d} -> {v}")
+    return 0
+
+
+def _cmd_trees(args: argparse.Namespace) -> int:
+    rows = git_vs_spt_table(
+        n_nodes=args.nodes, n_sources=args.sources, trials=args.trials, seed=args.seed
+    )
+    print(format_tree_table(rows))
+    return 0
+
+
+def _cmd_all(args: argparse.Namespace) -> int:
+    profile = PROFILES[args.profile]()
+    for name in sorted(FIGURES):
+        result = FIGURES[name](profile, trials=args.trials, workers=args.workers)
+        print(format_figure(result))
+        print()
+    print(format_tree_table(git_vs_spt_table()))
+    return 0
+
+
+_COMMANDS = {
+    "run": _cmd_run,
+    "fig": _cmd_fig,
+    "trees": _cmd_trees,
+    "all": _cmd_all,
+    "inspect": _cmd_inspect,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

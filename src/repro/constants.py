@@ -1,0 +1,13 @@
+"""Shared wire-format constants (§5.1).
+
+Kept in a leaf module so the aggregation layer (size models) and the
+diffusion layer (protocol messages) can both use them without importing
+each other.
+"""
+
+#: bytes on the wire for event packets (exploratory and data events)
+EVENT_SIZE = 64
+#: bytes on the wire for interest / reinforcement / cost messages
+CONTROL_SIZE = 36
+
+__all__ = ["EVENT_SIZE", "CONTROL_SIZE"]

@@ -1,0 +1,12 @@
+"""The paper's contribution: greedy aggregation on a greedy incremental tree.
+
+* :class:`GreedyAgent` — the diffusion instantiation of §4 (energy cost
+  attribute, incremental cost messages, T_p reinforcement, set-cover
+  truncation).
+* :mod:`repro.core.truncation` — the §4.3 negative-reinforcement rules.
+"""
+
+from .greedy import GreedyAgent, GreedyEventTruncationAgent
+from .truncation import WindowAggregate, setcover_victims
+
+__all__ = ["GreedyAgent", "GreedyEventTruncationAgent", "WindowAggregate", "setcover_victims"]

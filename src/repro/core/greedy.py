@@ -1,0 +1,208 @@
+"""Greedy aggregation: the paper's contribution (§4).
+
+A new instantiation of directed diffusion that constructs a **greedy
+incremental tree**: the first source reaches the sink over a lowest-energy
+path; every subsequent source is grafted onto the *closest point of the
+existing tree*.  All decisions are local:
+
+* exploratory events accumulate the energy cost attribute ``E``
+  (fixed-power radio ⇒ hops);
+* sources already on the tree answer another source's exploratory flood
+  with an **incremental cost message** whose cost ``C`` starts at their
+  own ``E`` for that flood and is lowered to ``min(C, cached E)`` at every
+  on-tree node it passes on its way down the data gradients — so the sink
+  learns the cost to the closest tree point, not just to the source;
+* the sink waits ``T_p`` before reinforcing, then picks the neighbor that
+  offered the lowest cost over exploratory ``E`` and incremental ``C``
+  (ties: exploratory first, then earliest delivery); each reinforced node
+  applies the same rule immediately, which walks the reinforcement down
+  the existing tree and grafts the new branch at the argmin node;
+* every ``T_n``, inefficient upstream neighbors are truncated by the
+  source-set-cover rule of §4.3 (see :mod:`repro.core.truncation`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..diffusion.agent import DiffusionAgent, _WindowEntry
+from ..diffusion.cache import ReinforceChoice, SeenCache
+from ..diffusion.messages import ExploratoryEvent, IncrementalCostMsg
+from ..sim import ScheduledEvent
+from .truncation import WindowAggregate, setcover_victims
+
+__all__ = ["GreedyAgent", "GreedyEventTruncationAgent"]
+
+
+class GreedyAgent(DiffusionAgent):
+    """Greedy aggregation on a greedy incremental tree."""
+
+    scheme_name = "greedy"
+
+    #: truncation rule: cover sources (paper's efficient rule) or events
+    truncate_on_sources = True
+
+    #: consecutive guilty windows required before truncating a neighbor;
+    #: one window of duplicates is routine churn right after an
+    #: exploratory round re-reinforces paths, two in a row is a real
+    #: redundant path.
+    truncation_patience = 2
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        #: sink-side pending T_p decisions, keyed by exploratory round
+        self._decision_events: dict[tuple, ScheduledEvent] = {}
+        self._decided = SeenCache(self.params.cache_capacity)
+        #: per (interest, sender): consecutive windows outside the cover
+        self._victim_streak: dict[tuple[int, int], int] = {}
+
+    # ==================================================================
+    # sink: delayed lowest-cost reinforcement
+    # ==================================================================
+    def sink_on_exploratory(
+        self, msg: ExploratoryEvent, from_id: int, first: bool
+    ) -> None:
+        # The cache already recorded (neighbor, E, time); just make sure a
+        # decision is pending.  §4.1: "it does not reinforce a neighbor
+        # immediately because an energy-efficient path is not necessarily
+        # a lowest-delay path. Instead, a reinforcement timer of T_p is
+        # set up."
+        self._arm_decision(msg.key)
+
+    def _arm_decision(self, event_key: tuple) -> None:
+        if event_key in self._decided:
+            return
+        ev = self._decision_events.get(event_key)
+        if ev is not None and ev.pending:
+            return
+        self._decision_events[event_key] = self.sim.schedule(
+            self.params.reinforcement_timer, self._decide, event_key
+        )
+
+    def _decide(self, event_key: tuple) -> None:
+        self._decision_events.pop(event_key, None)
+        if not self.node.up:
+            return
+        if not self._decided.check_and_add(event_key):
+            return
+        choice = self.exploratory_cache.lowest_cost_choice(
+            event_key, prefer=self._incumbents(event_key[0])
+        )
+        if choice is None:
+            self.tracer.count("greedy.decision_empty")
+            return
+        interest_id = event_key[0]
+        self.tracer.count(
+            "greedy.reinforce_via_incremental"
+            if choice.via_incremental
+            else "greedy.reinforce_via_exploratory"
+        )
+        self.send_reinforcement(interest_id, event_key, choice.neighbor)
+
+    # ==================================================================
+    # local rule for reinforcement propagation
+    # ==================================================================
+    def _incumbents(self, interest_id: int) -> frozenset:
+        """Upstream neighbors currently feeding us data for this interest:
+        preferred on cost ties so equal-cost rounds keep the same tree."""
+        win = self.window.get(interest_id)
+        if not win:
+            return frozenset()
+        horizon = self.sim.now - self.params.negative_window
+        return frozenset(e.from_id for e in win if e.time >= horizon)
+
+    def choose_upstream(self, event_key: tuple) -> Optional[ReinforceChoice]:
+        return self.exploratory_cache.lowest_cost_choice(
+            event_key, prefer=self._incumbents(event_key[0])
+        )
+
+    # ==================================================================
+    # incremental cost messages
+    # ==================================================================
+    def on_exploratory_first(self, msg: ExploratoryEvent, from_id: int) -> None:
+        """An on-tree *source* answers another source's flood with C (§4.1)."""
+        if msg.interest_id not in self.source_for:
+            return
+        table = self.gradients.get(msg.interest_id)
+        if table is None or not table.has_data_gradient(self.sim.now):
+            return  # not on the existing tree (no data gradients)
+        ic = IncrementalCostMsg(
+            interest_id=msg.interest_id,
+            event_key=msg.key,
+            origin_source=self.node.node_id,
+            cost=msg.energy_cost,  # E = cost of delivering the flood to us
+        )
+        self.tracer.count("greedy.ic_originated")
+        self._send_incremental(ic)
+
+    def _send_incremental(self, msg: IncrementalCostMsg) -> None:
+        table = self._gradient_table(msg.interest_id)
+        for neighbor in table.data_neighbors(self.sim.now):
+            self.node.send(msg, neighbor, msg.size)
+
+    def _handle_incremental_cost(self, msg: IncrementalCostMsg, from_id: int) -> None:
+        self.tracer.count("greedy.ic_received")
+        # Record the advertisement for later reinforcement decisions.
+        self.exploratory_cache.note_incremental_cost(
+            msg.event_key, from_id, msg.cost, self.sim.now
+        )
+        if msg.interest_id in self.own_interests:
+            # Cost information reached the sink; make sure a T_p decision
+            # is pending even if the direct flood copy was lost.
+            self._arm_decision(msg.event_key)
+            return
+        if not self.ic_seen.check_and_add((msg.event_key, msg.origin_source)):
+            return
+        table = self._gradient_table(msg.interest_id)
+        if not table.has_data_gradient(self.sim.now):
+            self.tracer.count("greedy.ic_off_tree")
+            return
+        # §4.1: C := min(C, E of the exploratory event retrieved from the
+        # message cache) — our own cost for that flood.
+        record = self.exploratory_cache.get(msg.event_key)
+        own_cost = record.min_energy() if record is not None else None
+        cost = msg.cost if own_cost is None else min(msg.cost, own_cost)
+        self._send_incremental(msg.lowered(cost))
+
+    # ==================================================================
+    # truncation
+    # ==================================================================
+    def truncation_victims(
+        self, interest_id: int, window: list[_WindowEntry]
+    ) -> list[int]:
+        aggregates = [
+            WindowAggregate(
+                sender=e.from_id,
+                item_keys=e.all_keys,
+                cost=e.cost,
+                source_of=e.source_of,
+            )
+            for e in window
+        ]
+        guilty = set(setcover_victims(aggregates, on_sources=self.truncate_on_sources))
+        confirmed = []
+        for sender in {a.sender for a in aggregates}:
+            key = (interest_id, sender)
+            if sender in guilty:
+                streak = self._victim_streak.get(key, 0) + 1
+                if streak >= self.truncation_patience:
+                    confirmed.append(sender)
+                    self._victim_streak.pop(key, None)
+                else:
+                    self._victim_streak[key] = streak
+            else:
+                self._victim_streak.pop(key, None)
+        return sorted(confirmed)
+
+
+class GreedyEventTruncationAgent(GreedyAgent):
+    """Ablation variant: §4.3's *conservative* truncation rule.
+
+    Identical to :class:`GreedyAgent` except the negative-reinforcement
+    set cover runs over events instead of sources — the rule the paper
+    calls "a bit conservative and energy inefficient" before introducing
+    the sources transformation.  Used by the truncation ablation bench.
+    """
+
+    scheme_name = "greedy-events"
+    truncate_on_sources = False

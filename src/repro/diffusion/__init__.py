@@ -1,0 +1,61 @@
+"""Directed diffusion substrate (§2-§3 of the paper).
+
+Data-centric naming, interests and gradients, exploratory floods,
+duplicate-suppressing caches, the shared protocol engine
+(:class:`DiffusionAgent`), and the baseline opportunistic instantiation.
+The greedy instantiation lives in :mod:`repro.core`.
+"""
+
+from .agent import DeliverySink, DiffusionAgent, DiffusionParams, SourceState
+from .attributes import (
+    AttributeSet,
+    InterestSpec,
+    Op,
+    Predicate,
+    node_attributes,
+    tracking_task,
+)
+from .cache import ExploratoryCache, ExploratoryRecord, ReinforceChoice, SeenCache
+from .gradient import Gradient, GradientState, GradientTable
+from .messages import (
+    CONTROL_SIZE,
+    EVENT_SIZE,
+    AggregateMsg,
+    DataItem,
+    ExploratoryEvent,
+    IncrementalCostMsg,
+    InterestMsg,
+    NegativeReinforcementMsg,
+    ReinforcementMsg,
+)
+from .opportunistic import OpportunisticAgent
+
+__all__ = [
+    "DiffusionAgent",
+    "DiffusionParams",
+    "DeliverySink",
+    "SourceState",
+    "OpportunisticAgent",
+    "AttributeSet",
+    "InterestSpec",
+    "Op",
+    "Predicate",
+    "node_attributes",
+    "tracking_task",
+    "ExploratoryCache",
+    "ExploratoryRecord",
+    "ReinforceChoice",
+    "SeenCache",
+    "Gradient",
+    "GradientState",
+    "GradientTable",
+    "EVENT_SIZE",
+    "CONTROL_SIZE",
+    "DataItem",
+    "InterestMsg",
+    "ExploratoryEvent",
+    "AggregateMsg",
+    "IncrementalCostMsg",
+    "ReinforcementMsg",
+    "NegativeReinforcementMsg",
+]

@@ -1,0 +1,128 @@
+"""Attribute-based naming for directed diffusion.
+
+Diffusion is data-centric: tasks (interests) and data are named by
+attribute-value tuples, and an interest matches a sensor when its operator
+predicates are satisfied by the sensor's own attributes (§2 of the paper:
+"attributes describe the data that is desired by specifying sensor types
+and some geographic region").
+
+We implement the one-way match used by the ns-2 diffusion code:
+
+* an :class:`AttributeSet` is an immutable mapping of key -> value;
+* an :class:`InterestSpec` is a set of :class:`Predicate` s
+  (``IS`` / ``GE`` / ``LE``) over those keys;
+* :func:`InterestSpec.matches` evaluates the predicates against a node's
+  attribute set.
+
+The tracking workload names data with a task type and a rectangular
+geographic region (:func:`tracking_task`), matching the paper's
+wilderness-tracking example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator, Mapping
+
+__all__ = ["AttributeSet", "Predicate", "InterestSpec", "Op", "tracking_task", "node_attributes"]
+
+
+class Op:
+    """Match operators (the subset the diffusion filter core needs)."""
+
+    IS = "is"
+    GE = "ge"
+    LE = "le"
+
+    ALL = (IS, GE, LE)
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """One operator predicate over an attribute key."""
+
+    key: str
+    op: str
+    value: Any
+
+    def __post_init__(self) -> None:
+        if self.op not in Op.ALL:
+            raise ValueError(f"unknown operator {self.op!r}")
+
+    def holds(self, attrs: "AttributeSet") -> bool:
+        if self.key not in attrs:
+            return False
+        actual = attrs[self.key]
+        if self.op == Op.IS:
+            return actual == self.value
+        if self.op == Op.GE:
+            return actual >= self.value
+        return actual <= self.value
+
+
+class AttributeSet(Mapping[str, Any]):
+    """Immutable, hashable attribute-value mapping."""
+
+    __slots__ = ("_items",)
+
+    def __init__(self, items: Mapping[str, Any] | Iterable[tuple[str, Any]] = ()):
+        if isinstance(items, Mapping):
+            pairs = tuple(sorted(items.items()))
+        else:
+            pairs = tuple(sorted(items))
+        object.__setattr__(self, "_items", pairs)
+
+    def __getitem__(self, key: str) -> Any:
+        for k, v in self._items:
+            if k == key:
+                return v
+        raise KeyError(key)
+
+    def __iter__(self) -> Iterator[str]:
+        return (k for k, _ in self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __hash__(self) -> int:
+        return hash(self._items)
+
+    def __setattr__(self, name: str, value: Any) -> None:  # immutability guard
+        raise AttributeError("AttributeSet is immutable")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        body = ", ".join(f"{k}={v!r}" for k, v in self._items)
+        return f"AttributeSet({body})"
+
+
+@dataclass(frozen=True)
+class InterestSpec:
+    """A named task: the conjunction of predicates an interest carries."""
+
+    predicates: tuple[Predicate, ...]
+
+    def matches(self, attrs: AttributeSet) -> bool:
+        """True when every predicate holds for ``attrs``."""
+        return all(p.holds(attrs) for p in self.predicates)
+
+    @staticmethod
+    def of(*predicates: Predicate) -> "InterestSpec":
+        return InterestSpec(tuple(predicates))
+
+
+def tracking_task(
+    task: str, x1: float, y1: float, x2: float, y2: float
+) -> InterestSpec:
+    """The paper's canonical interest: a task type over a geographic rect."""
+    return InterestSpec.of(
+        Predicate("task", Op.IS, task),
+        Predicate("x", Op.GE, x1),
+        Predicate("x", Op.LE, x2),
+        Predicate("y", Op.GE, y1),
+        Predicate("y", Op.LE, y2),
+    )
+
+
+def node_attributes(task: str, x: float, y: float) -> AttributeSet:
+    """The attribute set a sensor node publishes for matching."""
+    return AttributeSet({"task": task, "x": x, "y": y})

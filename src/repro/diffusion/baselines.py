@@ -1,0 +1,206 @@
+"""Idealized comparison schemes from the directed-diffusion lineage.
+
+The paper's metrics "were used in earlier work to compare diffusion with
+other idealized schemes" (§5.1, citing the original diffusion paper).
+Two of those schemes bracket the design space and are implemented here so
+the harness can reproduce that framing:
+
+* :class:`FloodingAgent` — every data event is flooded network-wide with
+  duplicate suppression.  Maximal robustness, no aggregation, and an
+  energy upper bound: useful to show how much *any* tree buys.
+* :class:`OmniscientAgent` — data follows a centrally computed greedy
+  incremental tree with **zero control traffic** (no interests, no
+  exploratory events, no reinforcement): the idealized lower bound the
+  distributed greedy scheme approximates.  The runner computes the tree
+  from the field's connectivity graph and installs static parent
+  pointers.
+
+Both reuse the full packet substrate (radio, MAC, energy), so their
+numbers are comparable with the two real schemes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..sim import PeriodicTimer
+from .agent import DiffusionAgent, SourceState, _WindowEntry
+from .cache import ReinforceChoice, SeenCache
+from .messages import AggregateMsg, DataItem, ExploratoryEvent, InterestMsg
+
+__all__ = ["FloodingAgent", "OmniscientAgent"]
+
+
+class FloodingAgent(DiffusionAgent):
+    """Data flooding: no gradients, no trees, no aggregation.
+
+    Interests still flood (that is how sources learn of the task), but
+    sources broadcast every event and intermediate nodes re-broadcast
+    previously unseen items.  Delivery is as robust as connectivity
+    allows; energy scales with the whole network instead of a tree.
+    """
+
+    scheme_name = "flooding"
+
+    # ------------------------------------------------------------------
+    # sources: no exploratory machinery, data is flooded
+    # ------------------------------------------------------------------
+    def _activate_source(self, interest: InterestMsg) -> None:
+        if interest.interest_id in self.source_for:
+            return
+        state = SourceState(interest.interest_id)
+        self.source_for[interest.interest_id] = state
+        self.tracer.count("diffusion.source_activated")
+        state.data_timer = PeriodicTimer(
+            self.sim,
+            lambda: self._generate_data(state),
+            interest.data_interval,
+            jitter=self.params.forward_jitter,
+            rng=self.rng,
+        )
+        state.data_timer.start(initial_delay=interest.data_interval * self.rng.random())
+
+    def _route_local_item(self, interest_id: int, item: DataItem) -> None:
+        msg = AggregateMsg(
+            interest_id=interest_id,
+            items=(item,),
+            energy_cost=1.0,
+            size=self.aggfn.size(1),
+        )
+        self.tracer.count("diffusion.data_sent")
+        self.node.broadcast(msg, msg.size)
+
+    # ------------------------------------------------------------------
+    # forwarding: re-broadcast unseen items
+    # ------------------------------------------------------------------
+    def _handle_aggregate(self, msg: AggregateMsg, from_id: int) -> None:
+        self.tracer.count("diffusion.aggregate_received")
+        cache = self.item_seen.get(msg.interest_id)
+        if cache is None:
+            cache = SeenCache(self.params.cache_capacity)
+            self.item_seen[msg.interest_id] = cache
+        accepted = [item for item in msg.items if cache.check_and_add(item.key)]
+        if not accepted:
+            self.tracer.count("diffusion.aggregate_all_duplicate")
+            return
+        if msg.interest_id in self.own_interests:
+            for item in accepted:
+                self.tracer.count("diffusion.item_delivered")
+                if self.metrics is not None:
+                    self.metrics.on_delivered(
+                        msg.interest_id, self.node.node_id, item, self.sim.now
+                    )
+            return
+        if msg.interest_id not in self.known_interests:
+            return
+        out = AggregateMsg(
+            interest_id=msg.interest_id,
+            items=tuple(accepted),
+            energy_cost=msg.energy_cost + 1.0,
+            size=self.aggfn.size(len(accepted)),
+        )
+        self.tracer.count("diffusion.data_sent")
+        self.sim.schedule(
+            self.rng.random() * self.params.forward_jitter,
+            self._rebroadcast,
+            out,
+        )
+
+    def _rebroadcast(self, msg: AggregateMsg) -> None:
+        if self.node.up:
+            self.node.broadcast(msg, msg.size)
+
+    # ------------------------------------------------------------------
+    # unused machinery
+    # ------------------------------------------------------------------
+    def sink_on_exploratory(self, msg: ExploratoryEvent, from_id: int, first: bool) -> None:
+        pass  # flooding has no reinforcement
+
+    def choose_upstream(self, event_key: tuple) -> Optional[ReinforceChoice]:
+        return None
+
+    def truncation_victims(self, interest_id: int, window: list[_WindowEntry]) -> list[int]:
+        return []
+
+
+class OmniscientAgent(DiffusionAgent):
+    """Zero-overhead dissemination along a precomputed aggregation tree.
+
+    The runner calls :meth:`install_tree` with each node's parent on the
+    centrally computed GIT and :meth:`activate_source` on the workload's
+    sources; there is no control traffic of any kind.  Aggregation still
+    buffers for T_a at junctions, so the comparison isolates *control and
+    path-selection* overhead.
+    """
+
+    scheme_name = "omniscient"
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        #: static next hop toward the sink per interest (None = at sink)
+        self.parent: dict[int, Optional[int]] = {}
+
+    # ------------------------------------------------------------------
+    # wiring (called by the runner)
+    # ------------------------------------------------------------------
+    def install_tree(self, interest_id: int, parent: Optional[int]) -> None:
+        """Set this node's parent on the interest's aggregation tree."""
+        self.parent[interest_id] = parent
+        if parent is not None:
+            # Express the static route as a permanent data gradient so
+            # the shared aggregation/forwarding machinery applies.
+            self._gradient_table(interest_id).reinforce(parent, self.sim.now)
+
+    def attach_sink(self, interest_id: int, spec) -> None:  # type: ignore[override]
+        """A sink without interests: just register ownership."""
+        self.own_interests[interest_id] = InterestMsg(
+            interest_id=interest_id,
+            sink_id=self.node.node_id,
+            spec=spec,
+            data_interval=self.params.data_interval,
+            exploratory_interval=self.params.exploratory_interval,
+            gradient_timeout=float("inf"),
+            timestamp=self.sim.now,
+            refresh_seq=0,
+        )
+
+    def activate_source(self, interest_id: int) -> None:
+        if interest_id in self.source_for:
+            return
+        state = SourceState(interest_id)
+        self.source_for[interest_id] = state
+        self.tracer.count("diffusion.source_activated")
+        state.data_timer = PeriodicTimer(
+            self.sim,
+            lambda: self._generate_data(state),
+            self.params.data_interval,
+            jitter=self.params.forward_jitter,
+            rng=self.rng,
+        )
+        state.data_timer.start(
+            initial_delay=self.params.data_interval * self.rng.random()
+        )
+
+    # ------------------------------------------------------------------
+    # static routing: gradients never expire, interests never refresh
+    # ------------------------------------------------------------------
+    def _interest_fresh(self, interest_id: int) -> bool:
+        return interest_id in self.parent or interest_id in self.own_interests
+
+    def _gradient_table(self, interest_id: int):
+        table = super()._gradient_table(interest_id)
+        table.gradient_timeout = float("inf")
+        table.data_timeout = float("inf")
+        return table
+
+    # ------------------------------------------------------------------
+    # unused diffusion machinery
+    # ------------------------------------------------------------------
+    def sink_on_exploratory(self, msg: ExploratoryEvent, from_id: int, first: bool) -> None:
+        pass
+
+    def choose_upstream(self, event_key: tuple) -> Optional[ReinforceChoice]:
+        return None
+
+    def truncation_victims(self, interest_id: int, window: list[_WindowEntry]) -> list[int]:
+        return []

@@ -1,0 +1,189 @@
+"""Per-node message caches.
+
+Directed diffusion relies on small per-node caches of recently seen
+messages (§2: "this cache serves to avoid duplicates, prevent loops, and
+can be used to preferentially forward interests").  Two caches matter:
+
+* :class:`SeenCache` — bounded LRU membership set used to suppress
+  duplicate interests, data items, and incremental-cost messages.
+* :class:`ExploratoryCache` — per exploratory-round bookkeeping: which
+  neighbor delivered each copy, at what cumulative energy cost E, when,
+  and the best incremental cost C heard per neighbor.  This is exactly
+  the state both reinforcement rules read: the opportunistic rule takes
+  the *first* delivering neighbor, the greedy rule the *cheapest* one
+  (over E and C, ties to exploratory then to earliest delivery).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Hashable, Optional
+
+__all__ = ["SeenCache", "ExploratoryRecord", "ExploratoryCache", "ReinforceChoice"]
+
+
+class SeenCache:
+    """Bounded LRU membership set."""
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._seen: OrderedDict[Hashable, None] = OrderedDict()
+
+    def check_and_add(self, key: Hashable) -> bool:
+        """Record ``key``; returns True when the key was previously unseen."""
+        if key in self._seen:
+            self._seen.move_to_end(key)
+            return False
+        self._seen[key] = None
+        if len(self._seen) > self.capacity:
+            self._seen.popitem(last=False)
+        return True
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._seen
+
+    def __len__(self) -> int:
+        return len(self._seen)
+
+
+@dataclass
+class ExploratoryRecord:
+    """Everything one node heard about one exploratory round."""
+
+    #: cumulative energy cost E per delivering neighbor (min per neighbor)
+    energy_by_neighbor: dict[int, float] = field(default_factory=dict)
+    #: delivery time per neighbor (first copy)
+    time_by_neighbor: dict[int, float] = field(default_factory=dict)
+    #: first neighbor to deliver any copy (the opportunistic winner)
+    first_neighbor: Optional[int] = None
+    first_time: float = 0.0
+    #: best incremental cost C per advertising neighbor
+    inc_cost_by_neighbor: dict[int, float] = field(default_factory=dict)
+    inc_time_by_neighbor: dict[int, float] = field(default_factory=dict)
+
+    def min_energy(self) -> Optional[float]:
+        """Cheapest E across delivering neighbors (the node's own cost)."""
+        if not self.energy_by_neighbor:
+            return None
+        return min(self.energy_by_neighbor.values())
+
+
+@dataclass(frozen=True)
+class ReinforceChoice:
+    """Outcome of a local reinforcement decision."""
+
+    neighbor: int
+    cost: float
+    via_incremental: bool
+
+
+class ExploratoryCache:
+    """Bounded FIFO cache of :class:`ExploratoryRecord` s keyed by round."""
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._records: OrderedDict[Hashable, ExploratoryRecord] = OrderedDict()
+
+    def _record(self, key: Hashable) -> ExploratoryRecord:
+        rec = self._records.get(key)
+        if rec is None:
+            rec = ExploratoryRecord()
+            self._records[key] = rec
+            if len(self._records) > self.capacity:
+                self._records.popitem(last=False)
+        return rec
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+    def note_exploratory(
+        self, key: Hashable, neighbor: int, energy_cost: float, now: float
+    ) -> bool:
+        """Record one delivered exploratory copy.
+
+        Returns True when this is the first copy of the round seen at all
+        (i.e. the copy that should be re-flooded).
+        """
+        rec = self._record(key)
+        first = rec.first_neighbor is None
+        if first:
+            rec.first_neighbor = neighbor
+            rec.first_time = now
+        prev = rec.energy_by_neighbor.get(neighbor)
+        if prev is None or energy_cost < prev:
+            rec.energy_by_neighbor[neighbor] = energy_cost
+        rec.time_by_neighbor.setdefault(neighbor, now)
+        return first
+
+    def note_incremental_cost(
+        self, key: Hashable, neighbor: int, cost: float, now: float
+    ) -> None:
+        """Record an incremental-cost advertisement heard from ``neighbor``."""
+        rec = self._record(key)
+        prev = rec.inc_cost_by_neighbor.get(neighbor)
+        if prev is None or cost < prev:
+            rec.inc_cost_by_neighbor[neighbor] = cost
+        rec.inc_time_by_neighbor.setdefault(neighbor, now)
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def get(self, key: Hashable) -> Optional[ExploratoryRecord]:
+        return self._records.get(key)
+
+    def lowest_delay_choice(self, key: Hashable) -> Optional[ReinforceChoice]:
+        """Opportunistic local rule: the neighbor that delivered first."""
+        rec = self._records.get(key)
+        if rec is None or rec.first_neighbor is None:
+            return None
+        cost = rec.energy_by_neighbor.get(rec.first_neighbor, float("inf"))
+        return ReinforceChoice(rec.first_neighbor, cost, via_incremental=False)
+
+    def lowest_cost_choice(
+        self, key: Hashable, prefer: frozenset = frozenset()
+    ) -> Optional[ReinforceChoice]:
+        """Greedy local rule (§4.1): cheapest over exploratory E and
+        incremental C.
+
+        Tie order: (1) an incumbent from ``prefer`` — typically the
+        current data-gradient neighbor, so equal-cost rounds do not churn
+        the established tree; (2) the exploratory sender over the
+        incremental-cost sender (the paper's rule); (3) the earliest
+        delivery ("other ties are decided in favor of the lowest delay").
+        """
+        rec = self._records.get(key)
+        if rec is None:
+            return None
+        candidates: list[tuple[float, int, int, float, int]] = []
+        for neighbor, cost in rec.energy_by_neighbor.items():
+            candidates.append(
+                (
+                    cost,
+                    0 if neighbor in prefer else 1,
+                    0,  # exploratory beats incremental on ties
+                    rec.time_by_neighbor.get(neighbor, float("inf")),
+                    neighbor,
+                )
+            )
+        for neighbor, cost in rec.inc_cost_by_neighbor.items():
+            candidates.append(
+                (
+                    cost,
+                    0 if neighbor in prefer else 1,
+                    1,
+                    rec.inc_time_by_neighbor.get(neighbor, float("inf")),
+                    neighbor,
+                )
+            )
+        if not candidates:
+            return None
+        cost, _pref, via, _t, neighbor = min(candidates)
+        return ReinforceChoice(neighbor, cost, via_incremental=bool(via))
+
+    def __len__(self) -> int:
+        return len(self._records)

@@ -1,0 +1,171 @@
+"""Gradient state.
+
+A gradient is directional demand state toward a neighbor (§2: "a gradient
+represents both the direction towards which data matching an interest
+flows, and the status of that demand").  Gradients at a node point
+*sink-ward*: receiving an interest from neighbor m sets up a gradient
+toward m, and data later flows along it.
+
+Two strengths exist (§4.1):
+
+* **exploratory** — set up by interest flooding; carries only low-rate
+  exploratory events;
+* **data** — set up by positive reinforcement; carries high-rate data.
+
+Negative reinforcement degrades data -> exploratory; silence past the
+gradient timeout removes the gradient entirely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+__all__ = ["GradientState", "Gradient", "GradientTable"]
+
+
+class GradientState:
+    EXPLORATORY = "exploratory"
+    DATA = "data"
+
+
+@dataclass
+class Gradient:
+    """State of demand toward one neighbor for one interest.
+
+    ``expires_at`` bounds the gradient's existence (refreshed by interest
+    copies from the neighbor); ``data_until`` bounds its *data* strength
+    (refreshed only by positive reinforcement).  Reinforcement recurs
+    every exploratory round, so a data gradient that misses a couple of
+    rounds silently decays back to exploratory — ns-2 diffusion's
+    implicit negative reinforcement by timeout.
+    """
+
+    neighbor: int
+    state: str
+    expires_at: float
+    reinforced_at: Optional[float] = None
+    data_until: float = 0.0
+
+    def is_data(self, now: Optional[float] = None) -> bool:
+        if self.state != GradientState.DATA:
+            return False
+        return now is None or self.data_until > now
+
+
+class GradientTable:
+    """All gradients of one node for one interest."""
+
+    def __init__(self, gradient_timeout: float, data_timeout: Optional[float] = None) -> None:
+        self.gradient_timeout = gradient_timeout
+        #: how long reinforcement keeps a gradient in the data state
+        #: (defaults to the plain gradient timeout)
+        self.data_timeout = data_timeout if data_timeout is not None else gradient_timeout
+        self._by_neighbor: dict[int, Gradient] = {}
+
+    # ------------------------------------------------------------------
+    # updates
+    # ------------------------------------------------------------------
+    def refresh_exploratory(self, neighbor: int, now: float) -> Gradient:
+        """Interest received from ``neighbor``: create or refresh its gradient.
+
+        A data gradient stays a data gradient (interest refreshes extend
+        its lifetime without downgrading it).
+        """
+        g = self._by_neighbor.get(neighbor)
+        expires = now + self.gradient_timeout
+        if g is None:
+            g = Gradient(neighbor, GradientState.EXPLORATORY, expires)
+            self._by_neighbor[neighbor] = g
+        else:
+            g.expires_at = max(g.expires_at, expires)
+        return g
+
+    def reinforce(self, neighbor: int, now: float) -> Gradient:
+        """Positive reinforcement from ``neighbor``: upgrade to data gradient.
+
+        A node keeps a *single* outgoing data gradient per interest — the
+        preferred neighbor (§2: the sink "chooses to receive subsequent
+        data messages for the same interest from a preferred neighbor").
+        Reinforcing a new neighbor therefore degrades any previous data
+        gradient back to exploratory; without this, every exploratory
+        round accumulates another outgoing path and data fans out along
+        all of them.
+        """
+        data_until = now + self.data_timeout
+        expires = max(now + self.gradient_timeout, data_until)
+        for other in self._by_neighbor.values():
+            if other.neighbor != neighbor and other.is_data():
+                other.state = GradientState.EXPLORATORY
+                other.reinforced_at = None
+                other.data_until = 0.0
+        g = self._by_neighbor.get(neighbor)
+        if g is None:
+            g = Gradient(
+                neighbor, GradientState.DATA, expires, reinforced_at=now,
+                data_until=data_until,
+            )
+            self._by_neighbor[neighbor] = g
+        else:
+            g.state = GradientState.DATA
+            g.expires_at = max(g.expires_at, expires)
+            g.reinforced_at = now
+            g.data_until = data_until
+        return g
+
+    def degrade(self, neighbor: int) -> bool:
+        """Negative reinforcement from ``neighbor``: data -> exploratory.
+
+        Returns True if a data gradient was actually degraded.
+        """
+        g = self._by_neighbor.get(neighbor)
+        if g is None or not g.is_data():
+            return False
+        g.state = GradientState.EXPLORATORY
+        g.reinforced_at = None
+        g.data_until = 0.0
+        return True
+
+    def expire(self, now: float) -> list[int]:
+        """Drop gradients past their timeout; returns the dropped neighbors."""
+        dead = [n for n, g in self._by_neighbor.items() if g.expires_at <= now]
+        for n in dead:
+            del self._by_neighbor[n]
+        return dead
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def get(self, neighbor: int) -> Optional[Gradient]:
+        return self._by_neighbor.get(neighbor)
+
+    def neighbors(self, now: Optional[float] = None) -> list[int]:
+        """All gradient neighbors (optionally only unexpired ones)."""
+        if now is None:
+            return list(self._by_neighbor)
+        return [n for n, g in self._by_neighbor.items() if g.expires_at > now]
+
+    def data_neighbors(self, now: float) -> list[int]:
+        """Neighbors with live data gradients (where high-rate data goes)."""
+        return [
+            n
+            for n, g in self._by_neighbor.items()
+            if g.is_data(now) and g.expires_at > now
+        ]
+
+    def has_data_gradient(self, now: float) -> bool:
+        return any(
+            g.is_data(now) and g.expires_at > now for g in self._by_neighbor.values()
+        )
+
+    def all(self) -> Iterable[Gradient]:
+        return self._by_neighbor.values()
+
+    def __len__(self) -> int:
+        return len(self._by_neighbor)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = ", ".join(
+            f"{g.neighbor}:{'D' if g.is_data() else 'e'}" for g in self._by_neighbor.values()
+        )
+        return f"<GradientTable {parts}>"

@@ -1,0 +1,57 @@
+"""The baseline instantiation: opportunistic aggregation on a
+lowest-latency tree (the prior directed-diffusion scheme, §2/§5).
+
+Local rules:
+
+* **positive reinforcement** — "reinforce any neighbor from which a node
+  receives a previously unseen exploratory event": the sink reinforces
+  the *first* deliverer immediately; every reinforced node continues to
+  its own first deliverer.  The result is an empirically-lowest-delay
+  path per source; paths from different sources only share by accident,
+  so aggregation is opportunistic.
+* **negative reinforcement** — the original diffusion rule: degrade
+  neighbors that delivered *no previously-unseen events* within the
+  window T_n (they are pure duplicate paths).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .agent import DiffusionAgent, _WindowEntry
+from .cache import ReinforceChoice
+from .messages import ExploratoryEvent
+
+__all__ = ["OpportunisticAgent"]
+
+
+class OpportunisticAgent(DiffusionAgent):
+    """Opportunistic aggregation on the low-latency tree."""
+
+    scheme_name = "opportunistic"
+
+    def sink_on_exploratory(
+        self, msg: ExploratoryEvent, from_id: int, first: bool
+    ) -> None:
+        if not first:
+            return
+        # Low-delay rule: the first copy defines the path; reinforce now.
+        self.send_reinforcement(msg.interest_id, msg.key, from_id)
+
+    def choose_upstream(self, event_key: tuple) -> Optional[ReinforceChoice]:
+        return self.exploratory_cache.lowest_delay_choice(event_key)
+
+    def truncation_victims(
+        self, interest_id: int, window: list[_WindowEntry]
+    ) -> list[int]:
+        """Degrade senders whose whole window was duplicates."""
+        fresh_by_sender: dict[int, int] = {}
+        for entry in window:
+            fresh_by_sender[entry.from_id] = fresh_by_sender.get(entry.from_id, 0) + len(
+                entry.accepted_keys
+            )
+        victims = [sender for sender, fresh in fresh_by_sender.items() if fresh == 0]
+        # Never cut the only sender: losing the last path would partition us.
+        if len(victims) == len(fresh_by_sender):
+            return []
+        return victims

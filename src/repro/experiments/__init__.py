@@ -1,0 +1,87 @@
+"""Evaluation harness: configs, metrics, the runner, sweeps, figures.
+
+Reproduces §5 of the paper: the three metrics, the density/source/sink
+sweeps, the failure study, and the aggregation-function sensitivity —
+plus the GIT-vs-SPT abstract comparison from related work.
+"""
+
+from .config import (
+    DENSITY_SWEEP,
+    PROFILES,
+    SCHEMES,
+    SINK_SWEEP,
+    SOURCE_SWEEP,
+    ExperimentConfig,
+    FailureModel,
+    Profile,
+    fast,
+    paper,
+    smoke,
+)
+from .figures import (
+    FIGURES,
+    FigureResult,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    git_vs_spt_table,
+)
+from .inspect import (
+    TreeStats,
+    active_tree,
+    compare_with_ideal,
+    delivery_timeline,
+    tree_stats,
+)
+from .metrics import MetricsCollector, RunMetrics
+from .persistence import export_figure_csv, load_figure_json, save_figure_json
+from .report import format_figure, format_table, format_tree_table
+from .runner import FailureDriver, World, build_world, run_experiment
+from .sweeps import CellSummary, cell_seed, paired_sweep, run_configs
+
+__all__ = [
+    "ExperimentConfig",
+    "FailureModel",
+    "Profile",
+    "paper",
+    "fast",
+    "smoke",
+    "PROFILES",
+    "SCHEMES",
+    "DENSITY_SWEEP",
+    "SOURCE_SWEEP",
+    "SINK_SWEEP",
+    "MetricsCollector",
+    "RunMetrics",
+    "run_experiment",
+    "build_world",
+    "World",
+    "FailureDriver",
+    "CellSummary",
+    "paired_sweep",
+    "run_configs",
+    "cell_seed",
+    "FigureResult",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "figure9",
+    "figure10",
+    "git_vs_spt_table",
+    "FIGURES",
+    "format_figure",
+    "format_table",
+    "format_tree_table",
+    "TreeStats",
+    "active_tree",
+    "tree_stats",
+    "compare_with_ideal",
+    "delivery_timeline",
+    "save_figure_json",
+    "load_figure_json",
+    "export_figure_csv",
+]

@@ -1,0 +1,169 @@
+"""Experiment configuration: workloads, profiles, schemes.
+
+One :class:`ExperimentConfig` fully determines one packet-level run
+(scheme, field, workload, seed).  :class:`Profile` bundles the knobs that
+trade fidelity for wall-clock time:
+
+* ``paper()`` — the §5.1 constants verbatim (exploratory every 50 s, ten
+  fields per density, long runs).  Hours of CPU; use for final numbers.
+* ``fast()`` — the CI/benchmark profile: identical protocol constants
+  except a proportionally shortened exploratory interval and run length,
+  and fewer fields per point.  The qualitative shapes (who wins, where
+  the crossover density falls) are stable across profiles; EXPERIMENTS.md
+  records which profile produced each table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from ..diffusion.agent import DiffusionParams
+
+__all__ = [
+    "FailureModel",
+    "Profile",
+    "ExperimentConfig",
+    "paper",
+    "fast",
+    "smoke",
+    "PROFILES",
+    "SCHEMES",
+    "DENSITY_SWEEP",
+    "SOURCE_SWEEP",
+    "SINK_SWEEP",
+]
+
+#: the paper's seven sensor-field sizes (50..350 nodes on 200 m x 200 m)
+DENSITY_SWEEP = (50, 100, 150, 200, 250, 300, 350)
+#: fig 9/10's source-count sweep on the 350-node field
+SOURCE_SWEEP = (2, 5, 8, 10, 14)
+#: fig 8's sink-count sweep on the 350-node field
+SINK_SWEEP = (1, 2, 3, 4, 5)
+#: the two instantiations under comparison, the truncation-rule ablation
+#: variant, and the two idealized framing schemes (flooding upper bound,
+#: omniscient zero-overhead tree lower bound)
+SCHEMES = ("opportunistic", "greedy", "greedy-events", "flooding", "omniscient")
+
+
+@dataclass(frozen=True)
+class FailureModel:
+    """§5.3 dynamics: every ``epoch`` seconds a fresh random ``fraction``
+    of nodes is turned off for that epoch (no settling time).  Sinks are
+    exempt — a dead sink measures nothing about the dissemination scheme."""
+
+    fraction: float = 0.2
+    epoch: float = 30.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.fraction < 1.0:
+            raise ValueError("failure fraction must be in (0, 1)")
+        if self.epoch <= 0:
+            raise ValueError("failure epoch must be positive")
+
+
+@dataclass(frozen=True)
+class Profile:
+    """Fidelity/runtime bundle."""
+
+    name: str
+    trials: int
+    duration: float
+    warmup: float
+    diffusion: DiffusionParams
+    failure_epoch: float
+
+    def __post_init__(self) -> None:
+        if self.warmup >= self.duration:
+            raise ValueError("warmup must end before the run does")
+
+
+def paper() -> Profile:
+    """Full §5.1 parameters (expensive)."""
+    return Profile(
+        name="paper",
+        trials=10,
+        duration=260.0,
+        warmup=60.0,
+        diffusion=DiffusionParams(),
+        failure_epoch=30.0,
+    )
+
+
+def fast() -> Profile:
+    """Scaled profile for CI and benchmarks.
+
+    The exploratory interval shrinks 50 s -> 20 s and the run 260 s ->
+    70 s, keeping >= 3 exploratory rounds (the greedy tree converges on
+    round 2, §4.1), a measurement window of >= 2 rounds, and a
+    flood-vs-data energy share close to the paper's (a much shorter
+    exploratory interval inflates flood overhead, which is identical for
+    both schemes and would dilute the measured savings).
+    """
+    return Profile(
+        name="fast",
+        trials=3,
+        duration=70.0,
+        warmup=24.0,
+        diffusion=DiffusionParams(exploratory_interval=20.0),
+        failure_epoch=12.0,
+    )
+
+
+def smoke() -> Profile:
+    """Minimal profile for unit tests: one trial, one short run."""
+    return Profile(
+        name="smoke",
+        trials=1,
+        duration=30.0,
+        warmup=12.0,
+        diffusion=DiffusionParams(exploratory_interval=10.0),
+        failure_epoch=6.0,
+    )
+
+
+PROFILES = {"paper": paper, "fast": fast, "smoke": smoke}
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """One packet-level simulation run."""
+
+    scheme: str
+    n_nodes: int
+    seed: int
+    duration: float
+    warmup: float
+    diffusion: DiffusionParams = field(default_factory=DiffusionParams)
+    n_sources: int = 5
+    n_sinks: int = 1
+    source_placement: str = "corner"  # corner | random | event-radius
+    aggregation: str = "perfect"
+    field_size: float = 200.0
+    range_m: float = 40.0
+    failures: Optional[FailureModel] = None
+    include_idle: bool = False
+
+    def __post_init__(self) -> None:
+        if self.scheme not in SCHEMES:
+            raise ValueError(f"scheme must be one of {SCHEMES}, got {self.scheme!r}")
+        if self.source_placement not in ("corner", "random", "event-radius"):
+            raise ValueError(f"unknown source placement {self.source_placement!r}")
+        if self.n_sources < 1 or self.n_sinks < 1:
+            raise ValueError("need at least one source and one sink")
+        if self.warmup >= self.duration:
+            raise ValueError("warmup must end before the run does")
+
+    @staticmethod
+    def from_profile(
+        profile: Profile, scheme: str, n_nodes: int, seed: int, **overrides
+    ) -> "ExperimentConfig":
+        cfg = ExperimentConfig(
+            scheme=scheme,
+            n_nodes=n_nodes,
+            seed=seed,
+            duration=profile.duration,
+            warmup=profile.warmup,
+            diffusion=profile.diffusion,
+        )
+        return replace(cfg, **overrides) if overrides else cfg

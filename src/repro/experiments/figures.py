@@ -1,0 +1,257 @@
+"""One harness function per evaluation figure (figs 5-10 + the GIT/SPT
+related-work table).  Each returns a :class:`FigureResult` whose rows are
+the same series the paper plots: for every sweep value and scheme, the
+three panel metrics — (a) average dissipated energy, (b) average delay,
+(c) distinct-event delivery ratio.
+
+See DESIGN.md §5 for the experiment index and EXPERIMENTS.md for measured
+numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Sequence
+
+from ..trees.models import savings_study
+from .config import (
+    DENSITY_SWEEP,
+    SINK_SWEEP,
+    SOURCE_SWEEP,
+    ExperimentConfig,
+    FailureModel,
+    Profile,
+)
+from .sweeps import CellSummary, paired_sweep
+
+__all__ = [
+    "FigureResult",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "figure9",
+    "figure10",
+    "git_vs_spt_table",
+    "FIGURES",
+]
+
+
+@dataclass(frozen=True)
+class FigureResult:
+    """All cells of one figure, plus presentation metadata."""
+
+    figure_id: str
+    title: str
+    x_label: str
+    cells: tuple[CellSummary, ...]
+
+    def xs(self) -> list[float]:
+        return sorted({c.x for c in self.cells})
+
+    def series(self, scheme: str) -> list[CellSummary]:
+        return sorted((c for c in self.cells if c.scheme == scheme), key=lambda c: c.x)
+
+    def cell(self, scheme: str, x: float) -> CellSummary:
+        for c in self.cells:
+            if c.scheme == scheme and c.x == x:
+                return c
+        raise KeyError((scheme, x))
+
+    def energy_savings(self, x: float) -> float:
+        """Fractional energy savings of greedy over opportunistic at x."""
+        opp = self.cell("opportunistic", x)
+        greedy = self.cell("greedy", x)
+        if opp.energy == 0:
+            return 0.0
+        return 1.0 - greedy.energy / opp.energy
+
+    def max_energy_savings(self) -> float:
+        return max(self.energy_savings(x) for x in self.xs())
+
+
+def _run(
+    figure_id: str,
+    title: str,
+    x_label: str,
+    profile: Profile,
+    xs: Sequence,
+    base: ExperimentConfig,
+    sweep_field: str,
+    trials: Optional[int],
+    workers: int,
+) -> FigureResult:
+    def make_config(scheme: str, x, seed: int) -> ExperimentConfig:
+        return replace(base, scheme=scheme, seed=seed, **{sweep_field: x})
+
+    cells = paired_sweep(profile, xs, make_config, trials=trials, workers=workers)
+    return FigureResult(figure_id, title, x_label, tuple(cells))
+
+
+def _base(profile: Profile, **overrides) -> ExperimentConfig:
+    cfg = ExperimentConfig(
+        scheme="greedy",
+        n_nodes=50,
+        seed=0,
+        duration=profile.duration,
+        warmup=profile.warmup,
+        diffusion=profile.diffusion,
+    )
+    return replace(cfg, **overrides) if overrides else cfg
+
+
+def figure5(
+    profile: Profile,
+    densities: Sequence[int] = DENSITY_SWEEP,
+    trials: Optional[int] = None,
+    workers: int = 0,
+) -> FigureResult:
+    """Fig 5: greedy vs opportunistic across network density (the headline
+    comparison: 5 corner sources, 1 corner sink, perfect aggregation)."""
+    return _run(
+        "fig5",
+        "Greedy vs opportunistic aggregation across density",
+        "nodes",
+        profile,
+        densities,
+        _base(profile),
+        "n_nodes",
+        trials,
+        workers,
+    )
+
+
+def figure6(
+    profile: Profile,
+    densities: Sequence[int] = DENSITY_SWEEP,
+    trials: Optional[int] = None,
+    workers: int = 0,
+) -> FigureResult:
+    """Fig 6: same sweep under rotating 20% node failures (§5.3)."""
+    base = _base(profile, failures=FailureModel(fraction=0.2, epoch=profile.failure_epoch))
+    return _run(
+        "fig6",
+        "Impact of node failures (20% down, rotating epochs)",
+        "nodes",
+        profile,
+        densities,
+        base,
+        "n_nodes",
+        trials,
+        workers,
+    )
+
+
+def figure7(
+    profile: Profile,
+    densities: Sequence[int] = DENSITY_SWEEP,
+    trials: Optional[int] = None,
+    workers: int = 0,
+) -> FigureResult:
+    """Fig 7: random source placement (§5.4: savings shrink to ~30%)."""
+    base = _base(profile, source_placement="random")
+    return _run(
+        "fig7",
+        "Impact of random source placement",
+        "nodes",
+        profile,
+        densities,
+        base,
+        "n_nodes",
+        trials,
+        workers,
+    )
+
+
+def figure8(
+    profile: Profile,
+    sink_counts: Sequence[int] = SINK_SWEEP,
+    n_nodes: int = 350,
+    trials: Optional[int] = None,
+    workers: int = 0,
+) -> FigureResult:
+    """Fig 8: 1-5 sinks on the 350-node field (first at the corner, rest
+    scattered)."""
+    base = _base(profile, n_nodes=n_nodes)
+    return _run(
+        "fig8",
+        f"Impact of the number of sinks ({n_nodes} nodes)",
+        "sinks",
+        profile,
+        sink_counts,
+        base,
+        "n_sinks",
+        trials,
+        workers,
+    )
+
+
+def figure9(
+    profile: Profile,
+    source_counts: Sequence[int] = SOURCE_SWEEP,
+    n_nodes: int = 350,
+    trials: Optional[int] = None,
+    workers: int = 0,
+) -> FigureResult:
+    """Fig 9: 2-14 corner sources on the 350-node field."""
+    base = _base(profile, n_nodes=n_nodes)
+    return _run(
+        "fig9",
+        f"Impact of the number of sources ({n_nodes} nodes)",
+        "sources",
+        profile,
+        source_counts,
+        base,
+        "n_sources",
+        trials,
+        workers,
+    )
+
+
+def figure10(
+    profile: Profile,
+    source_counts: Sequence[int] = SOURCE_SWEEP,
+    n_nodes: int = 350,
+    trials: Optional[int] = None,
+    workers: int = 0,
+) -> FigureResult:
+    """Fig 10: fig 9's sweep under *linear* aggregation (header savings
+    only) — the inefficient-aggregation sensitivity study."""
+    base = _base(profile, n_nodes=n_nodes, aggregation="linear")
+    return _run(
+        "fig10",
+        f"Impact of linear aggregation ({n_nodes} nodes)",
+        "sources",
+        profile,
+        source_counts,
+        base,
+        "n_sources",
+        trials,
+        workers,
+    )
+
+
+def git_vs_spt_table(
+    n_nodes: Sequence[int] = (100, 200, 350),
+    n_sources: int = 5,
+    trials: int = 10,
+    seed: int = 7,
+) -> list[dict]:
+    """Related-work table (§1/§5.4): GIT-over-SPT transmission savings
+    under the abstract event-radius / random-sources models versus the
+    paper's corner placement."""
+    rows = []
+    for placement in ("event-radius", "random-sources", "corner"):
+        for n in n_nodes:
+            rows.append(savings_study(placement, n, n_sources, trials, seed))
+    return rows
+
+
+FIGURES = {
+    "fig5": figure5,
+    "fig6": figure6,
+    "fig7": figure7,
+    "fig8": figure8,
+    "fig9": figure9,
+    "fig10": figure10,
+}

@@ -1,0 +1,112 @@
+"""The paper's three metrics (§5.1).
+
+* **Average dissipated energy** — total dissipated energy per node divided
+  by the number of distinct events received by sinks ("the average work
+  done by a node in delivering useful information").
+* **Average delay** — mean one-way latency between an event's generation
+  at its source and its (first) reception at each sink.
+* **Distinct-event delivery ratio** — distinct events received over
+  events originally sent, averaged over sinks.
+
+The collector implements the :class:`~repro.diffusion.agent.DeliverySink`
+protocol; agents feed it generation and delivery callbacks.  Events
+generated during warmup are excluded from every metric, and the runner
+snapshots energy meters at the warmup boundary so energy is measured over
+the same window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..diffusion.messages import DataItem
+
+__all__ = ["MetricsCollector", "RunMetrics"]
+
+
+class MetricsCollector:
+    """Accumulates per-run deliveries and delays."""
+
+    def __init__(self, warmup_end: float) -> None:
+        self.warmup_end = warmup_end
+        #: events generated after warmup, per interest
+        self.sent: dict[int, int] = {}
+        #: distinct post-warmup events delivered, per (interest, sink)
+        self.delivered: dict[tuple[int, int], set[tuple[int, int]]] = {}
+        #: one-way delays of all counted deliveries
+        self.delays: list[float] = []
+        #: arrival times of all counted deliveries (for timelines)
+        self.delivery_times: list[float] = []
+
+    # ------------------------------------------------------------------
+    # DeliverySink protocol
+    # ------------------------------------------------------------------
+    def on_generated(self, interest_id: int, item: DataItem) -> None:
+        if item.gen_time < self.warmup_end:
+            return
+        self.sent[interest_id] = self.sent.get(interest_id, 0) + 1
+
+    def on_delivered(
+        self, interest_id: int, sink_id: int, item: DataItem, time: float
+    ) -> None:
+        if item.gen_time < self.warmup_end:
+            return
+        bucket = self.delivered.setdefault((interest_id, sink_id), set())
+        if item.key in bucket:
+            return
+        bucket.add(item.key)
+        self.delays.append(time - item.gen_time)
+        self.delivery_times.append(time)
+
+    # ------------------------------------------------------------------
+    # readout
+    # ------------------------------------------------------------------
+    def total_distinct_delivered(self) -> int:
+        return sum(len(b) for b in self.delivered.values())
+
+    def delivery_ratio(self) -> float:
+        """Mean over interests of distinct-received / sent."""
+        ratios = []
+        for interest_id, sent in self.sent.items():
+            if sent == 0:
+                continue
+            got = sum(
+                len(b) for (iid, _sink), b in self.delivered.items() if iid == interest_id
+            )
+            ratios.append(got / sent)
+        if not ratios:
+            return 0.0
+        return sum(ratios) / len(ratios)
+
+    def average_delay(self) -> Optional[float]:
+        if not self.delays:
+            return None
+        return sum(self.delays) / len(self.delays)
+
+
+@dataclass(frozen=True)
+class RunMetrics:
+    """Final metrics of one run (plus diagnostics)."""
+
+    scheme: str
+    n_nodes: int
+    seed: int
+    #: J / node / received distinct event (the fig (a) panels)
+    avg_dissipated_energy: float
+    #: seconds / received distinct event (the fig (b) panels)
+    avg_delay: float
+    #: distinct received / sent (the fig (c) panels)
+    delivery_ratio: float
+    #: raw inputs, for aggregation and debugging
+    total_energy_j: float
+    distinct_delivered: int
+    events_sent: int
+    mean_degree: float
+    counters: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.delivery_ratio <= 1.0 + 1e-9:
+            raise ValueError(f"delivery ratio out of range: {self.delivery_ratio}")
+        if self.avg_dissipated_energy < 0 or self.total_energy_j < 0:
+            raise ValueError("negative energy")

@@ -1,0 +1,112 @@
+"""Result persistence: save and reload figure results as JSON/CSV.
+
+Long sweeps are expensive; the harness can checkpoint a
+:class:`~repro.experiments.figures.FigureResult` to disk and reload it
+for later reporting or cross-profile comparison (EXPERIMENTS.md's tables
+are generated this way).  JSON is the lossless round-trip format; CSV is
+a convenience export with one row per (scheme, sweep value).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Union
+
+from .figures import FigureResult
+from .sweeps import CellSummary
+
+__all__ = ["save_figure_json", "load_figure_json", "export_figure_csv"]
+
+_FORMAT_VERSION = 1
+
+
+def save_figure_json(result: FigureResult, path: Union[str, Path]) -> Path:
+    """Serialize a figure result (lossless round trip)."""
+    path = Path(path)
+    payload = {
+        "format_version": _FORMAT_VERSION,
+        "figure_id": result.figure_id,
+        "title": result.title,
+        "x_label": result.x_label,
+        "cells": [
+            {
+                "scheme": c.scheme,
+                "x": c.x,
+                "energy": c.energy,
+                "energy_stdev": c.energy_stdev,
+                "delay": c.delay,
+                "ratio": c.ratio,
+                "n_runs": c.n_runs,
+                "distinct_delivered": c.distinct_delivered,
+            }
+            for c in result.cells
+        ],
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    return path
+
+
+def load_figure_json(path: Union[str, Path]) -> FigureResult:
+    """Reload a figure result saved by :func:`save_figure_json`."""
+    payload = json.loads(Path(path).read_text())
+    version = payload.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported figure file version: {version!r}")
+    cells = tuple(
+        CellSummary(
+            scheme=c["scheme"],
+            x=float(c["x"]),
+            energy=float(c["energy"]),
+            energy_stdev=float(c["energy_stdev"]),
+            delay=float(c["delay"]),
+            ratio=float(c["ratio"]),
+            n_runs=int(c["n_runs"]),
+            distinct_delivered=float(c["distinct_delivered"]),
+        )
+        for c in payload["cells"]
+    )
+    return FigureResult(
+        figure_id=payload["figure_id"],
+        title=payload["title"],
+        x_label=payload["x_label"],
+        cells=cells,
+    )
+
+
+def export_figure_csv(result: FigureResult, path: Union[str, Path]) -> Path:
+    """Write one CSV row per cell (for spreadsheets / plotting tools)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(
+            [
+                "figure_id",
+                result.x_label,
+                "scheme",
+                "energy",
+                "energy_stdev",
+                "delay",
+                "ratio",
+                "n_runs",
+                "distinct_delivered",
+            ]
+        )
+        for c in sorted(result.cells, key=lambda c: (c.x, c.scheme)):
+            writer.writerow(
+                [
+                    result.figure_id,
+                    c.x,
+                    c.scheme,
+                    c.energy,
+                    c.energy_stdev,
+                    c.delay,
+                    c.ratio,
+                    c.n_runs,
+                    c.distinct_delivered,
+                ]
+            )
+    return path

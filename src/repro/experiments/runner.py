@@ -1,0 +1,234 @@
+"""Build and execute one packet-level experiment.
+
+Wires the whole stack together — field generation, channel, nodes,
+diffusion agents, workload placement, failure driver, warmup energy
+snapshot — runs the simulator, and reduces the run to
+:class:`~repro.experiments.metrics.RunMetrics`.
+
+Workload selection: the paper picks *specific nodes* as sources ("five
+sources are randomly selected from nodes in a 80 m x 80 m square...").
+We keep diffusion's attribute matching honest by giving exactly those
+nodes a ``target=True`` attribute and having the interest predicate
+require it — the interest still floods and matches data-centrically, but
+the matched set is the paper's workload.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..aggregation.functions import by_name
+from ..core.greedy import GreedyAgent, GreedyEventTruncationAgent
+from ..diffusion.agent import DiffusionAgent
+from ..diffusion.attributes import AttributeSet, InterestSpec, Op, Predicate
+from ..diffusion.baselines import FloodingAgent, OmniscientAgent
+from ..diffusion.opportunistic import OpportunisticAgent
+from ..trees.git import greedy_incremental_tree
+from ..net.node import Node
+from ..net.radio import Channel, RadioParams
+from ..net.topology import (
+    SensorField,
+    corner_sink_node,
+    corner_source_nodes,
+    event_radius_sources,
+    generate_field,
+    random_source_nodes,
+    scattered_sink_nodes,
+)
+from ..sim import RngRegistry, Simulator, Tracer
+from .config import ExperimentConfig, FailureModel
+from .metrics import MetricsCollector, RunMetrics
+
+__all__ = ["run_experiment", "build_world", "World", "FailureDriver", "TRACKING_SPEC"]
+
+#: the tracking interest: task type plus the target flag (see module doc)
+TRACKING_SPEC = InterestSpec.of(
+    Predicate("task", Op.IS, "tracking"),
+    Predicate("target", Op.IS, True),
+)
+
+_AGENTS = {
+    "greedy": GreedyAgent,
+    "opportunistic": OpportunisticAgent,
+    "greedy-events": GreedyEventTruncationAgent,
+    "flooding": FloodingAgent,
+    "omniscient": OmniscientAgent,
+}
+
+
+def _install_omniscient_trees(world: "World") -> None:
+    """Compute the GIT per interest and install static parent pointers."""
+    graph = world.field.connectivity_graph()
+    import networkx as nx
+
+    for sink in world.sinks:
+        tree = greedy_incremental_tree(graph, sink, world.sources, order="nearest")
+        parents = nx.bfs_predecessors(tree, sink)  # child -> parent toward sink
+        parent_of = dict(parents)
+        for node_id in tree.nodes:
+            agent = world.agents[node_id]
+            assert isinstance(agent, OmniscientAgent)
+            agent.install_tree(sink, parent_of.get(node_id))
+        for source in world.sources:
+            agent = world.agents[source]
+            assert isinstance(agent, OmniscientAgent)
+            agent.activate_source(sink)
+
+
+class FailureDriver:
+    """§5.3 node dynamics: rotate a fresh failed set every epoch."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        nodes: Sequence[Node],
+        model: FailureModel,
+        rng: random.Random,
+        exempt: frozenset[int],
+    ) -> None:
+        self.sim = sim
+        self.nodes = nodes
+        self.model = model
+        self.rng = rng
+        self.exempt = exempt
+        self._down: list[Node] = []
+        sim.schedule(0.0, self._tick)
+
+    def _tick(self) -> None:
+        for node in self._down:
+            node.recover()
+        eligible = [n for n in self.nodes if n.node_id not in self.exempt]
+        k = int(round(self.model.fraction * len(self.nodes)))
+        k = min(k, len(eligible))
+        self._down = self.rng.sample(eligible, k)
+        for node in self._down:
+            node.fail()
+        self.sim.schedule(self.model.epoch, self._tick)
+
+
+@dataclass
+class World:
+    """A fully wired simulation, ready to run (exposed for tests/examples)."""
+
+    config: ExperimentConfig
+    sim: Simulator
+    tracer: Tracer
+    field: SensorField
+    nodes: list[Node]
+    agents: list[DiffusionAgent]
+    sources: list[int]
+    sinks: list[int]
+    metrics: MetricsCollector
+    failure_driver: Optional[FailureDriver]
+
+
+def _place_sources(
+    cfg: ExperimentConfig, field: SensorField, rng: random.Random, sinks: set[int]
+) -> list[int]:
+    if cfg.source_placement == "corner":
+        return corner_source_nodes(field, cfg.n_sources, rng, exclude=sinks)
+    if cfg.source_placement == "random":
+        return random_source_nodes(field, cfg.n_sources, rng, exclude=sinks)
+    return event_radius_sources(field, cfg.n_sources, radius=cfg.range_m, rng=rng, exclude=sinks)
+
+
+def build_world(cfg: ExperimentConfig) -> World:
+    """Construct the full simulation for one config (without running it)."""
+    sim = Simulator()
+    tracer = Tracer(lambda: sim.now)
+    rngs = RngRegistry(cfg.seed)
+    field = generate_field(
+        cfg.n_nodes,
+        rngs.stream("topology"),
+        field_size=cfg.field_size,
+        range_m=cfg.range_m,
+    )
+    channel = Channel(sim, tracer, RadioParams(range_m=cfg.range_m))
+    nodes = [
+        Node(i, x, y, sim, channel, tracer, rngs)
+        for i, (x, y) in enumerate(field.positions)
+    ]
+
+    placement_rng = rngs.stream("placement")
+    if cfg.n_sinks == 1:
+        sinks = [corner_sink_node(field, placement_rng)]
+    else:
+        sinks = scattered_sink_nodes(field, cfg.n_sinks, placement_rng)
+    sources = _place_sources(cfg, field, placement_rng, set(sinks))
+
+    metrics = MetricsCollector(cfg.warmup)
+    aggfn = by_name(cfg.aggregation)
+    agent_cls = _AGENTS[cfg.scheme]
+    agents = [agent_cls(node, cfg.diffusion, aggfn, metrics) for node in nodes]
+
+    for src in sources:
+        node = nodes[src]
+        agents[src].attributes = AttributeSet(
+            {"task": "tracking", "x": node.x, "y": node.y, "target": True}
+        )
+    for sink in sinks:
+        agents[sink].attach_sink(interest_id=sink, spec=TRACKING_SPEC)
+
+    driver = None
+    if cfg.failures is not None:
+        driver = FailureDriver(
+            sim, nodes, cfg.failures, rngs.stream("failures"), exempt=frozenset(sinks)
+        )
+
+    world = World(cfg, sim, tracer, field, nodes, agents, sources, sinks, metrics, driver)
+    if cfg.scheme == "omniscient":
+        _install_omniscient_trees(world)
+    return world
+
+
+def run_experiment(cfg: ExperimentConfig) -> RunMetrics:
+    """Run one experiment end to end and reduce it to metrics."""
+    world = build_world(cfg)
+    sim, tracer = world.sim, world.tracer
+
+    snapshots: list[tuple[float, float]] = []
+
+    def take_snapshot() -> None:
+        snapshots.extend((n.energy.tx_time, n.energy.rx_time) for n in world.nodes)
+
+    sim.schedule(cfg.warmup, take_snapshot)
+    sim.run(until=cfg.duration)
+
+    window = cfg.duration - cfg.warmup
+    total_energy = 0.0
+    for node, (tx0, rx0) in zip(world.nodes, snapshots):
+        meter = node.energy
+        dtx = meter.tx_time - tx0
+        drx = meter.rx_time - rx0
+        energy = meter.params.tx_power_w * dtx + meter.params.rx_power_w * drx
+        if cfg.include_idle:
+            energy += meter.params.idle_power_w * max(0.0, window - dtx - drx)
+        total_energy += energy
+
+    metrics = world.metrics
+    distinct = metrics.total_distinct_delivered()
+    sent = sum(metrics.sent.values())
+    if distinct > 0:
+        avg_energy = total_energy / cfg.n_nodes / distinct
+        avg_delay = metrics.average_delay() or 0.0
+    else:
+        # Degenerate run (nothing delivered): report per-node energy over
+        # the window and the full window as "delay" so failures are loud.
+        avg_energy = total_energy / cfg.n_nodes
+        avg_delay = window
+
+    return RunMetrics(
+        scheme=cfg.scheme,
+        n_nodes=cfg.n_nodes,
+        seed=cfg.seed,
+        avg_dissipated_energy=avg_energy,
+        avg_delay=avg_delay,
+        delivery_ratio=min(1.0, metrics.delivery_ratio()),
+        total_energy_j=total_energy,
+        distinct_delivered=distinct,
+        events_sent=sent,
+        mean_degree=world.field.mean_degree(),
+        counters=dict(tracer.counters),
+    )

@@ -1,0 +1,110 @@
+"""Parameter sweeps: run cells of (scheme x sweep-value x trials).
+
+Comparisons are **paired**: for a given (sweep value, trial index) both
+schemes run with the same seed, hence the same field, the same source and
+sink draws, and the same failure schedule — the paper's "our results are
+averaged over ten different generated fields" with variance reduced by
+pairing.
+
+Cells can run serially (deterministic order, easiest to debug) or across
+processes (``workers > 1``); results are identical either way because
+each run is fully determined by its config.
+"""
+
+from __future__ import annotations
+
+import statistics
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from ..sim.rng import derive_seed
+from .config import ExperimentConfig, Profile
+from .metrics import RunMetrics
+from .runner import run_experiment
+
+#: the two schemes the paper's figures compare (ablation variants are
+#: swept explicitly by the ablation benchmarks)
+COMPARISON_SCHEMES = ("opportunistic", "greedy")
+
+__all__ = ["CellSummary", "summarize_cell", "run_configs", "paired_sweep", "cell_seed"]
+
+
+def cell_seed(base_seed: int, x: object, trial: int) -> int:
+    """Stable per-(sweep value, trial) seed, shared by both schemes."""
+    return derive_seed(base_seed, f"cell:{x}:{trial}") % (2**31)
+
+
+@dataclass(frozen=True)
+class CellSummary:
+    """Mean metrics of one (scheme, sweep value) cell."""
+
+    scheme: str
+    x: float
+    energy: float
+    energy_stdev: float
+    delay: float
+    ratio: float
+    n_runs: int
+    distinct_delivered: float
+
+    @staticmethod
+    def from_runs(scheme: str, x: float, runs: Sequence[RunMetrics]) -> "CellSummary":
+        if not runs:
+            raise ValueError("cannot summarize an empty cell")
+        energies = [r.avg_dissipated_energy for r in runs]
+        return CellSummary(
+            scheme=scheme,
+            x=x,
+            energy=statistics.fmean(energies),
+            energy_stdev=statistics.stdev(energies) if len(energies) > 1 else 0.0,
+            delay=statistics.fmean(r.avg_delay for r in runs),
+            ratio=statistics.fmean(r.delivery_ratio for r in runs),
+            n_runs=len(runs),
+            distinct_delivered=statistics.fmean(r.distinct_delivered for r in runs),
+        )
+
+
+def summarize_cell(scheme: str, x: float, runs: Sequence[RunMetrics]) -> CellSummary:
+    return CellSummary.from_runs(scheme, x, runs)
+
+
+def run_configs(configs: Sequence[ExperimentConfig], workers: int = 0) -> list[RunMetrics]:
+    """Run many experiments, optionally in parallel processes."""
+    if workers and workers > 1:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(run_experiment, configs))
+    return [run_experiment(cfg) for cfg in configs]
+
+
+def paired_sweep(
+    profile: Profile,
+    xs: Iterable,
+    make_config: Callable[[str, object, int], ExperimentConfig],
+    trials: int | None = None,
+    workers: int = 0,
+    schemes: Sequence[str] = COMPARISON_SCHEMES,
+) -> list[CellSummary]:
+    """Run both schemes over all sweep values with paired seeds.
+
+    ``make_config(scheme, x, seed)`` builds the run config for one cell
+    member; the sweep enumerates every (scheme, x, trial) combination.
+    """
+    trials = profile.trials if trials is None else trials
+    if trials < 1:
+        raise ValueError("need at least one trial")
+    plan: list[tuple[str, object, ExperimentConfig]] = []
+    for x in xs:
+        for trial in range(trials):
+            seed = cell_seed(0, x, trial)
+            for scheme in schemes:
+                plan.append((scheme, x, make_config(scheme, x, seed)))
+    results = run_configs([cfg for _s, _x, cfg in plan], workers=workers)
+
+    grouped: dict[tuple[str, object], list[RunMetrics]] = {}
+    for (scheme, x, _cfg), run in zip(plan, results):
+        grouped.setdefault((scheme, x), []).append(run)
+    return [
+        CellSummary.from_runs(scheme, float(x), runs)  # type: ignore[arg-type]
+        for (scheme, x), runs in sorted(grouped.items(), key=lambda kv: (kv[0][1], kv[0][0]))
+    ]

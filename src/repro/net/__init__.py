@@ -1,0 +1,45 @@
+"""Wireless network substrate: PHY, MAC, nodes, topology, energy.
+
+This package replaces the ns-2 stack the paper's evaluation ran on:
+disc-propagation radio with collisions and promiscuous energy, a
+CSMA/CA MAC with ACK'd unicast, per-node energy meters with the Sensoria
+WINS-like power profile, and the paper's sensor-field generators.
+"""
+
+from .energy import EnergyMeter, EnergyParams
+from .mac import CsmaMac, MacParams
+from .node import Node
+from .packet import BROADCAST, Frame, FrameKind
+from .radio import Channel, Radio, RadioParams
+from .topology import (
+    SensorField,
+    corner_sink_node,
+    corner_source_nodes,
+    event_radius_sources,
+    expected_degree,
+    generate_field,
+    random_source_nodes,
+    scattered_sink_nodes,
+)
+
+__all__ = [
+    "EnergyMeter",
+    "EnergyParams",
+    "CsmaMac",
+    "MacParams",
+    "Node",
+    "BROADCAST",
+    "Frame",
+    "FrameKind",
+    "Channel",
+    "Radio",
+    "RadioParams",
+    "SensorField",
+    "generate_field",
+    "corner_source_nodes",
+    "corner_sink_node",
+    "random_source_nodes",
+    "scattered_sink_nodes",
+    "event_radius_sources",
+    "expected_degree",
+]

@@ -1,0 +1,88 @@
+"""Link-layer frames.
+
+The network stack is payload-agnostic: diffusion messages (interests,
+events, reinforcements, ...) are opaque payloads carried in a
+:class:`Frame`.  Frame size — not Python object size — drives air time and
+therefore energy and contention, exactly as in the ns-2 study (64-byte
+events, 36-byte control messages).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Frame", "BROADCAST", "FrameKind"]
+
+#: Link-layer broadcast address (interest floods, exploratory floods).
+BROADCAST = -1
+
+_frame_ids = itertools.count(1)
+
+
+class FrameKind:
+    """Frame type tags used by the MAC (plain constants, not an Enum, to
+    keep the per-frame cost minimal on the hot path)."""
+
+    DATA = "data"
+    ACK = "ack"
+
+
+@dataclass
+class Frame:
+    """One link-layer frame.
+
+    Attributes
+    ----------
+    src:
+        Transmitting node id.
+    dst:
+        Destination node id, or :data:`BROADCAST`.
+    size:
+        Frame size in bytes (drives air time).
+    payload:
+        Opaque upper-layer message (a diffusion message in practice).
+    kind:
+        :class:`FrameKind` tag; ACK frames never leave the MAC.
+    frame_id:
+        Unique id, assigned automatically (used for tracing and for
+        matching ACKs to transmissions).
+    """
+
+    src: int
+    dst: int
+    size: int
+    payload: Any = None
+    kind: str = FrameKind.DATA
+    frame_id: int = field(default_factory=lambda: next(_frame_ids))
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError(f"frame size must be positive, got {self.size}")
+
+    @property
+    def is_broadcast(self) -> bool:
+        return self.dst == BROADCAST
+
+    def ack_frame(self, ack_size: int) -> "Frame":
+        """Build the ACK frame a receiver returns for this unicast frame."""
+        if self.is_broadcast:
+            raise ValueError("broadcast frames are not acknowledged")
+        return Frame(
+            src=self.dst,
+            dst=self.src,
+            size=ack_size,
+            payload=self.frame_id,
+            kind=FrameKind.ACK,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        dst = "BCAST" if self.is_broadcast else str(self.dst)
+        return f"<Frame #{self.frame_id} {self.kind} {self.src}->{dst} {self.size}B>"
+
+
+def reset_frame_ids() -> None:
+    """Reset the global frame-id counter (test isolation helper)."""
+    global _frame_ids
+    _frame_ids = itertools.count(1)

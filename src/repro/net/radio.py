@@ -1,0 +1,251 @@
+"""Wireless PHY: shared channel, disc propagation, collisions, energy.
+
+Model (matching the ns-2 setup the paper used):
+
+* **Disc propagation** — a transmission is heard by every *up* node within
+  ``range_m`` (40 m default); nothing beyond.  Propagation delay is a small
+  constant (distances are ~100 m, so ~0.3 us; we use 1 us).
+* **Fixed transmit power** — no power control; "we measure energy as
+  equivalent to hops" (paper §4.1) holds because every hop costs the same.
+* **Half duplex** — a radio cannot receive while transmitting.
+* **Collisions, no capture** — two frames overlapping in time at a receiver
+  corrupt each other there (this includes hidden-terminal collisions, which
+  is what degrades the opportunistic scheme's low-latency paths at high
+  density).
+* **Promiscuous energy** — every in-range radio pays receive energy for
+  every frame, corrupted or not, exactly like a real listening radio.
+
+The :class:`Channel` owns topology (positions, precomputed neighbor lists
+via a uniform grid) and the :class:`Radio` instances; radios are driven by
+the MAC layer above.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Optional
+
+from ..sim import Simulator, Tracer
+from .energy import EnergyMeter
+from .packet import Frame
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .node import Node
+
+__all__ = ["RadioParams", "Channel", "Radio"]
+
+
+@dataclass(frozen=True)
+class RadioParams:
+    """PHY constants (paper defaults: 40 m range, 1.6 Mbps)."""
+
+    range_m: float = 40.0
+    bitrate_bps: float = 1.6e6
+    propagation_delay_s: float = 1e-6
+
+    def __post_init__(self) -> None:
+        if self.range_m <= 0 or self.bitrate_bps <= 0 or self.propagation_delay_s < 0:
+            raise ValueError("invalid radio parameters")
+
+    def air_time(self, size_bytes: int) -> float:
+        """Seconds the channel is occupied by a frame of ``size_bytes``."""
+        return size_bytes * 8.0 / self.bitrate_bps
+
+
+class _Arrival:
+    """One in-flight frame at one receiver."""
+
+    __slots__ = ("frame", "start", "end", "corrupted")
+
+    def __init__(self, frame: Frame, start: float, end: float) -> None:
+        self.frame = frame
+        self.start = start
+        self.end = end
+        self.corrupted = False
+
+
+class Channel:
+    """The shared wireless medium: positions, neighborhoods, delivery."""
+
+    def __init__(self, sim: Simulator, tracer: Tracer, params: RadioParams) -> None:
+        self.sim = sim
+        self.tracer = tracer
+        self.params = params
+        self.radios: dict[int, Radio] = {}
+        self._neighbors: Optional[dict[int, list["Radio"]]] = None
+
+    def register(self, radio: "Radio") -> None:
+        if radio.node_id in self.radios:
+            raise ValueError(f"duplicate node id {radio.node_id}")
+        self.radios[radio.node_id] = radio
+        self._neighbors = None  # invalidate cache
+
+    # ------------------------------------------------------------------
+    # topology
+    # ------------------------------------------------------------------
+    def neighbors(self, node_id: int) -> list["Radio"]:
+        """Radios within range of ``node_id`` (excluding itself)."""
+        if self._neighbors is None:
+            self._build_neighbor_cache()
+        assert self._neighbors is not None
+        return self._neighbors[node_id]
+
+    def _build_neighbor_cache(self) -> None:
+        """Grid-bucketed neighbor computation: O(N * degree)."""
+        cell = self.params.range_m
+        grid: dict[tuple[int, int], list[Radio]] = {}
+        for radio in self.radios.values():
+            key = (int(radio.x // cell), int(radio.y // cell))
+            grid.setdefault(key, []).append(radio)
+        range_sq = self.params.range_m ** 2
+        result: dict[int, list[Radio]] = {}
+        for radio in self.radios.values():
+            cx, cy = int(radio.x // cell), int(radio.y // cell)
+            near: list[Radio] = []
+            for dx in (-1, 0, 1):
+                for dy in (-1, 0, 1):
+                    for other in grid.get((cx + dx, cy + dy), ()):
+                        if other is radio:
+                            continue
+                        d2 = (radio.x - other.x) ** 2 + (radio.y - other.y) ** 2
+                        if d2 <= range_sq:
+                            near.append(other)
+            result[radio.node_id] = near
+        self._neighbors = result
+
+    def distance(self, a: int, b: int) -> float:
+        ra, rb = self.radios[a], self.radios[b]
+        return math.hypot(ra.x - rb.x, ra.y - rb.y)
+
+    # ------------------------------------------------------------------
+    # transmission
+    # ------------------------------------------------------------------
+    def transmit(self, sender: "Radio", frame: Frame) -> float:
+        """Put ``frame`` on the air from ``sender``; returns air time.
+
+        Delivery (or corruption) at each in-range receiver is scheduled on
+        the simulator; the caller (MAC) is responsible for its own
+        end-of-transmission bookkeeping.
+        """
+        duration = self.params.air_time(frame.size)
+        prop = self.params.propagation_delay_s
+        now = self.sim.now
+        self.tracer.count("radio.tx")
+        self.tracer.count("radio.tx_bytes", frame.size)
+        sender.energy.note_tx(duration)
+        sender.tx_until = max(sender.tx_until, now + duration)
+        for receiver in self.neighbors(sender.node_id):
+            if not receiver.up:
+                continue
+            arrival = _Arrival(frame, now + prop, now + prop + duration)
+            self.sim.schedule(prop, receiver.arrival_start, arrival)
+            self.sim.schedule(prop + duration, receiver.arrival_end, arrival)
+        return duration
+
+
+class Radio:
+    """One node's radio: reception state, carrier sense, energy."""
+
+    __slots__ = (
+        "node_id",
+        "x",
+        "y",
+        "channel",
+        "energy",
+        "tracer",
+        "sim",
+        "tx_until",
+        "busy_until",
+        "_active",
+        "deliver",
+        "_up_fn",
+    )
+
+    def __init__(
+        self,
+        node_id: int,
+        x: float,
+        y: float,
+        channel: Channel,
+        energy: EnergyMeter,
+        up_fn: Callable[[], bool],
+    ) -> None:
+        self.node_id = node_id
+        self.x = x
+        self.y = y
+        self.channel = channel
+        self.energy = energy
+        self.tracer = channel.tracer
+        self.sim = channel.sim
+        #: end of our own current transmission (half-duplex bookkeeping)
+        self.tx_until = 0.0
+        #: carrier-sense horizon: medium considered busy until this time
+        self.busy_until = 0.0
+        self._active: list[_Arrival] = []
+        #: callback(frame) installed by the MAC for clean receptions
+        self.deliver: Optional[Callable[[Frame], None]] = None
+        self._up_fn = up_fn
+        channel.register(self)
+
+    # ------------------------------------------------------------------
+    @property
+    def up(self) -> bool:
+        return self._up_fn()
+
+    @property
+    def transmitting(self) -> bool:
+        return self.sim.now < self.tx_until
+
+    def medium_busy(self) -> bool:
+        """Carrier sense: energy on the channel or our own transmission."""
+        return self.sim.now < self.busy_until or self.transmitting
+
+    def start_tx(self, frame: Frame) -> float:
+        """Transmit ``frame``; returns its air time."""
+        if not self.up:
+            raise RuntimeError(f"node {self.node_id} is down; cannot transmit")
+        return self.channel.transmit(self, frame)
+
+    # ------------------------------------------------------------------
+    # reception path (driven by Channel-scheduled events)
+    # ------------------------------------------------------------------
+    def arrival_start(self, arrival: _Arrival) -> None:
+        if not self.up:
+            arrival.corrupted = True  # radio off: nothing heard, nothing spent
+            return
+        self.busy_until = max(self.busy_until, arrival.end)
+        self.energy.note_rx(arrival.start, arrival.end - arrival.start)
+        if self.transmitting:
+            # Half duplex: we miss frames that arrive while we transmit.
+            arrival.corrupted = True
+            self.tracer.count("radio.halfduplex_loss")
+        if self._active:
+            # Overlap with another in-flight frame: everyone is corrupted.
+            for other in self._active:
+                if not other.corrupted:
+                    other.corrupted = True
+                    self.tracer.count("radio.collision")
+            if not arrival.corrupted:
+                arrival.corrupted = True
+                self.tracer.count("radio.collision")
+        self._active.append(arrival)
+
+    def arrival_end(self, arrival: _Arrival) -> None:
+        try:
+            self._active.remove(arrival)
+        except ValueError:
+            return  # arrival was never started (node was down)
+        if arrival.corrupted or not self.up:
+            return
+        if self.transmitting:
+            # Started transmitting mid-reception (should be rare given
+            # carrier sense, but possible with zero-backoff ACKs).
+            self.tracer.count("radio.halfduplex_loss")
+            return
+        self.tracer.count("radio.rx")
+        if self.deliver is not None:
+            self.deliver(arrival.frame)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Radio {self.node_id} at ({self.x:.1f},{self.y:.1f})>"

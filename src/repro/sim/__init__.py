@@ -1,0 +1,26 @@
+"""Discrete-event simulation kernel (the ns-2 replacement substrate).
+
+Public surface:
+
+* :class:`Simulator` / :class:`ScheduledEvent` — the event scheduler.
+* :class:`OneShotTimer` / :class:`PeriodicTimer` — protocol timer idioms.
+* :class:`Tracer` / :class:`TraceRecord` — counters and structured traces.
+* :class:`RngRegistry` — named deterministic random substreams.
+"""
+
+from .engine import ScheduledEvent, SimulationError, Simulator
+from .rng import RngRegistry, derive_seed
+from .timers import OneShotTimer, PeriodicTimer
+from .trace import TraceRecord, Tracer
+
+__all__ = [
+    "Simulator",
+    "ScheduledEvent",
+    "SimulationError",
+    "OneShotTimer",
+    "PeriodicTimer",
+    "Tracer",
+    "TraceRecord",
+    "RngRegistry",
+    "derive_seed",
+]

@@ -1,0 +1,194 @@
+"""Discrete-event simulation kernel.
+
+This module is the substrate that replaces ns-2's scheduler for the
+reproduction.  It provides a classic calendar-queue simulator:
+
+* :class:`Simulator` — owns the virtual clock and the pending-event heap.
+* :class:`ScheduledEvent` — a cancellable handle returned by
+  :meth:`Simulator.schedule`.
+
+Semantics match what the protocol code needs from ns-2:
+
+* Events fire in non-decreasing time order.
+* Events scheduled for the same instant fire in FIFO order of scheduling
+  (ties are broken by a monotonically increasing sequence number), which
+  makes runs bit-for-bit deterministic for a fixed seed.
+* An event may schedule further events, including zero-delay events, which
+  fire before the clock advances.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+__all__ = ["Simulator", "ScheduledEvent", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid scheduler use (negative delays, running twice...)."""
+
+
+@dataclass(order=True)
+class _HeapEntry:
+    """Internal heap record; ordering key is (time, seq)."""
+
+    time: float
+    seq: int
+    event: "ScheduledEvent" = field(compare=False)
+
+
+class ScheduledEvent:
+    """Handle for a pending callback.
+
+    Instances are created by :meth:`Simulator.schedule`; user code only
+    ever cancels or inspects them.
+    """
+
+    __slots__ = ("time", "fn", "args", "cancelled", "fired")
+
+    def __init__(self, time: float, fn: Callable[..., Any], args: tuple):
+        self.time = time
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+        self.fired = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running.  Idempotent; cancelling an
+        already-fired event is a harmless no-op."""
+        self.cancelled = True
+
+    @property
+    def pending(self) -> bool:
+        """True while the event is still scheduled to fire."""
+        return not (self.cancelled or self.fired)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else ("fired" if self.fired else "pending")
+        name = getattr(self.fn, "__qualname__", repr(self.fn))
+        return f"<ScheduledEvent t={self.time:.6f} {name} {state}>"
+
+
+class Simulator:
+    """Event-driven virtual-time scheduler.
+
+    Example
+    -------
+    >>> sim = Simulator()
+    >>> out = []
+    >>> _ = sim.schedule(1.5, out.append, "b")
+    >>> _ = sim.schedule(0.5, out.append, "a")
+    >>> sim.run()
+    >>> out
+    ['a', 'b']
+    >>> sim.now
+    1.5
+    """
+
+    def __init__(self) -> None:
+        self._now: float = 0.0
+        self._heap: list[_HeapEntry] = []
+        self._seq: int = 0
+        self._running = False
+        self._stopped = False
+        self.events_processed: int = 0
+
+    # ------------------------------------------------------------------
+    # clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> ScheduledEvent:
+        """Schedule ``fn(*args)`` to run ``delay`` seconds from now.
+
+        ``delay`` must be non-negative.  Returns a cancellable handle.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        return self.schedule_at(self._now + delay, fn, *args)
+
+    def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> ScheduledEvent:
+        """Schedule ``fn(*args)`` at absolute virtual time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time} before current time t={self._now}"
+            )
+        ev = ScheduledEvent(time, fn, args)
+        self._seq += 1
+        heapq.heappush(self._heap, _HeapEntry(time, self._seq, ev))
+        return ev
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None) -> None:
+        """Process events until the queue drains or the clock reaches ``until``.
+
+        When ``until`` is given, all events with ``time <= until`` fire and
+        the clock is left at ``until`` (so a subsequent ``run`` continues
+        from there), matching ns-2's ``$ns run`` + stop-event idiom.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (re-entrant run())")
+        self._running = True
+        self._stopped = False
+        try:
+            while self._heap and not self._stopped:
+                entry = self._heap[0]
+                if until is not None and entry.time > until:
+                    break
+                heapq.heappop(self._heap)
+                ev = entry.event
+                if ev.cancelled:
+                    continue
+                self._now = entry.time
+                ev.fired = True
+                self.events_processed += 1
+                ev.fn(*ev.args)
+            if until is not None and self._now < until and not self._stopped:
+                self._now = until
+        finally:
+            self._running = False
+
+    def step(self) -> bool:
+        """Fire exactly one pending event.  Returns False if the queue is empty."""
+        while self._heap:
+            entry = heapq.heappop(self._heap)
+            ev = entry.event
+            if ev.cancelled:
+                continue
+            self._now = entry.time
+            ev.fired = True
+            self.events_processed += 1
+            ev.fn(*ev.args)
+            return True
+        return False
+
+    def stop(self) -> None:
+        """Request that the current :meth:`run` return after the current event."""
+        self._stopped = True
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def pending_count(self) -> int:
+        """Number of not-yet-cancelled events still queued."""
+        return sum(1 for e in self._heap if not e.event.cancelled)
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next live event, or None if the queue is empty."""
+        for e in sorted(self._heap):
+            if not e.event.cancelled:
+                return e.time
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Simulator t={self._now:.6f} pending={len(self._heap)}>"

@@ -1,0 +1,122 @@
+"""Timer helpers built on the DES kernel.
+
+Protocol code constantly needs "fire once in T, unless refreshed/cancelled"
+(reinforcement timers, gradient expiry) and "fire every T, with optional
+jitter" (interest refresh, exploratory events).  These helpers wrap the raw
+:class:`~repro.sim.engine.Simulator` scheduling API with those two idioms
+so the protocol modules stay readable.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Optional
+
+from .engine import ScheduledEvent, Simulator
+
+__all__ = ["OneShotTimer", "PeriodicTimer"]
+
+
+class OneShotTimer:
+    """Restartable single-shot timer.
+
+    ``start(delay)`` arms the timer; ``restart(delay)`` cancels any pending
+    expiry and re-arms (used for gradient-expiry refresh); ``cancel`` disarms.
+    The callback is invoked with no arguments.
+    """
+
+    def __init__(self, sim: Simulator, fn: Callable[[], Any]) -> None:
+        self._sim = sim
+        self._fn = fn
+        self._event: Optional[ScheduledEvent] = None
+
+    def start(self, delay: float) -> None:
+        """Arm the timer.  Raises if already armed (use restart to re-arm)."""
+        if self.armed:
+            raise RuntimeError("timer already armed; use restart()")
+        self._event = self._sim.schedule(delay, self._fire)
+
+    def restart(self, delay: float) -> None:
+        """(Re-)arm the timer, cancelling any pending expiry."""
+        self.cancel()
+        self._event = self._sim.schedule(delay, self._fire)
+
+    def cancel(self) -> None:
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    @property
+    def armed(self) -> bool:
+        return self._event is not None and self._event.pending
+
+    @property
+    def expiry_time(self) -> Optional[float]:
+        """Absolute time of the pending expiry, or None when disarmed."""
+        if self.armed:
+            return self._event.time  # type: ignore[union-attr]
+        return None
+
+    def _fire(self) -> None:
+        self._event = None
+        self._fn()
+
+
+class PeriodicTimer:
+    """Repeating timer with optional uniform jitter per period.
+
+    Jitter desynchronises periodic protocol actions across nodes the same
+    way ns-2 diffusion code jitters interest and exploratory timers; without
+    it, synchronized floods collide pathologically at the MAC.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        fn: Callable[[], Any],
+        period: float,
+        jitter: float = 0.0,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if period <= 0:
+            raise ValueError("period must be positive")
+        if jitter < 0:
+            raise ValueError("jitter must be non-negative")
+        if jitter > 0 and rng is None:
+            raise ValueError("jitter requires an rng")
+        self._sim = sim
+        self._fn = fn
+        self.period = period
+        self.jitter = jitter
+        self._rng = rng
+        self._event: Optional[ScheduledEvent] = None
+        self.fire_count = 0
+
+    def start(self, initial_delay: Optional[float] = None) -> None:
+        """Start ticking.  First tick after ``initial_delay`` (default: one
+        jittered period)."""
+        if self.running:
+            raise RuntimeError("periodic timer already running")
+        delay = self._next_delay() if initial_delay is None else initial_delay
+        self._event = self._sim.schedule(delay, self._fire)
+
+    def stop(self) -> None:
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    @property
+    def running(self) -> bool:
+        return self._event is not None and self._event.pending
+
+    def _next_delay(self) -> float:
+        if self.jitter > 0:
+            assert self._rng is not None
+            return self.period + self._rng.uniform(-self.jitter, self.jitter)
+        return self.period
+
+    def _fire(self) -> None:
+        self.fire_count += 1
+        # Re-arm *before* the callback so the callback may stop() the timer.
+        self._event = self._sim.schedule(self._next_delay(), self._fire)
+        self._fn()

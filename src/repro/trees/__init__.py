@@ -1,0 +1,24 @@
+"""Centralized aggregation-tree algorithms and abstract routing models.
+
+The idealized references the paper positions itself against: the
+shortest-path tree, the greedy incremental tree (Takahashi-Matsuyama),
+the KMB Steiner 2-approximation, and the Krishnamachari-style abstract
+comparison (event-radius / random-sources placement models).
+"""
+
+from .git import greedy_incremental_tree
+from .models import PLACEMENTS, TreeComparison, compare_trees, savings_study
+from .spt import shortest_path_tree, tree_cost, validate_tree
+from .steiner import steiner_tree_kmb
+
+__all__ = [
+    "greedy_incremental_tree",
+    "shortest_path_tree",
+    "tree_cost",
+    "validate_tree",
+    "steiner_tree_kmb",
+    "TreeComparison",
+    "compare_trees",
+    "savings_study",
+    "PLACEMENTS",
+]

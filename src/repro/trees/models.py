@@ -1,0 +1,129 @@
+"""Abstract data-centric routing models (Krishnamachari et al.).
+
+§1 and §5.4 position the paper against an abstract-simulation result:
+"the transmission savings by the GIT over the SPT do not exceed 20%"
+under the **event-radius** and **random-sources** models — while the
+paper's own corner placement at high density yields much larger savings.
+This module reproduces that comparison analytically on connectivity
+graphs (no packet simulation): one dissemination round with perfect
+aggregation costs exactly the tree's edge count.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from statistics import mean
+from typing import Callable, Sequence
+
+from ..net.topology import (
+    SensorField,
+    corner_sink_node,
+    corner_source_nodes,
+    event_radius_sources,
+    generate_field,
+    random_source_nodes,
+)
+from .git import greedy_incremental_tree
+from .spt import shortest_path_tree, tree_cost
+from .steiner import steiner_tree_kmb
+
+__all__ = ["TreeComparison", "compare_trees", "savings_study", "PLACEMENTS"]
+
+
+@dataclass(frozen=True)
+class TreeComparison:
+    """Costs of one (field, placement) instance under each tree builder."""
+
+    spt_cost: float
+    git_cost: float
+    steiner_cost: float
+    n_nodes: int
+    n_sources: int
+
+    @property
+    def git_savings(self) -> float:
+        """Fractional transmission savings of GIT over SPT (>= 0 typical)."""
+        if self.spt_cost == 0:
+            return 0.0
+        return 1.0 - self.git_cost / self.spt_cost
+
+
+def compare_trees(
+    field: SensorField, sink: int, sources: Sequence[int]
+) -> TreeComparison:
+    """SPT vs GIT (nearest-first) vs KMB Steiner on one instance."""
+    graph = field.connectivity_graph()
+    spt = shortest_path_tree(graph, sink, sources)
+    git = greedy_incremental_tree(graph, sink, sources, order="nearest")
+    steiner = steiner_tree_kmb(graph, [sink, *sources])
+    return TreeComparison(
+        spt_cost=tree_cost(spt),
+        git_cost=tree_cost(git),
+        steiner_cost=tree_cost(steiner),
+        n_nodes=field.n,
+        n_sources=len(sources),
+    )
+
+
+def _place_event_radius(
+    field: SensorField, n_sources: int, rng: random.Random
+) -> tuple[int, list[int]]:
+    sink = corner_sink_node(field, rng)
+    sources = event_radius_sources(field, n_sources, radius=40.0, rng=rng, exclude={sink})
+    return sink, sources
+
+
+def _place_random(
+    field: SensorField, n_sources: int, rng: random.Random
+) -> tuple[int, list[int]]:
+    sink = corner_sink_node(field, rng)
+    sources = random_source_nodes(field, n_sources, rng, exclude={sink})
+    return sink, sources
+
+
+def _place_corner(
+    field: SensorField, n_sources: int, rng: random.Random
+) -> tuple[int, list[int]]:
+    sink = corner_sink_node(field, rng)
+    sources = corner_source_nodes(field, n_sources, rng, exclude={sink})
+    return sink, sources
+
+
+#: named placement models: event-radius / random-sources (Krishnamachari)
+#: and the paper's own corner scheme.
+PLACEMENTS: dict[str, Callable[[SensorField, int, random.Random], tuple[int, list[int]]]] = {
+    "event-radius": _place_event_radius,
+    "random-sources": _place_random,
+    "corner": _place_corner,
+}
+
+
+def savings_study(
+    placement: str,
+    n_nodes: int,
+    n_sources: int,
+    trials: int,
+    seed: int,
+    field_size: float = 200.0,
+    range_m: float = 40.0,
+) -> dict[str, float]:
+    """Mean GIT-over-SPT savings for one (placement, density) cell."""
+    if placement not in PLACEMENTS:
+        raise ValueError(f"unknown placement {placement!r}; known: {sorted(PLACEMENTS)}")
+    place = PLACEMENTS[placement]
+    rng = random.Random(seed)
+    results = []
+    for _ in range(trials):
+        field = generate_field(n_nodes, rng, field_size=field_size, range_m=range_m)
+        sink, sources = place(field, n_sources, rng)
+        results.append(compare_trees(field, sink, sources))
+    return {
+        "placement": placement,  # type: ignore[dict-item]
+        "n_nodes": n_nodes,  # type: ignore[dict-item]
+        "n_sources": n_sources,  # type: ignore[dict-item]
+        "mean_spt_cost": mean(r.spt_cost for r in results),
+        "mean_git_cost": mean(r.git_cost for r in results),
+        "mean_steiner_cost": mean(r.steiner_cost for r in results),
+        "mean_savings": mean(r.git_savings for r in results),
+    }

@@ -1,0 +1,124 @@
+"""Unit tests for the aggregation buffer."""
+
+import pytest
+
+from repro.aggregation.aggregator import AggregationBuffer
+from repro.aggregation.functions import LinearAggregation, NoAggregation, PerfectAggregation
+from repro.diffusion.messages import AggregateMsg, DataItem
+
+
+def incoming(items, cost, interest=1):
+    msg = AggregateMsg(interest_id=interest, items=tuple(items), energy_cost=cost, size=64)
+    return msg
+
+
+class TestFilling:
+    def test_empty_buffer(self):
+        buf = AggregationBuffer(PerfectAggregation())
+        assert buf.empty
+        assert buf.flush().aggregates == ()
+
+    def test_add_local(self):
+        buf = AggregationBuffer(PerfectAggregation())
+        buf.add_local(DataItem(1, 1, 0.0))
+        assert not buf.empty
+        assert buf.pending_count() == 1
+        assert buf.pending_sources() == {1}
+
+    def test_add_incoming_only_accepted(self):
+        buf = AggregationBuffer(PerfectAggregation())
+        items = [DataItem(1, 1, 0.0), DataItem(2, 1, 0.0)]
+        buf.add_incoming(incoming(items, 3.0), accepted=[items[0]], tag="n5")
+        assert buf.pending_count() == 1
+
+    def test_empty_accepted_ignored(self):
+        buf = AggregationBuffer(PerfectAggregation())
+        buf.add_incoming(incoming([DataItem(1, 1, 0.0)], 3.0), accepted=[], tag="n5")
+        assert buf.empty
+
+    def test_duplicate_items_merged(self):
+        buf = AggregationBuffer(PerfectAggregation())
+        item = DataItem(1, 1, 0.0)
+        buf.add_local(item)
+        buf.add_incoming(incoming([item], 3.0), accepted=[item], tag="n5")
+        assert buf.pending_count() == 1
+
+
+class TestFlushCosts:
+    def test_single_local_item_costs_one_hop(self):
+        buf = AggregationBuffer(PerfectAggregation())
+        buf.add_local(DataItem(1, 1, 0.0))
+        result = buf.flush()
+        assert len(result.aggregates) == 1
+        assert result.aggregates[0].cost == pytest.approx(1.0)
+
+    def test_paper_fig4a_outgoing_cost(self):
+        # S1 (w=5) + S2 (w=6) cover; outgoing cost 12.
+        buf = AggregationBuffer(PerfectAggregation())
+        a1, a2 = DataItem(10, 1, 0.0), DataItem(10, 2, 0.0)
+        b1, b2 = DataItem(20, 1, 0.0), DataItem(20, 2, 0.0)
+        buf.add_incoming(incoming([a1, a2, b1], 5.0), accepted=[a1, a2, b1], tag="G")
+        buf.add_incoming(incoming([b1, b2], 6.0), accepted=[b2], tag="H")
+        buf.add_incoming(incoming([a2, b2], 7.0), accepted=[], tag="K")
+        result = buf.flush()
+        assert len(result.aggregates) == 1
+        agg = result.aggregates[0]
+        assert set(i.key for i in agg.items) == {(10, 1), (10, 2), (20, 1), (20, 2)}
+        assert agg.cost == pytest.approx(12.0)
+        assert set(result.cover_tags) == {"G", "H"}
+
+    def test_local_items_are_free_contributions(self):
+        buf = AggregationBuffer(PerfectAggregation())
+        buf.add_local(DataItem(1, 1, 0.0))
+        buf.add_incoming(
+            incoming([DataItem(2, 1, 0.0)], 4.0),
+            accepted=[DataItem(2, 1, 0.0)],
+            tag="up",
+        )
+        result = buf.flush()
+        assert result.aggregates[0].cost == pytest.approx(4.0 + 0.0 + 1.0)
+
+    def test_flush_clears_buffer(self):
+        buf = AggregationBuffer(PerfectAggregation())
+        buf.add_local(DataItem(1, 1, 0.0))
+        buf.flush()
+        assert buf.empty
+        assert buf.flush().aggregates == ()
+
+
+class TestPacking:
+    def test_perfect_merges_everything_into_one_packet(self):
+        buf = AggregationBuffer(PerfectAggregation())
+        for src in range(5):
+            buf.add_local(DataItem(src, 1, 0.0))
+        result = buf.flush()
+        assert len(result.aggregates) == 1
+        assert result.aggregates[0].size == 64
+        assert len(result.aggregates[0].items) == 5
+
+    def test_linear_size_grows_with_items(self):
+        buf = AggregationBuffer(LinearAggregation())
+        for src in range(3):
+            buf.add_local(DataItem(src, 1, 0.0))
+        result = buf.flush()
+        assert result.aggregates[0].size == 3 * 28 + 36
+
+    def test_no_aggregation_splits_per_item(self):
+        buf = AggregationBuffer(NoAggregation())
+        for src in range(3):
+            buf.add_local(DataItem(src, 1, 0.0))
+        result = buf.flush()
+        assert len(result.aggregates) == 3
+        assert all(len(a.items) == 1 for a in result.aggregates)
+        assert all(a.size == 64 for a in result.aggregates)
+
+    def test_item_identity_preserved(self):
+        buf = AggregationBuffer(PerfectAggregation())
+        items = [DataItem(s, 1, 0.5) for s in range(4)]
+        for it in items:
+            buf.add_local(it)
+        result = buf.flush()
+        assert result.item_count == 4
+        assert {i.key for a in result.aggregates for i in a.items} == {
+            it.key for it in items
+        }

@@ -1,0 +1,81 @@
+"""Unit tests for aggregation size models."""
+
+import pytest
+
+from repro.aggregation.functions import (
+    LinearAggregation,
+    NoAggregation,
+    OutlineAggregation,
+    PerfectAggregation,
+    TimestampAggregation,
+    by_name,
+)
+
+
+class TestPerfect:
+    def test_constant_size(self):
+        fn = PerfectAggregation()
+        assert fn.size(1) == 64
+        assert fn.size(5) == 64
+        assert fn.size(100) == 64
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            PerfectAggregation().size(0)
+
+
+class TestLinear:
+    def test_paper_formula(self):
+        # z(S_i) = d_i * |x| + h with |x| = 28 bytes and h = 36 bytes
+        fn = LinearAggregation()
+        assert fn.size(1) == 28 + 36
+        assert fn.size(5) == 5 * 28 + 36
+
+    def test_single_item_matches_event_size(self):
+        # One 28-byte item plus the 36-byte header is exactly one event.
+        assert LinearAggregation().size(1) == PerfectAggregation().size(1) == 64
+
+    def test_grows_linearly(self):
+        fn = LinearAggregation()
+        assert fn.size(10) - fn.size(9) == 28
+
+
+class TestNoAggregation:
+    def test_single_item_only(self):
+        fn = NoAggregation()
+        assert fn.size(1) == 64
+        with pytest.raises(ValueError):
+            fn.size(2)
+
+    def test_max_items(self):
+        assert NoAggregation().max_items == 1
+
+
+class TestTimestamp:
+    def test_first_item_full_rest_delta(self):
+        fn = TimestampAggregation()
+        assert fn.size(1) == 36 + 28
+        assert fn.size(3) == 36 + 28 + 2 * 12
+
+    def test_cheaper_than_linear_for_many_items(self):
+        assert TimestampAggregation().size(10) < LinearAggregation().size(10)
+
+
+class TestOutline:
+    def test_saturates_at_vertex_cap(self):
+        fn = OutlineAggregation(max_vertices=4)
+        assert fn.size(2) == 36 + 2 * 8
+        assert fn.size(4) == fn.size(100) == 36 + 4 * 8
+
+
+class TestRegistry:
+    def test_lookup_by_name(self):
+        assert by_name("perfect").name == "perfect"
+        assert by_name("linear").name == "linear"
+        assert by_name("none").name == "none"
+        assert by_name("timestamp").name == "timestamp"
+        assert by_name("outline").name == "outline"
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown aggregation"):
+            by_name("magic")

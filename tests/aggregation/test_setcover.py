@@ -1,0 +1,185 @@
+"""Unit tests for the weighted set-cover solvers, including the paper's
+fig-4 worked examples."""
+
+import random
+
+import pytest
+
+from repro.aggregation.setcover import (
+    CoverResult,
+    SetCoverError,
+    WeightedSubset,
+    exact_weighted_set_cover,
+    greedy_weighted_set_cover,
+    randomized_set_cover,
+    transform_to_sources,
+)
+
+
+def subsets(*specs):
+    return [WeightedSubset(frozenset(e), w, tag=i) for i, (e, w) in enumerate(specs)]
+
+
+class TestGreedyBasics:
+    def test_empty_universe(self):
+        assert greedy_weighted_set_cover([], []) == CoverResult((), 0.0)
+
+    def test_single_subset(self):
+        fam = subsets((["a", "b"], 3.0))
+        cover = greedy_weighted_set_cover(["a", "b"], fam)
+        assert cover.chosen == (0,)
+        assert cover.weight == 3.0
+
+    def test_uncoverable_raises(self):
+        fam = subsets((["a"], 1.0))
+        with pytest.raises(SetCoverError):
+            greedy_weighted_set_cover(["a", "b"], fam)
+
+    def test_covers_all_elements(self):
+        fam = subsets((["a", "b"], 2.0), (["b", "c"], 2.0), (["c", "d"], 2.0))
+        cover = greedy_weighted_set_cover("abcd", fam)
+        covered = frozenset().union(*(fam[i].elements for i in cover.chosen))
+        assert covered >= frozenset("abcd")
+
+    def test_zero_weight_preferred(self):
+        fam = subsets((["a"], 5.0), (["a"], 0.0))
+        cover = greedy_weighted_set_cover(["a"], fam)
+        assert cover.chosen == (1,)
+        assert cover.weight == 0.0
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            WeightedSubset(frozenset("a"), -1.0)
+
+    def test_tags(self):
+        fam = [WeightedSubset(frozenset("ab"), 1.0, tag="origin")]
+        cover = greedy_weighted_set_cover("ab", fam)
+        assert cover.tags(fam) == ["origin"]
+
+
+class TestPaperExample:
+    """Fig 4(a): S1={a1,a2,b1} w=5, S2={b1,b2} w=6, S3={a2,b2} w=7."""
+
+    FAMILY = subsets(
+        ((["a1", "a2", "b1"]), 5.0),
+        ((["b1", "b2"]), 6.0),
+        ((["a2", "b2"]), 7.0),
+    )
+    UNIVERSE = ["a1", "a2", "b1", "b2"]
+
+    def test_greedy_selects_s1_then_s2(self):
+        cover = greedy_weighted_set_cover(self.UNIVERSE, self.FAMILY)
+        assert set(cover.chosen) == {0, 1}
+        assert cover.weight == 11.0
+
+    def test_outgoing_cost_matches_paper(self):
+        # "L then sends an outgoing aggregate ... with associated energy
+        # cost w4 = w1 + w2 + 1 = 12"
+        cover = greedy_weighted_set_cover(self.UNIVERSE, self.FAMILY)
+        assert cover.weight + 1.0 == 12.0
+
+    def test_greedy_matches_exact_here(self):
+        exact = exact_weighted_set_cover(self.UNIVERSE, self.FAMILY)
+        assert exact.weight == 11.0
+
+    def test_source_transformation_fig4b(self):
+        # S1*={A,B} w1*=5*2/3, S2*={B} w2*=6*1/2=3, S3*={A,B} w3*=7*2/2=7
+        source_of = {"a1": "A", "a2": "A", "b1": "B", "b2": "B"}
+        transformed = transform_to_sources(self.FAMILY, source_of)
+        assert transformed[0].elements == {"A", "B"}
+        assert transformed[0].weight == pytest.approx(10.0 / 3.0)
+        assert transformed[1].elements == {"B"}
+        assert transformed[1].weight == pytest.approx(3.0)
+        assert transformed[2].elements == {"A", "B"}
+        assert transformed[2].weight == pytest.approx(7.0)
+
+    def test_source_cover_selects_only_s1(self):
+        # Fig 4(b): "S1* is selected as the only subset in C*. Therefore,
+        # L negatively reinforces H and K."
+        source_of = {"a1": "A", "a2": "A", "b1": "B", "b2": "B"}
+        transformed = transform_to_sources(self.FAMILY, source_of)
+        cover = greedy_weighted_set_cover({"A", "B"}, transformed)
+        assert cover.chosen == (0,)
+
+
+class TestPruning:
+    def test_redundant_subset_removed(self):
+        # Greedy may pick a subset later made redundant; pruning drops it.
+        fam = subsets(
+            (["a", "b", "c"], 1.0),
+            (["d"], 1.0),
+            (["a", "b", "c", "d"], 2.5),
+        )
+        cover = greedy_weighted_set_cover("abcd", fam)
+        covered = frozenset().union(*(fam[i].elements for i in cover.chosen))
+        assert covered >= frozenset("abcd")
+        # No chosen subset may be fully covered by the others.
+        for idx in cover.chosen:
+            others = frozenset().union(
+                *(fam[j].elements for j in cover.chosen if j != idx), frozenset()
+            )
+            assert not fam[idx].elements <= others
+
+
+class TestExact:
+    def test_exact_beats_or_matches_greedy(self):
+        rng = random.Random(5)
+        for _ in range(25):
+            n_elems = rng.randint(1, 6)
+            universe = list(range(n_elems))
+            fam = []
+            for _ in range(rng.randint(1, 8)):
+                k = rng.randint(1, n_elems)
+                fam.append(
+                    WeightedSubset(frozenset(rng.sample(universe, k)), rng.uniform(0.1, 5))
+                )
+            fam.append(WeightedSubset(frozenset(universe), 10.0))  # ensure coverable
+            greedy = greedy_weighted_set_cover(universe, fam)
+            exact = exact_weighted_set_cover(universe, fam)
+            assert exact.weight <= greedy.weight + 1e-9
+
+    def test_exact_refuses_large_instances(self):
+        fam = [WeightedSubset(frozenset([i]), 1.0) for i in range(30)]
+        with pytest.raises(SetCoverError):
+            exact_weighted_set_cover(range(30), fam, max_subsets=24)
+
+    def test_exact_empty_universe(self):
+        assert exact_weighted_set_cover([], []).weight == 0.0
+
+    def test_exact_simple_optimal(self):
+        # Greedy ratio trap: one big cheap-ish set beats two cheaper halves.
+        fam = subsets((["a"], 1.0), (["b"], 1.0), (["a", "b"], 1.5))
+        exact = exact_weighted_set_cover("ab", fam)
+        assert exact.weight == pytest.approx(1.5)
+        assert exact.chosen == (2,)
+
+
+class TestRandomized:
+    def test_valid_cover(self):
+        rng = random.Random(1)
+        fam = subsets((["a", "b"], 2.0), (["b", "c"], 2.0), (["a", "c"], 2.0))
+        cover = randomized_set_cover("abc", fam, rng)
+        covered = frozenset().union(*(fam[i].elements for i in cover.chosen))
+        assert covered >= frozenset("abc")
+
+    def test_no_worse_than_greedy_often(self):
+        rng = random.Random(2)
+        fam = subsets((["a"], 1.0), (["b"], 1.0), (["a", "b"], 1.5))
+        cover = randomized_set_cover("ab", fam, rng, rounds=64)
+        assert cover.weight <= 2.0 + 1e-9
+
+    def test_uncoverable_raises(self):
+        with pytest.raises(SetCoverError):
+            randomized_set_cover("ab", subsets((["a"], 1.0)), random.Random(1))
+
+
+class TestTransform:
+    def test_empty_subset_rejected(self):
+        with pytest.raises(ValueError):
+            transform_to_sources([WeightedSubset(frozenset(), 1.0)], {})
+
+    def test_weight_rescaling_preserves_cost_ratio(self):
+        # r* = w*/|S*| must equal r = w/|S| by construction.
+        fam = [WeightedSubset(frozenset(["x1", "x2", "y1"]), 9.0)]
+        out = transform_to_sources(fam, {"x1": "X", "x2": "X", "y1": "Y"})
+        assert out[0].weight / len(out[0].elements) == pytest.approx(9.0 / 3.0)

@@ -1,0 +1,105 @@
+"""Tests for the alternative set-cover solvers (Lagrangian, genetic)."""
+
+import random
+
+import pytest
+
+from repro.aggregation.setcover import (
+    SetCoverError,
+    WeightedSubset,
+    exact_weighted_set_cover,
+    greedy_weighted_set_cover,
+)
+from repro.aggregation.solvers import genetic_set_cover, lagrangian_set_cover
+
+
+def subsets(*specs):
+    return [WeightedSubset(frozenset(e), w, tag=i) for i, (e, w) in enumerate(specs)]
+
+
+def random_instance(rng, max_elems=7):
+    n = rng.randint(2, max_elems)
+    universe = list(range(n))
+    fam = [
+        WeightedSubset(
+            frozenset(rng.sample(universe, rng.randint(1, n))), rng.uniform(0.5, 8)
+        )
+        for _ in range(rng.randint(2, 8))
+    ]
+    fam.append(WeightedSubset(frozenset(universe), 16.0))
+    return universe, fam
+
+
+class TestLagrangian:
+    def test_valid_cover(self):
+        fam = subsets((["a", "b"], 2.0), (["b", "c"], 2.0), (["a", "c"], 2.0))
+        cover = lagrangian_set_cover("abc", fam)
+        covered = frozenset().union(*(fam[i].elements for i in cover.chosen))
+        assert covered >= frozenset("abc")
+
+    def test_empty_universe(self):
+        assert lagrangian_set_cover([], []).weight == 0.0
+
+    def test_uncoverable_raises(self):
+        with pytest.raises(SetCoverError):
+            lagrangian_set_cover("ab", subsets((["a"], 1.0)))
+
+    def test_never_worse_than_greedy(self):
+        # Seeded with the greedy incumbent, the Lagrangian search can only
+        # improve on it.
+        rng = random.Random(3)
+        for _ in range(20):
+            universe, fam = random_instance(rng)
+            greedy = greedy_weighted_set_cover(universe, fam)
+            lag = lagrangian_set_cover(universe, fam)
+            assert lag.weight <= greedy.weight + 1e-9
+
+    def test_finds_greedy_trap_optimum(self):
+        # Greedy picks the two cheap singletons; the relaxation finds the
+        # single cheaper pair.
+        fam = subsets((["a"], 1.0), (["b"], 1.0), (["a", "b"], 1.5))
+        assert lagrangian_set_cover("ab", fam).weight == pytest.approx(1.5)
+
+    def test_close_to_optimum_on_random_instances(self):
+        rng = random.Random(9)
+        total_lag, total_opt = 0.0, 0.0
+        for _ in range(15):
+            universe, fam = random_instance(rng, max_elems=6)
+            total_lag += lagrangian_set_cover(universe, fam).weight
+            total_opt += exact_weighted_set_cover(universe, fam).weight
+        assert total_lag <= total_opt * 1.10
+
+
+class TestGenetic:
+    def test_valid_cover(self):
+        rng = random.Random(1)
+        fam = subsets((["a", "b"], 2.0), (["b", "c"], 2.0), (["a", "c"], 2.0))
+        cover = genetic_set_cover("abc", fam, rng)
+        covered = frozenset().union(*(fam[i].elements for i in cover.chosen))
+        assert covered >= frozenset("abc")
+
+    def test_empty_universe(self):
+        assert genetic_set_cover([], [], random.Random(1)).weight == 0.0
+
+    def test_uncoverable_raises(self):
+        with pytest.raises(SetCoverError):
+            genetic_set_cover("ab", subsets((["a"], 1.0)), random.Random(1))
+
+    def test_elitism_never_worse_than_greedy(self):
+        rng = random.Random(5)
+        for _ in range(8):
+            universe, fam = random_instance(rng)
+            greedy = greedy_weighted_set_cover(universe, fam)
+            ga = genetic_set_cover(universe, fam, random.Random(7), generations=10)
+            assert ga.weight <= greedy.weight + 1e-9
+
+    def test_deterministic_for_seeded_rng(self):
+        fam = subsets((["a"], 1.0), (["b"], 1.0), (["a", "b"], 1.5))
+        a = genetic_set_cover("ab", fam, random.Random(4))
+        b = genetic_set_cover("ab", fam, random.Random(4))
+        assert a == b
+
+    def test_escapes_greedy_trap(self):
+        fam = subsets((["a"], 1.0), (["b"], 1.0), (["a", "b"], 1.5))
+        ga = genetic_set_cover("ab", fam, random.Random(2), generations=20)
+        assert ga.weight == pytest.approx(1.5)

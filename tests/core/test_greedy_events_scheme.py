@@ -1,0 +1,88 @@
+"""Tests for the greedy-events ablation scheme and truncation patience."""
+
+import pytest
+
+from repro.core.greedy import GreedyAgent, GreedyEventTruncationAgent
+from repro.diffusion.agent import DiffusionParams, _WindowEntry
+from repro.experiments.config import ExperimentConfig, smoke
+from repro.experiments.runner import run_experiment
+from tests.helpers import MiniWorld, chain_positions
+
+PARAMS = DiffusionParams(exploratory_interval=8.0, interest_interval=4.0)
+
+
+def entry(sender, items_by_source, cost, t=0.0):
+    keys = frozenset(
+        (s, q) for s, seqs in items_by_source.items() for q in seqs
+    )
+    return _WindowEntry(
+        time=t,
+        from_id=sender,
+        accepted_keys=keys,
+        all_keys=keys,
+        cost=cost,
+        source_of={k: k[0] for k in keys},
+    )
+
+
+FIG4_WINDOW = [
+    entry("G", {"A": [1, 2], "B": [1]}, 5.0),
+    entry("H", {"B": [1, 2]}, 6.0),
+    entry("K", {"A": [2], "B": [2]}, 7.0),
+]
+
+
+def agent_of(cls):
+    w = MiniWorld(chain_positions(1))
+    return w, w.attach_agents(cls, params=PARAMS)[0]
+
+
+class TestTruncationPatience:
+    def test_first_guilty_window_only_warns(self):
+        _w, agent = agent_of(GreedyAgent)
+        assert agent.truncation_victims(1, FIG4_WINDOW) == []
+
+    def test_second_consecutive_window_truncates(self):
+        _w, agent = agent_of(GreedyAgent)
+        agent.truncation_victims(1, FIG4_WINDOW)
+        assert agent.truncation_victims(1, FIG4_WINDOW) == ["H", "K"]
+
+    def test_streak_resets_when_innocent(self):
+        _w, agent = agent_of(GreedyAgent)
+        agent.truncation_victims(1, FIG4_WINDOW)
+        # An innocent window (every sender needed) clears the streaks.
+        innocent = [
+            entry("G", {"A": [5]}, 1.0),
+            entry("H", {"B": [5]}, 1.0),
+            entry("K", {"C": [5]}, 1.0),
+        ]
+        assert agent.truncation_victims(1, innocent) == []
+        assert agent.truncation_victims(1, FIG4_WINDOW) == []  # streak restarted
+
+    def test_streak_cleared_after_truncation(self):
+        _w, agent = agent_of(GreedyAgent)
+        agent.truncation_victims(1, FIG4_WINDOW)
+        agent.truncation_victims(1, FIG4_WINDOW)
+        # Immediately afterwards, a single window is not enough again.
+        assert agent.truncation_victims(1, FIG4_WINDOW) == []
+
+
+class TestEventTruncationVariant:
+    def test_uses_event_level_cover(self):
+        _w, agent = agent_of(GreedyEventTruncationAgent)
+        agent.truncation_victims(1, FIG4_WINDOW)
+        # Event-level rule (fig 4a): only K falls outside the cover.
+        assert agent.truncation_victims(1, FIG4_WINDOW) == ["K"]
+
+    def test_scheme_name(self):
+        assert GreedyEventTruncationAgent.scheme_name == "greedy-events"
+        assert GreedyEventTruncationAgent.truncate_on_sources is False
+
+    def test_end_to_end_run(self):
+        cfg = ExperimentConfig.from_profile(
+            smoke(), "greedy-events", 80, seed=4
+        )
+        r = run_experiment(cfg)
+        assert r.scheme == "greedy-events"
+        assert r.delivery_ratio > 0.8
+        assert r.counters.get("greedy.ic_originated", 0) > 0

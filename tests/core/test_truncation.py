@@ -1,0 +1,88 @@
+"""Unit tests for §4.3 set-cover path truncation."""
+
+from repro.core.truncation import WindowAggregate, setcover_victims
+
+
+def agg(sender, items_by_source, cost):
+    """items_by_source: {source: [seq, ...]}"""
+    keys = frozenset((s, q) for s, seqs in items_by_source.items() for q in seqs)
+    return WindowAggregate(
+        sender=sender,
+        item_keys=keys,
+        cost=cost,
+        source_of={k: k[0] for k in keys},
+    )
+
+
+class TestPaperFig4:
+    """Fig 4: G sends {a1,a2,b1} w=5, H sends {b1,b2} w=6, K sends {a2,b2} w=7."""
+
+    WINDOW = [
+        agg("G", {"A": ["a1", "a2"], "B": ["b1"]}, 5.0),
+        agg("H", {"B": ["b1", "b2"]}, 6.0),
+        agg("K", {"A": ["a2"], "B": ["b2"]}, 7.0),
+    ]
+
+    def test_event_cover_truncates_only_k(self):
+        # Fig 4(a): "node L will negatively reinforce node K because S3 is
+        # not in C" — the conservative, event-level rule.
+        assert setcover_victims(self.WINDOW, on_sources=False) == ["K"]
+
+    def test_source_cover_truncates_h_and_k(self):
+        # Fig 4(b): with the sources transformation, "L negatively
+        # reinforces H and K".
+        assert setcover_victims(self.WINDOW, on_sources=True) == ["H", "K"]
+
+
+class TestGuards:
+    def test_empty_window(self):
+        assert setcover_victims([]) == []
+
+    def test_single_sender_never_cut(self):
+        window = [agg("G", {"A": ["a1"]}, 5.0)]
+        assert setcover_victims(window) == []
+
+    def test_never_cut_all_senders(self):
+        # Identical aggregates: the cover keeps one; the other is cut,
+        # but never both.
+        window = [
+            agg("G", {"A": ["a1"]}, 5.0),
+            agg("H", {"A": ["a1"]}, 5.0),
+        ]
+        victims = setcover_victims(window)
+        assert len(victims) == 1
+
+    def test_both_needed_none_cut(self):
+        window = [
+            agg("G", {"A": ["a1"]}, 5.0),
+            agg("H", {"B": ["b1"]}, 5.0),
+        ]
+        assert setcover_victims(window) == []
+
+    def test_empty_item_sets_ignored(self):
+        window = [
+            agg("G", {"A": ["a1"]}, 5.0),
+            WindowAggregate(sender="H", item_keys=frozenset(), cost=1.0, source_of={}),
+        ]
+        # H contributed nothing coverable; G must not be cut (single real
+        # sender guard applies to the pair).
+        victims = setcover_victims(window)
+        assert "G" not in victims
+
+
+class TestMultipleAggregatesPerSender:
+    def test_sender_kept_if_any_aggregate_chosen(self):
+        window = [
+            agg("G", {"A": ["a1"]}, 1.0),
+            agg("G", {"A": ["a2"]}, 1.0),
+            agg("H", {"A": ["a1", "a2"]}, 50.0),
+        ]
+        assert setcover_victims(window) == ["H"]
+
+    def test_cheaper_covering_sender_wins(self):
+        window = [
+            agg("G", {"A": ["a1"], "B": ["b1"]}, 2.0),
+            agg("H", {"A": ["a2"], "B": ["b2"]}, 20.0),
+        ]
+        # Source cover: G's {A,B} covers everything at cost ~2.
+        assert setcover_victims(window, on_sources=True) == ["H"]

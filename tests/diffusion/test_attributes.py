@@ -1,0 +1,91 @@
+"""Unit tests for attribute-based naming and matching."""
+
+import pytest
+
+from repro.diffusion.attributes import (
+    AttributeSet,
+    InterestSpec,
+    Op,
+    Predicate,
+    node_attributes,
+    tracking_task,
+)
+
+
+class TestAttributeSet:
+    def test_mapping_access(self):
+        attrs = AttributeSet({"task": "tracking", "x": 5.0})
+        assert attrs["task"] == "tracking"
+        assert attrs["x"] == 5.0
+        assert len(attrs) == 2
+        assert set(attrs) == {"task", "x"}
+
+    def test_missing_key_raises(self):
+        with pytest.raises(KeyError):
+            AttributeSet({})["nope"]
+
+    def test_hashable_and_equal_by_content(self):
+        a = AttributeSet({"x": 1, "y": 2})
+        b = AttributeSet({"y": 2, "x": 1})
+        assert hash(a) == hash(b)
+
+    def test_immutable(self):
+        attrs = AttributeSet({"x": 1})
+        with pytest.raises(AttributeError):
+            attrs.x = 2  # type: ignore[attr-defined]
+
+    def test_from_pairs(self):
+        attrs = AttributeSet([("a", 1), ("b", 2)])
+        assert attrs["b"] == 2
+
+
+class TestPredicate:
+    def test_is_operator(self):
+        p = Predicate("task", Op.IS, "tracking")
+        assert p.holds(AttributeSet({"task": "tracking"}))
+        assert not p.holds(AttributeSet({"task": "other"}))
+
+    def test_ge_le_operators(self):
+        attrs = AttributeSet({"x": 10.0})
+        assert Predicate("x", Op.GE, 5.0).holds(attrs)
+        assert Predicate("x", Op.LE, 15.0).holds(attrs)
+        assert not Predicate("x", Op.GE, 11.0).holds(attrs)
+        assert not Predicate("x", Op.LE, 9.0).holds(attrs)
+
+    def test_boundary_inclusive(self):
+        attrs = AttributeSet({"x": 10.0})
+        assert Predicate("x", Op.GE, 10.0).holds(attrs)
+        assert Predicate("x", Op.LE, 10.0).holds(attrs)
+
+    def test_missing_key_fails(self):
+        assert not Predicate("x", Op.IS, 1).holds(AttributeSet({}))
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ValueError):
+            Predicate("x", "like", 1)
+
+
+class TestInterestSpec:
+    def test_conjunction(self):
+        spec = InterestSpec.of(
+            Predicate("task", Op.IS, "tracking"), Predicate("x", Op.GE, 0.0)
+        )
+        assert spec.matches(AttributeSet({"task": "tracking", "x": 1.0}))
+        assert not spec.matches(AttributeSet({"task": "tracking", "x": -1.0}))
+
+    def test_empty_spec_matches_everything(self):
+        assert InterestSpec.of().matches(AttributeSet({}))
+
+    def test_tracking_task_region(self):
+        spec = tracking_task("tracking", 0, 0, 80, 80)
+        inside = node_attributes("tracking", 40, 40)
+        outside = node_attributes("tracking", 100, 40)
+        wrong_task = node_attributes("sensing", 40, 40)
+        assert spec.matches(inside)
+        assert not spec.matches(outside)
+        assert not spec.matches(wrong_task)
+
+    def test_tracking_task_boundary(self):
+        spec = tracking_task("tracking", 0, 0, 80, 80)
+        assert spec.matches(node_attributes("tracking", 80, 80))
+        assert spec.matches(node_attributes("tracking", 0, 0))

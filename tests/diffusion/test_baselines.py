@@ -1,0 +1,87 @@
+"""Tests for the idealized framing schemes (flooding, omniscient)."""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig, smoke
+from repro.experiments.runner import build_world, run_experiment
+
+
+def run(scheme, **overrides):
+    return run_experiment(
+        ExperimentConfig.from_profile(smoke(), scheme, 80, seed=6, **overrides)
+    )
+
+
+class TestFlooding:
+    def test_delivers_everything(self):
+        r = run("flooding")
+        assert r.delivery_ratio > 0.95
+
+    def test_much_more_expensive_than_greedy(self):
+        flood = run("flooding")
+        greedy = run("greedy")
+        assert flood.avg_dissipated_energy > 3 * greedy.avg_dissipated_energy
+
+    def test_lowest_delay_of_all_schemes(self):
+        # No aggregation buffering, no unicast queueing discipline: the
+        # first flooded copy races straight to the sink.
+        flood = run("flooding")
+        greedy = run("greedy")
+        assert flood.avg_delay < greedy.avg_delay
+
+    def test_no_reinforcement_machinery(self):
+        r = run("flooding")
+        assert r.counters.get("diffusion.reinforcement_sent", 0) == 0
+        assert r.counters.get("diffusion.exploratory_originated", 0) == 0
+
+    def test_robust_under_failures(self):
+        from repro.experiments.config import FailureModel
+
+        r = run("flooding", failures=FailureModel(fraction=0.2, epoch=6.0))
+        # Many redundant paths: flooding shrugs off failures better than
+        # any tree scheme can.
+        assert r.delivery_ratio > 0.6
+
+
+class TestOmniscient:
+    def test_cheapest_of_all_schemes(self):
+        omni = run("omniscient")
+        greedy = run("greedy")
+        opp = run("opportunistic")
+        assert omni.avg_dissipated_energy < greedy.avg_dissipated_energy
+        assert omni.avg_dissipated_energy < opp.avg_dissipated_energy
+
+    def test_zero_control_traffic(self):
+        r = run("omniscient")
+        for counter in (
+            "diffusion.interest_originated",
+            "diffusion.exploratory_originated",
+            "diffusion.reinforcement_sent",
+            "diffusion.negative_sent",
+        ):
+            assert r.counters.get(counter, 0) == 0
+
+    def test_delivers_reliably(self):
+        r = run("omniscient")
+        assert r.delivery_ratio > 0.95
+
+    def test_aggregates_at_junctions(self):
+        r = run("omniscient")
+        assert r.counters.get("diffusion.items_aggregated", 0) > 0
+
+    def test_tree_installed_on_world(self):
+        cfg = ExperimentConfig.from_profile(smoke(), "omniscient", 80, seed=6)
+        world = build_world(cfg)
+        sink = world.sinks[0]
+        for source in world.sources:
+            agent = world.agents[source]
+            assert sink in agent.source_for
+            # Every source has a static route toward the sink.
+            node = source
+            hops = 0
+            while node != sink:
+                parent = world.agents[node].parent.get(sink)
+                assert parent is not None
+                node = parent
+                hops += 1
+                assert hops <= world.field.n

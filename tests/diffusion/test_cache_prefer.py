@@ -1,0 +1,41 @@
+"""Tests for the incumbent-preference tie-break in the greedy choice."""
+
+from repro.diffusion.cache import ExploratoryCache
+
+
+class TestIncumbentPreference:
+    def test_equal_cost_prefers_incumbent(self):
+        c = ExploratoryCache()
+        c.note_exploratory("k", 1, 4.0, 0.1)  # earlier
+        c.note_exploratory("k", 2, 4.0, 0.2)  # incumbent
+        assert c.lowest_cost_choice("k").neighbor == 1
+        assert c.lowest_cost_choice("k", prefer=frozenset({2})).neighbor == 2
+
+    def test_lower_cost_beats_incumbent(self):
+        c = ExploratoryCache()
+        c.note_exploratory("k", 1, 3.0, 0.1)
+        c.note_exploratory("k", 2, 4.0, 0.2)
+        choice = c.lowest_cost_choice("k", prefer=frozenset({2}))
+        assert choice.neighbor == 1
+        assert choice.cost == 3.0
+
+    def test_incumbent_ic_beats_equal_cost_exploratory(self):
+        # Stability outranks the exploratory-over-C rule on exact ties.
+        c = ExploratoryCache()
+        c.note_exploratory("k", 1, 4.0, 0.1)
+        c.note_incremental_cost("k", 9, 4.0, 0.2)
+        assert c.lowest_cost_choice("k", prefer=frozenset({9})).via_incremental
+
+    def test_without_prefer_paper_rules_hold(self):
+        c = ExploratoryCache()
+        c.note_incremental_cost("k", 9, 4.0, 0.05)
+        c.note_exploratory("k", 1, 4.0, 0.2)
+        choice = c.lowest_cost_choice("k")
+        assert choice.neighbor == 1  # exploratory wins the tie
+        assert not choice.via_incremental
+
+    def test_prefer_ignored_when_not_a_candidate(self):
+        c = ExploratoryCache()
+        c.note_exploratory("k", 1, 4.0, 0.1)
+        choice = c.lowest_cost_choice("k", prefer=frozenset({77}))
+        assert choice.neighbor == 1

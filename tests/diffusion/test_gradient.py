@@ -1,0 +1,97 @@
+"""Unit tests for gradient state."""
+
+from repro.diffusion.gradient import GradientState, GradientTable
+
+
+def table(timeout=15.0):
+    return GradientTable(timeout)
+
+
+class TestExploratoryGradients:
+    def test_interest_sets_up_exploratory_gradient(self):
+        t = table()
+        g = t.refresh_exploratory(5, now=0.0)
+        assert g.state == GradientState.EXPLORATORY
+        assert g.expires_at == 15.0
+
+    def test_refresh_extends_expiry(self):
+        t = table()
+        t.refresh_exploratory(5, now=0.0)
+        g = t.refresh_exploratory(5, now=10.0)
+        assert g.expires_at == 25.0
+
+    def test_refresh_does_not_downgrade_data_gradient(self):
+        t = table()
+        t.reinforce(5, now=0.0)
+        g = t.refresh_exploratory(5, now=1.0)
+        assert g.is_data()
+
+
+class TestReinforcement:
+    def test_reinforce_upgrades(self):
+        t = table()
+        t.refresh_exploratory(5, now=0.0)
+        g = t.reinforce(5, now=1.0)
+        assert g.is_data()
+        assert g.reinforced_at == 1.0
+
+    def test_reinforce_creates_if_absent(self):
+        t = table()
+        g = t.reinforce(5, now=0.0)
+        assert g.is_data()
+
+    def test_single_outgoing_data_gradient(self):
+        # Reinforcing a new preferred neighbor degrades the previous one.
+        t = table()
+        t.reinforce(5, now=0.0)
+        t.reinforce(6, now=1.0)
+        assert t.data_neighbors(now=1.0) == [6]
+        assert t.get(5).state == GradientState.EXPLORATORY
+
+    def test_re_reinforcing_same_neighbor_keeps_it(self):
+        t = table()
+        t.reinforce(5, now=0.0)
+        t.reinforce(5, now=1.0)
+        assert t.data_neighbors(now=1.0) == [5]
+
+
+class TestDegradeAndExpiry:
+    def test_degrade_data_gradient(self):
+        t = table()
+        t.reinforce(5, now=0.0)
+        assert t.degrade(5) is True
+        assert not t.has_data_gradient(now=0.0)
+
+    def test_degrade_exploratory_is_noop(self):
+        t = table()
+        t.refresh_exploratory(5, now=0.0)
+        assert t.degrade(5) is False
+
+    def test_degrade_unknown_neighbor_is_noop(self):
+        assert table().degrade(99) is False
+
+    def test_expire_removes_stale(self):
+        t = table(timeout=10.0)
+        t.refresh_exploratory(5, now=0.0)
+        t.refresh_exploratory(6, now=8.0)
+        dead = t.expire(now=10.0)
+        assert dead == [5]
+        assert t.neighbors() == [6]
+
+    def test_expired_data_gradients_invisible(self):
+        t = table(timeout=10.0)
+        t.reinforce(5, now=0.0)
+        assert t.data_neighbors(now=11.0) == []
+        assert not t.has_data_gradient(now=11.0)
+
+    def test_neighbors_with_now_filters(self):
+        t = table(timeout=10.0)
+        t.refresh_exploratory(5, now=0.0)
+        t.refresh_exploratory(6, now=5.0)
+        assert set(t.neighbors(now=12.0)) == {6}
+
+    def test_len(self):
+        t = table()
+        t.refresh_exploratory(1, now=0.0)
+        t.refresh_exploratory(2, now=0.0)
+        assert len(t) == 2

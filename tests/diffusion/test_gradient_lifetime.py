@@ -1,0 +1,56 @@
+"""Tests for the two-timescale gradient lifetime (existence vs data state)."""
+
+from repro.diffusion.gradient import GradientState, GradientTable
+
+
+class TestDataLifetime:
+    def test_data_state_decays_after_data_timeout(self):
+        t = GradientTable(gradient_timeout=15.0, data_timeout=44.0)
+        t.reinforce(5, now=0.0)
+        assert t.data_neighbors(now=40.0) == [5]
+        assert t.data_neighbors(now=44.5) == []
+
+    def test_entry_outlives_data_state(self):
+        # The gradient entry persists (it is still exploratory demand)
+        # even after the data strength decays.
+        t = GradientTable(gradient_timeout=15.0, data_timeout=44.0)
+        t.reinforce(5, now=0.0)
+        assert 5 in t.neighbors(now=43.0)
+
+    def test_rereinforcement_extends_data_state(self):
+        t = GradientTable(gradient_timeout=15.0, data_timeout=44.0)
+        t.reinforce(5, now=0.0)
+        t.reinforce(5, now=20.0)
+        assert t.data_neighbors(now=60.0) == [5]
+        assert t.data_neighbors(now=65.0) == []
+
+    def test_interest_refresh_does_not_extend_data_state(self):
+        # Only reinforcement refreshes data strength; interests refresh
+        # existence only.
+        t = GradientTable(gradient_timeout=15.0, data_timeout=20.0)
+        t.reinforce(5, now=0.0)
+        t.refresh_exploratory(5, now=18.0)
+        assert t.data_neighbors(now=21.0) == []
+        assert 5 in t.neighbors(now=21.0)
+
+    def test_default_data_timeout_equals_gradient_timeout(self):
+        t = GradientTable(gradient_timeout=15.0)
+        t.reinforce(5, now=0.0)
+        assert t.data_neighbors(now=14.0) == [5]
+        assert t.data_neighbors(now=15.5) == []
+
+    def test_degrade_clears_data_until(self):
+        t = GradientTable(gradient_timeout=15.0, data_timeout=44.0)
+        t.reinforce(5, now=0.0)
+        t.degrade(5)
+        assert t.data_neighbors(now=1.0) == []
+        # Re-reinforcement restores the full data lifetime.
+        t.reinforce(5, now=2.0)
+        assert t.data_neighbors(now=45.0) == [5]
+
+    def test_single_outgoing_applies_across_lifetimes(self):
+        t = GradientTable(gradient_timeout=15.0, data_timeout=44.0)
+        t.reinforce(5, now=0.0)
+        t.reinforce(6, now=10.0)
+        assert t.data_neighbors(now=11.0) == [6]
+        assert t.get(5).state == GradientState.EXPLORATORY

@@ -1,0 +1,92 @@
+"""Unit tests for diffusion wire messages."""
+
+import pytest
+
+from repro.diffusion.messages import (
+    CONTROL_SIZE,
+    EVENT_SIZE,
+    AggregateMsg,
+    DataItem,
+    ExploratoryEvent,
+    IncrementalCostMsg,
+    InterestMsg,
+    NegativeReinforcementMsg,
+    ReinforcementMsg,
+)
+
+
+class TestSizes:
+    def test_paper_wire_sizes(self):
+        # "Events were modeled as 64 byte packets and other messages were
+        # 36 byte packets."
+        assert EVENT_SIZE == 64
+        assert CONTROL_SIZE == 36
+        assert ExploratoryEvent.size == 64
+        assert InterestMsg.size == 36
+        assert IncrementalCostMsg.size == 36
+        assert ReinforcementMsg.size == 36
+        assert NegativeReinforcementMsg.size == 36
+
+
+class TestDataItem:
+    def test_key_identity(self):
+        a = DataItem(3, 7, 1.5)
+        assert a.key == (3, 7)
+
+    def test_items_hashable_and_frozen(self):
+        a = DataItem(3, 7, 1.5)
+        assert a == DataItem(3, 7, 1.5)
+        assert hash(a) == hash(DataItem(3, 7, 1.5))
+
+
+class TestExploratoryEvent:
+    def test_key_includes_interest_source_round(self):
+        e = ExploratoryEvent(9, 3, 2, 1.0, 0.0)
+        assert e.key == (9, 3, 2)
+
+    def test_hopped_adds_unit_cost(self):
+        e = ExploratoryEvent(9, 3, 2, 1.0, 0.0)
+        h = e.hopped()
+        assert h.energy_cost == 2.0
+        assert h.key == e.key
+        assert e.energy_cost == 1.0  # original untouched
+
+
+class TestAggregateMsg:
+    def test_sources_and_item_keys(self):
+        msg = AggregateMsg(
+            interest_id=1,
+            items=(DataItem(3, 1, 0.0), DataItem(4, 1, 0.0), DataItem(3, 2, 0.1)),
+            energy_cost=5.0,
+            size=64,
+        )
+        assert msg.sources == {3, 4}
+        assert msg.item_keys == {(3, 1), (4, 1), (3, 2)}
+
+    def test_empty_aggregate_rejected(self):
+        with pytest.raises(ValueError):
+            AggregateMsg(interest_id=1, items=(), energy_cost=1.0, size=64)
+
+    def test_nonpositive_size_rejected(self):
+        with pytest.raises(ValueError):
+            AggregateMsg(
+                interest_id=1, items=(DataItem(1, 1, 0.0),), energy_cost=1.0, size=0
+            )
+
+
+class TestIncrementalCostMsg:
+    def test_lowered(self):
+        ic = IncrementalCostMsg(1, (1, 2, 3), origin_source=5, cost=7.0)
+        low = ic.lowered(4.0)
+        assert low.cost == 4.0
+        assert low.event_key == ic.event_key
+        assert low.origin_source == 5
+
+    def test_cost_can_only_decrease(self):
+        ic = IncrementalCostMsg(1, (1, 2, 3), origin_source=5, cost=7.0)
+        with pytest.raises(ValueError):
+            ic.lowered(8.0)
+
+    def test_lowered_to_equal_is_allowed(self):
+        ic = IncrementalCostMsg(1, (1, 2, 3), origin_source=5, cost=7.0)
+        assert ic.lowered(7.0).cost == 7.0

@@ -1,0 +1,17 @@
+"""CLI persistence flags (parse-level; the figure run itself is bench-scale)."""
+
+from repro.cli import build_parser
+
+
+class TestSaveFlags:
+    def test_fig_save_and_csv_flags(self):
+        args = build_parser().parse_args(
+            ["fig", "fig5", "--save", "out/fig5.json", "--csv", "out/fig5.csv"]
+        )
+        assert args.save == "out/fig5.json"
+        assert args.csv == "out/fig5.csv"
+
+    def test_flags_default_off(self):
+        args = build_parser().parse_args(["fig", "fig5"])
+        assert args.save is None
+        assert args.csv is None

@@ -1,0 +1,124 @@
+"""Unit tests for experiment configuration and profiles."""
+
+import pytest
+
+from repro.experiments.config import (
+    DENSITY_SWEEP,
+    PROFILES,
+    SINK_SWEEP,
+    SOURCE_SWEEP,
+    ExperimentConfig,
+    FailureModel,
+    fast,
+    paper,
+    smoke,
+)
+
+
+class TestSweepConstants:
+    def test_paper_density_sweep(self):
+        # "seven different sensor fields, ranging from 50 to 350 nodes in
+        # increments of 50 nodes"
+        assert DENSITY_SWEEP == (50, 100, 150, 200, 250, 300, 350)
+
+    def test_source_and_sink_sweeps(self):
+        assert SOURCE_SWEEP == (2, 5, 8, 10, 14)
+        assert SINK_SWEEP == (1, 2, 3, 4, 5)
+
+
+class TestProfiles:
+    def test_registry_complete(self):
+        assert set(PROFILES) == {"paper", "fast", "smoke"}
+
+    def test_paper_profile_uses_paper_constants(self):
+        p = paper()
+        d = p.diffusion
+        assert d.data_interval == 0.5           # 2 events/s
+        assert d.exploratory_interval == 50.0
+        assert d.interest_interval == 5.0
+        assert d.aggregation_delay == 0.5       # T_a
+        assert d.negative_window == 2.0         # T_n = 4 T_a
+        assert d.reinforcement_timer == 1.0     # T_p
+        assert p.trials == 10                   # ten fields per point
+
+    def test_fast_profile_keeps_protocol_constants(self):
+        d = fast().diffusion
+        assert d.data_interval == 0.5
+        assert d.aggregation_delay == 0.5
+        assert d.negative_window == 2.0
+        assert d.reinforcement_timer == 1.0
+        # Only the exploratory interval is scaled.
+        assert d.exploratory_interval < 50.0
+
+    def test_profiles_have_multiple_exploratory_rounds(self):
+        for make in (paper, fast, smoke):
+            p = make()
+            assert p.duration / p.diffusion.exploratory_interval >= 3
+
+    def test_warmup_before_duration_enforced(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(
+                scheme="greedy", n_nodes=50, seed=1, duration=10.0, warmup=10.0
+            )
+
+
+class TestFailureModel:
+    def test_paper_defaults(self):
+        m = FailureModel()
+        assert m.fraction == 0.2   # "we repeatedly turned off 20% of nodes"
+        assert m.epoch == 30.0     # "for 30 seconds"
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            FailureModel(fraction=0.0)
+        with pytest.raises(ValueError):
+            FailureModel(fraction=1.0)
+
+    def test_invalid_epoch(self):
+        with pytest.raises(ValueError):
+            FailureModel(epoch=0.0)
+
+
+class TestExperimentConfig:
+    def test_defaults_match_paper_workload(self):
+        cfg = ExperimentConfig(
+            scheme="greedy", n_nodes=150, seed=1, duration=30.0, warmup=10.0
+        )
+        assert cfg.n_sources == 5
+        assert cfg.n_sinks == 1
+        assert cfg.source_placement == "corner"
+        assert cfg.aggregation == "perfect"
+        assert cfg.field_size == 200.0
+        assert cfg.range_m == 40.0
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(
+                scheme="psychic", n_nodes=150, seed=1, duration=30.0, warmup=10.0
+            )
+
+    def test_unknown_placement_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(
+                scheme="greedy",
+                n_nodes=150,
+                seed=1,
+                duration=30.0,
+                warmup=10.0,
+                source_placement="diagonal",
+            )
+
+    def test_from_profile_applies_overrides(self):
+        cfg = ExperimentConfig.from_profile(
+            smoke(), "opportunistic", 80, seed=4, n_sources=8
+        )
+        assert cfg.scheme == "opportunistic"
+        assert cfg.n_nodes == 80
+        assert cfg.n_sources == 8
+        assert cfg.duration == smoke().duration
+
+    def test_workload_bounds(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(
+                scheme="greedy", n_nodes=10, seed=1, duration=30.0, warmup=1.0, n_sources=0
+            )

@@ -1,0 +1,43 @@
+"""Small-scale executions of the figure harnesses (full fidelity runs
+live in benchmarks/)."""
+
+import pytest
+
+from repro.experiments.config import smoke
+from repro.experiments.figures import FIGURES, figure5, figure9, git_vs_spt_table
+
+
+class TestFigureHarness:
+    def test_registry_covers_all_evaluation_figures(self):
+        assert set(FIGURES) == {"fig5", "fig6", "fig7", "fig8", "fig9", "fig10"}
+
+    def test_figure5_tiny(self):
+        result = figure5(smoke(), densities=(50,), trials=1)
+        assert result.figure_id == "fig5"
+        assert result.xs() == [50.0]
+        assert {c.scheme for c in result.cells} == {"opportunistic", "greedy"}
+        for c in result.cells:
+            assert c.energy > 0
+            assert 0 <= c.ratio <= 1
+
+    def test_figure9_tiny(self):
+        result = figure9(smoke(), source_counts=(2,), n_nodes=60, trials=1)
+        assert result.xs() == [2.0]
+        assert all(c.n_runs == 1 for c in result.cells)
+
+    def test_savings_computable(self):
+        result = figure5(smoke(), densities=(60,), trials=1)
+        s = result.energy_savings(60)
+        assert -1.0 < s < 1.0
+
+
+class TestGitVsSptTable:
+    def test_rows_cover_all_placements(self):
+        rows = git_vs_spt_table(n_nodes=(80,), n_sources=3, trials=2, seed=1)
+        assert {r["placement"] for r in rows} == {
+            "event-radius",
+            "random-sources",
+            "corner",
+        }
+        for r in rows:
+            assert r["mean_spt_cost"] >= r["mean_git_cost"] > 0

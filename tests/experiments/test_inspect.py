@@ -1,0 +1,119 @@
+"""Tests for the tree-inspection tools."""
+
+import pytest
+
+from repro.diffusion.messages import DataItem
+from repro.experiments.config import ExperimentConfig, smoke
+from repro.experiments.inspect import (
+    active_tree,
+    compare_with_ideal,
+    delivery_timeline,
+    tree_stats,
+)
+from repro.experiments.metrics import MetricsCollector
+from repro.experiments.runner import build_world
+
+
+def converged_world(scheme="greedy", n=80, seed=5):
+    cfg = ExperimentConfig.from_profile(smoke(), scheme, n, seed=seed)
+    world = build_world(cfg)
+    world.sim.run(until=cfg.duration)
+    return world
+
+
+class TestActiveTree:
+    def test_tree_connects_sources_to_sink(self):
+        world = converged_world()
+        tree = active_tree(world)
+        stats = tree_stats(tree, world.sources, world.sinks[0])
+        assert stats.stranded_sources == ()
+        assert stats.depth >= 1
+        assert stats.n_edges >= len(world.sources)
+
+    def test_functional_graph_out_degree_at_most_one(self):
+        world = converged_world()
+        tree = active_tree(world)
+        assert all(tree.out_degree(n) <= 1 for n in tree.nodes)
+
+    def test_no_sinks_raises(self):
+        world = converged_world()
+        world.sinks.clear()
+        with pytest.raises(ValueError):
+            active_tree(world)
+
+    def test_explicit_interest_id(self):
+        world = converged_world()
+        tree = active_tree(world, interest_id=world.sinks[0])
+        assert tree.number_of_edges() > 0
+
+
+class TestTreeStats:
+    def test_stranded_source_detected(self):
+        import networkx as nx
+
+        tree = nx.DiGraph()
+        tree.add_edge(1, 2)
+        tree.add_edge(2, 9)  # 9 = sink
+        stats = tree_stats(tree, sources=[1, 7], sink=9)
+        assert stats.stranded_sources == (7,)
+        assert stats.depth == 2
+
+    def test_junction_counting(self):
+        import networkx as nx
+
+        tree = nx.DiGraph()
+        tree.add_edge(1, 3)
+        tree.add_edge(2, 3)
+        tree.add_edge(3, 9)
+        stats = tree_stats(tree, sources=[1, 2], sink=9)
+        assert stats.n_junctions == 1
+
+
+class TestCompareWithIdeal:
+    def test_distributed_tree_near_git(self):
+        world = converged_world()
+        cmp = compare_with_ideal(world)
+        assert cmp["git_edges"] <= cmp["spt_edges"]
+        # The distributed greedy tree tracks the centralized GIT within a
+        # small factor (stale gradients may add a few edges).
+        assert cmp["distributed_edges"] <= 2.5 * cmp["git_edges"] + 2
+
+    def test_keys_present(self):
+        cmp = compare_with_ideal(converged_world(n=60, seed=8))
+        assert set(cmp) == {
+            "distributed_edges",
+            "spt_edges",
+            "git_edges",
+            "steiner_edges",
+        }
+
+
+class TestDeliveryTimeline:
+    def test_buckets_count_deliveries(self):
+        m = MetricsCollector(warmup_end=0.0)
+        for i, t in enumerate([0.5, 1.5, 1.7, 9.9]):
+            item = DataItem(1, i, t - 0.2)
+            m.on_generated(1, item)
+            m.on_delivered(1, 9, item, t)
+        timeline = delivery_timeline(m, bucket=1.0, until=10.0)
+        counts = dict(timeline)
+        assert counts[0.0] == 1
+        assert counts[1.0] == 2
+        assert counts[9.0] == 1
+
+    def test_invalid_bucket(self):
+        with pytest.raises(ValueError):
+            delivery_timeline(MetricsCollector(0.0), bucket=0.0, until=1.0)
+
+    def test_live_run_has_continuous_delivery(self):
+        world = converged_world()
+        timeline = delivery_timeline(
+            world.metrics, bucket=5.0, until=world.config.duration
+        )
+        # After warmup, every complete 5-second bucket sees deliveries.
+        late = [
+            c
+            for t, c in timeline
+            if world.config.warmup + 5.0 <= t <= world.config.duration - 5.0
+        ]
+        assert late and all(c > 0 for c in late)

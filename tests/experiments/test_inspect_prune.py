@@ -1,0 +1,52 @@
+"""Tests for pruned vs unpruned live-tree extraction."""
+
+from repro.experiments.config import ExperimentConfig, smoke
+from repro.experiments.inspect import active_tree, tree_stats
+from repro.experiments.runner import build_world
+
+
+def converged_world(seed=5):
+    cfg = ExperimentConfig.from_profile(smoke(), "greedy", 80, seed=seed)
+    world = build_world(cfg)
+    world.sim.run(until=cfg.duration)
+    return world
+
+
+class TestPruning:
+    def test_pruned_is_subgraph_of_unpruned(self):
+        world = converged_world()
+        pruned = active_tree(world, prune=True)
+        full = active_tree(world, prune=False)
+        assert set(pruned.edges()) <= set(full.edges())
+
+    def test_pruned_contains_only_source_chains(self):
+        world = converged_world()
+        pruned = active_tree(world, prune=True)
+        # Every node in the pruned tree is reachable from some source.
+        import networkx as nx
+
+        reachable = set()
+        for source in world.sources:
+            if source in pruned:
+                reachable |= nx.descendants(pruned, source) | {source}
+        assert set(pruned.nodes()) <= reachable
+
+    def test_pruned_tree_edge_count_close_to_git(self):
+        world = converged_world()
+        from repro.trees import greedy_incremental_tree, tree_cost
+
+        pruned = active_tree(world, prune=True)
+        git = greedy_incremental_tree(
+            world.field.connectivity_graph(),
+            world.sinks[0],
+            world.sources,
+            order="nearest",
+        )
+        # The distributed tree tracks the centralized GIT within ~50%.
+        assert pruned.number_of_edges() <= 1.6 * tree_cost(git) + 2
+
+    def test_stats_on_pruned_tree(self):
+        world = converged_world()
+        stats = tree_stats(active_tree(world), world.sources, world.sinks[0])
+        assert stats.stranded_sources == ()
+        assert stats.n_edges <= stats.n_nodes  # functional graph

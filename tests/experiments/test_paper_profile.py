@@ -1,0 +1,24 @@
+"""One full paper-profile run (the §5.1 constants, small field).
+
+The figure benchmarks use the scaled `fast` profile; this test proves the
+published constants themselves (50 s exploratory interval, 260 s runs)
+work end to end — exploratory rounds are sparse, so it exercises the
+long-lived data-gradient path that the fast profile barely touches.
+"""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig, paper
+from repro.experiments.runner import run_experiment
+
+
+@pytest.mark.parametrize("scheme", ["opportunistic", "greedy"])
+def test_paper_profile_small_field(scheme):
+    profile = paper()
+    assert profile.diffusion.exploratory_interval == 50.0
+    cfg = ExperimentConfig.from_profile(profile, scheme, 50, seed=2)
+    r = run_experiment(cfg)
+    # 5 sources x 2 ev/s x 200 s measured window = ~2000 events.
+    assert r.events_sent > 1500
+    assert r.delivery_ratio > 0.9
+    assert 0.0 < r.avg_delay < 2.0

@@ -1,0 +1,70 @@
+"""Tests for figure result persistence."""
+
+import json
+
+import pytest
+
+from repro.experiments.figures import FigureResult
+from repro.experiments.persistence import (
+    export_figure_csv,
+    load_figure_json,
+    save_figure_json,
+)
+from repro.experiments.sweeps import CellSummary
+
+
+def figure():
+    cells = tuple(
+        CellSummary(
+            scheme=scheme,
+            x=float(x),
+            energy=0.001 * x / 100 + (0.0001 if scheme == "opportunistic" else 0.0),
+            energy_stdev=0.00001,
+            delay=0.25,
+            ratio=0.98,
+            n_runs=3,
+            distinct_delivered=400.0,
+        )
+        for x in (50, 350)
+        for scheme in ("opportunistic", "greedy")
+    )
+    return FigureResult("fig5", "density sweep", "nodes", cells)
+
+
+class TestJsonRoundTrip:
+    def test_round_trip_identity(self, tmp_path):
+        original = figure()
+        path = save_figure_json(original, tmp_path / "fig5.json")
+        loaded = load_figure_json(path)
+        assert loaded == original
+
+    def test_savings_preserved(self, tmp_path):
+        original = figure()
+        loaded = load_figure_json(save_figure_json(original, tmp_path / "f.json"))
+        assert loaded.energy_savings(350) == pytest.approx(original.energy_savings(350))
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = save_figure_json(figure(), tmp_path / "a" / "b" / "f.json")
+        assert path.exists()
+
+    def test_version_check(self, tmp_path):
+        path = save_figure_json(figure(), tmp_path / "f.json")
+        payload = json.loads(path.read_text())
+        payload["format_version"] = 99
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="version"):
+            load_figure_json(path)
+
+
+class TestCsvExport:
+    def test_csv_rows(self, tmp_path):
+        path = export_figure_csv(figure(), tmp_path / "f.csv")
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 1 + 4  # header + 4 cells
+        assert lines[0].startswith("figure_id,nodes,scheme")
+
+    def test_csv_sorted_by_x_then_scheme(self, tmp_path):
+        path = export_figure_csv(figure(), tmp_path / "f.csv")
+        rows = path.read_text().strip().splitlines()[1:]
+        keys = [(float(r.split(",")[1]), r.split(",")[2]) for r in rows]
+        assert keys == sorted(keys)

@@ -1,0 +1,91 @@
+"""Tests for figure result containers and ASCII reporting."""
+
+import pytest
+
+from repro.experiments.figures import FigureResult
+from repro.experiments.report import format_figure, format_table, format_tree_table
+from repro.experiments.sweeps import CellSummary
+
+
+def cell(scheme, x, energy, delay=0.3, ratio=0.95):
+    return CellSummary(
+        scheme=scheme,
+        x=x,
+        energy=energy,
+        energy_stdev=0.0,
+        delay=delay,
+        ratio=ratio,
+        n_runs=3,
+        distinct_delivered=100.0,
+    )
+
+
+def figure():
+    return FigureResult(
+        figure_id="fig5",
+        title="test",
+        x_label="nodes",
+        cells=(
+            cell("opportunistic", 50, 0.002),
+            cell("greedy", 50, 0.0019),
+            cell("opportunistic", 350, 0.004),
+            cell("greedy", 350, 0.0022),
+        ),
+    )
+
+
+class TestFigureResult:
+    def test_xs_sorted_unique(self):
+        assert figure().xs() == [50.0, 350.0]
+
+    def test_series(self):
+        greedy = figure().series("greedy")
+        assert [c.x for c in greedy] == [50.0, 350.0]
+
+    def test_cell_lookup(self):
+        assert figure().cell("greedy", 350).energy == 0.0022
+        with pytest.raises(KeyError):
+            figure().cell("greedy", 999)
+
+    def test_energy_savings(self):
+        f = figure()
+        assert f.energy_savings(50) == pytest.approx(1 - 0.0019 / 0.002)
+        assert f.energy_savings(350) == pytest.approx(1 - 0.0022 / 0.004)
+
+    def test_max_energy_savings(self):
+        assert figure().max_energy_savings() == pytest.approx(0.45)
+
+
+class TestFormatting:
+    def test_format_table_alignment(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [10, 0.25]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines)
+
+    def test_format_table_empty_rows(self):
+        out = format_table(["x"], [])
+        assert "x" in out
+
+    def test_format_figure_contains_panels_and_savings(self):
+        out = format_figure(figure())
+        assert "fig5" in out
+        assert "opp energy" in out
+        assert "greedy ratio" in out
+        assert "peak greedy energy savings: 45.0%" in out
+
+    def test_format_tree_table(self):
+        rows = [
+            {
+                "placement": "corner",
+                "n_nodes": 100,
+                "n_sources": 5,
+                "mean_spt_cost": 16.0,
+                "mean_git_cost": 10.0,
+                "mean_steiner_cost": 10.0,
+                "mean_savings": 0.375,
+            }
+        ]
+        out = format_tree_table(rows)
+        assert "corner" in out
+        assert "37.5" in out

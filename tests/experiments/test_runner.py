@@ -1,0 +1,119 @@
+"""Tests for world construction and the experiment runner."""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig, FailureModel, smoke
+from repro.experiments.runner import build_world, run_experiment
+
+
+def cfg(**overrides):
+    scheme = overrides.pop("scheme", "greedy")
+    return ExperimentConfig.from_profile(smoke(), scheme, 60, seed=4, **overrides)
+
+
+class TestBuildWorld:
+    def test_world_shape(self):
+        w = build_world(cfg())
+        assert len(w.nodes) == 60
+        assert len(w.agents) == 60
+        assert len(w.sources) == 5
+        assert len(w.sinks) == 1
+        assert not set(w.sources) & set(w.sinks)
+
+    def test_sources_in_corner_square(self):
+        w = build_world(cfg())
+        for s in w.sources:
+            x, y = w.field.positions[s]
+            assert x <= 80.0 + 1e-9 and y <= 80.0 + 1e-9
+
+    def test_source_attributes_match_interest(self):
+        from repro.experiments.runner import TRACKING_SPEC
+
+        w = build_world(cfg())
+        for s in w.sources:
+            assert TRACKING_SPEC.matches(w.agents[s].attributes)
+        non_sources = set(range(60)) - set(w.sources)
+        for n in list(non_sources)[:10]:
+            assert not TRACKING_SPEC.matches(w.agents[n].attributes)
+
+    def test_multi_sink_world(self):
+        w = build_world(cfg(n_sinks=3))
+        assert len(w.sinks) == 3
+        for sink in w.sinks:
+            assert sink in w.agents[sink].own_interests
+
+    def test_failure_driver_attached(self):
+        w = build_world(cfg(failures=FailureModel(epoch=5.0)))
+        assert w.failure_driver is not None
+
+    def test_scheme_selects_agent_class(self):
+        from repro.core.greedy import GreedyAgent
+        from repro.diffusion.opportunistic import OpportunisticAgent
+
+        assert isinstance(build_world(cfg()).agents[0], GreedyAgent)
+        w = build_world(cfg(scheme="opportunistic"))
+        assert isinstance(w.agents[0], OpportunisticAgent)
+
+    def test_same_seed_same_world(self):
+        a = build_world(cfg())
+        b = build_world(cfg())
+        assert a.field.positions == b.field.positions
+        assert a.sources == b.sources
+        assert a.sinks == b.sinks
+
+
+class TestRunExperiment:
+    def test_run_produces_sane_metrics(self):
+        r = run_experiment(cfg())
+        assert r.scheme == "greedy"
+        assert r.n_nodes == 60
+        assert 0.0 <= r.delivery_ratio <= 1.0
+        assert r.delivery_ratio > 0.5
+        assert r.avg_dissipated_energy > 0
+        assert r.avg_delay > 0
+        assert r.distinct_delivered > 0
+        assert r.events_sent > 0
+
+    def test_determinism(self):
+        a = run_experiment(cfg())
+        b = run_experiment(cfg())
+        assert a.avg_dissipated_energy == b.avg_dissipated_energy
+        assert a.avg_delay == b.avg_delay
+        assert a.delivery_ratio == b.delivery_ratio
+        assert a.counters == b.counters
+
+    def test_different_seeds_differ(self):
+        a = run_experiment(cfg())
+        b = run_experiment(
+            ExperimentConfig.from_profile(smoke(), "greedy", 60, seed=5)
+        )
+        assert a.avg_dissipated_energy != b.avg_dissipated_energy
+
+    def test_include_idle_raises_energy(self):
+        lean = run_experiment(cfg())
+        full = run_experiment(cfg(include_idle=True))
+        assert full.avg_dissipated_energy > lean.avg_dissipated_energy
+
+    def test_failures_reduce_delivery(self):
+        clean = run_experiment(cfg())
+        faulty = run_experiment(cfg(failures=FailureModel(fraction=0.2, epoch=5.0)))
+        assert faulty.delivery_ratio < clean.delivery_ratio
+        assert faulty.counters.get("node.fail", 0) > 0
+
+    def test_sinks_exempt_from_failures(self):
+        w = build_world(cfg(failures=FailureModel(epoch=2.0)))
+        w.sim.run(until=w.config.duration)
+        for sink in w.sinks:
+            assert w.nodes[sink].fail_count == 0
+
+    def test_linear_aggregation_runs(self):
+        r = run_experiment(cfg(aggregation="linear"))
+        assert r.delivery_ratio > 0.5
+
+    def test_random_placement_runs(self):
+        r = run_experiment(cfg(source_placement="random"))
+        assert r.distinct_delivered > 0
+
+    def test_event_radius_placement_runs(self):
+        r = run_experiment(cfg(source_placement="event-radius"))
+        assert r.distinct_delivered > 0

@@ -1,0 +1,87 @@
+"""Unit tests for the radio energy model."""
+
+import pytest
+
+from repro.net.energy import EnergyMeter, EnergyParams
+
+
+class TestEnergyParams:
+    def test_paper_defaults(self):
+        p = EnergyParams()
+        assert p.tx_power_w == pytest.approx(0.660)
+        assert p.rx_power_w == pytest.approx(0.395)
+        assert p.idle_power_w == pytest.approx(0.035)
+
+    def test_idle_ratios_match_paper(self):
+        # "idle time power dissipation was ... nearly 10% of its receive
+        # power ... and about 5% of its transmit power"
+        p = EnergyParams()
+        assert p.idle_power_w / p.rx_power_w == pytest.approx(0.0886, abs=0.01)
+        assert p.idle_power_w / p.tx_power_w == pytest.approx(0.053, abs=0.01)
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(ValueError):
+            EnergyParams(tx_power_w=-1.0)
+
+
+class TestEnergyMeter:
+    def test_tx_accounting(self):
+        m = EnergyMeter(EnergyParams())
+        m.note_tx(2.0)
+        m.note_tx(1.0)
+        assert m.tx_time == pytest.approx(3.0)
+        assert m.tx_count == 2
+
+    def test_rx_accounting(self):
+        m = EnergyMeter(EnergyParams())
+        m.note_rx(0.0, 1.0)
+        m.note_rx(5.0, 0.5)
+        assert m.rx_time == pytest.approx(1.5)
+        assert m.rx_count == 2
+
+    def test_overlapping_rx_merged(self):
+        # Two frames overlapping at the receiver must not double-charge.
+        m = EnergyMeter(EnergyParams())
+        m.note_rx(0.0, 1.0)
+        m.note_rx(0.5, 1.0)  # overlaps [0.5, 1.0]
+        assert m.rx_time == pytest.approx(1.5)
+
+    def test_fully_contained_rx_free(self):
+        m = EnergyMeter(EnergyParams())
+        m.note_rx(0.0, 2.0)
+        m.note_rx(0.5, 1.0)  # entirely inside
+        assert m.rx_time == pytest.approx(2.0)
+
+    def test_negative_duration_rejected(self):
+        m = EnergyMeter(EnergyParams())
+        with pytest.raises(ValueError):
+            m.note_tx(-1.0)
+        with pytest.raises(ValueError):
+            m.note_rx(0.0, -1.0)
+
+    def test_communication_energy(self):
+        m = EnergyMeter(EnergyParams(tx_power_w=1.0, rx_power_w=0.5, idle_power_w=0.1))
+        m.note_tx(2.0)
+        m.note_rx(0.0, 4.0)
+        assert m.communication_energy_j() == pytest.approx(2.0 + 2.0)
+
+    def test_idle_time(self):
+        m = EnergyMeter(EnergyParams())
+        m.note_tx(1.0)
+        m.note_rx(0.0, 2.0)
+        assert m.idle_time(10.0) == pytest.approx(7.0)
+
+    def test_idle_time_clamped_nonnegative(self):
+        m = EnergyMeter(EnergyParams())
+        m.note_tx(5.0)
+        assert m.idle_time(1.0) == 0.0
+
+    def test_total_energy_includes_idle(self):
+        m = EnergyMeter(EnergyParams(tx_power_w=1.0, rx_power_w=1.0, idle_power_w=0.5))
+        m.note_tx(1.0)
+        assert m.total_energy_j(3.0) == pytest.approx(1.0 + 0.5 * 2.0)
+
+    def test_fresh_meter_zero(self):
+        m = EnergyMeter(EnergyParams())
+        assert m.communication_energy_j() == 0.0
+        assert m.total_energy_j(0.0) == 0.0

@@ -1,0 +1,48 @@
+"""Unit tests for link-layer frames."""
+
+import pytest
+
+from repro.net.packet import BROADCAST, Frame, FrameKind
+
+
+class TestFrame:
+    def test_unique_ids(self):
+        a = Frame(src=1, dst=2, size=64)
+        b = Frame(src=1, dst=2, size=64)
+        assert a.frame_id != b.frame_id
+
+    def test_broadcast_flag(self):
+        assert Frame(src=1, dst=BROADCAST, size=10).is_broadcast
+        assert not Frame(src=1, dst=2, size=10).is_broadcast
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            Frame(src=1, dst=2, size=0)
+        with pytest.raises(ValueError):
+            Frame(src=1, dst=2, size=-5)
+
+    def test_default_kind_is_data(self):
+        assert Frame(src=1, dst=2, size=10).kind == FrameKind.DATA
+
+    def test_payload_carried(self):
+        payload = {"anything": 1}
+        assert Frame(src=1, dst=2, size=10, payload=payload).payload is payload
+
+
+class TestAck:
+    def test_ack_reverses_direction(self):
+        f = Frame(src=3, dst=7, size=64)
+        ack = f.ack_frame(10)
+        assert ack.src == 7
+        assert ack.dst == 3
+        assert ack.size == 10
+        assert ack.kind == FrameKind.ACK
+
+    def test_ack_payload_references_frame(self):
+        f = Frame(src=3, dst=7, size=64)
+        assert f.ack_frame(10).payload == f.frame_id
+
+    def test_broadcast_not_acknowledged(self):
+        f = Frame(src=3, dst=BROADCAST, size=64)
+        with pytest.raises(ValueError):
+            f.ack_frame(10)

@@ -1,0 +1,81 @@
+"""Edge-case tests for channel/radio bookkeeping."""
+
+from repro.net.energy import EnergyMeter, EnergyParams
+from repro.net.packet import BROADCAST, Frame
+from repro.net.radio import Channel, Radio, RadioParams
+from repro.sim import Simulator, Tracer
+
+
+def make_channel(range_m=40.0):
+    sim = Simulator()
+    tracer = Tracer(lambda: sim.now)
+    return sim, tracer, Channel(sim, tracer, RadioParams(range_m=range_m))
+
+
+def add_radio(ch, node_id, x, y):
+    state = {"up": True}
+    radio = Radio(
+        node_id, x, y, ch, EnergyMeter(EnergyParams()), lambda: state["up"]
+    )
+    return radio, state
+
+
+class TestNeighborCacheInvalidation:
+    def test_late_registration_rebuilds_cache(self):
+        _sim, _tr, ch = make_channel()
+        a, _ = add_radio(ch, 0, 0, 0)
+        assert ch.neighbors(0) == []  # cache built with one radio
+        b, _ = add_radio(ch, 1, 20, 0)  # registration invalidates it
+        assert [r.node_id for r in ch.neighbors(0)] == [1]
+        assert [r.node_id for r in ch.neighbors(1)] == [0]
+
+    def test_grid_bucketing_matches_brute_force(self):
+        import random
+
+        _sim, _tr, ch = make_channel(range_m=40.0)
+        rng = random.Random(3)
+        radios = [add_radio(ch, i, rng.uniform(0, 200), rng.uniform(0, 200))[0] for i in range(60)]
+        for r in radios:
+            expected = {
+                o.node_id
+                for o in radios
+                if o is not r and (o.x - r.x) ** 2 + (o.y - r.y) ** 2 <= 40.0**2
+            }
+            assert {n.node_id for n in ch.neighbors(r.node_id)} == expected
+
+
+class TestCarrierSenseWindows:
+    def test_busy_until_covers_whole_frame(self):
+        sim, _tr, ch = make_channel()
+        a, _ = add_radio(ch, 0, 0, 0)
+        b, _ = add_radio(ch, 1, 30, 0)
+        air = ch.params.air_time(64)
+        prop = ch.params.propagation_delay_s
+        a.start_tx(Frame(src=0, dst=BROADCAST, size=64))
+        checks = []
+        sim.schedule(prop + air * 0.5, lambda: checks.append(b.medium_busy()))
+        sim.schedule(prop + air + 0.001, lambda: checks.append(b.medium_busy()))
+        sim.run()
+        assert checks == [True, False]
+
+    def test_transmitter_senses_its_own_tx(self):
+        sim, _tr, ch = make_channel()
+        a, _ = add_radio(ch, 0, 0, 0)
+        add_radio(ch, 1, 30, 0)
+        a.start_tx(Frame(src=0, dst=BROADCAST, size=64))
+        assert a.transmitting
+        assert a.medium_busy()
+        sim.run()
+        assert not a.transmitting
+
+    def test_back_to_back_frames_from_same_sender_ok(self):
+        sim, _tr, ch = make_channel()
+        a, _ = add_radio(ch, 0, 0, 0)
+        b, _ = add_radio(ch, 1, 30, 0)
+        got = []
+        b.deliver = got.append
+        air = ch.params.air_time(64)
+        sim.schedule(0.0, a.start_tx, Frame(src=0, dst=BROADCAST, size=64))
+        sim.schedule(air + 0.001, a.start_tx, Frame(src=0, dst=BROADCAST, size=64))
+        sim.run()
+        assert len(got) == 2

@@ -1,0 +1,144 @@
+"""Unit tests for sensor-field generation and placement schemes."""
+
+import random
+
+import pytest
+
+from repro.net.topology import (
+    SensorField,
+    corner_sink_node,
+    corner_source_nodes,
+    event_radius_sources,
+    expected_degree,
+    generate_field,
+    random_source_nodes,
+    scattered_sink_nodes,
+)
+
+
+def field_of(positions, size=200.0, range_m=40.0):
+    return SensorField(list(positions), size, range_m)
+
+
+class TestExpectedDegree:
+    def test_paper_density_anchors(self):
+        # "the radio density ... ranges from 6 to 43 neighbors"
+        assert expected_degree(50, 200.0, 40.0) == pytest.approx(6.3, abs=0.1)
+        assert expected_degree(350, 200.0, 40.0) == pytest.approx(44.0, abs=0.5)
+
+    def test_scales_linearly_with_n(self):
+        assert expected_degree(200, 200.0, 40.0) == pytest.approx(
+            2 * expected_degree(100, 200.0, 40.0)
+        )
+
+
+class TestSensorField:
+    def test_connectivity_graph_edges(self):
+        fld = field_of([(0, 0), (30, 0), (100, 0)])
+        g = fld.connectivity_graph()
+        assert g.has_edge(0, 1)
+        assert not g.has_edge(1, 2)
+        assert g.number_of_nodes() == 3
+
+    def test_is_connected(self):
+        assert field_of([(0, 0), (30, 0), (60, 0)]).is_connected()
+        assert not field_of([(0, 0), (100, 0)]).is_connected()
+
+    def test_mean_degree(self):
+        fld = field_of([(0, 0), (30, 0), (60, 0)])
+        assert fld.mean_degree() == pytest.approx(4 / 3)
+
+    def test_distance(self):
+        fld = field_of([(0, 0), (3, 4)])
+        assert fld.distance(0, 1) == pytest.approx(5.0)
+
+    def test_nodes_in_square(self):
+        fld = field_of([(10, 10), (90, 90), (79, 2)])
+        assert set(fld.nodes_in_square(0, 0, 80)) == {0, 2}
+
+
+class TestGenerateField:
+    def test_node_count_and_bounds(self):
+        fld = generate_field(60, random.Random(1))
+        assert fld.n == 60
+        assert all(0 <= x <= 200 and 0 <= y <= 200 for x, y in fld.positions)
+
+    def test_connected_when_required(self):
+        fld = generate_field(50, random.Random(2), require_connected=True)
+        assert fld.is_connected()
+
+    def test_deterministic_for_seeded_rng(self):
+        a = generate_field(40, random.Random(3)).positions
+        b = generate_field(40, random.Random(3)).positions
+        assert a == b
+
+    def test_too_few_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            generate_field(1, random.Random(1))
+
+    def test_impossible_connectivity_raises(self):
+        with pytest.raises(RuntimeError):
+            generate_field(
+                3, random.Random(1), field_size=10000.0, range_m=1.0, max_attempts=3
+            )
+
+
+class TestPlacements:
+    def setup_method(self):
+        self.rng = random.Random(7)
+        self.fld = generate_field(200, self.rng)
+
+    def test_corner_sources_inside_square(self):
+        sources = corner_source_nodes(self.fld, 5, self.rng)
+        assert len(sources) == 5
+        assert len(set(sources)) == 5
+        for s in sources:
+            x, y = self.fld.positions[s]
+            assert x <= 80 and y <= 80
+
+    def test_corner_sources_fallback_when_square_sparse(self):
+        # A tiny square holds no nodes; the nearest nodes fill in.
+        sources = corner_source_nodes(self.fld, 3, self.rng, square_side=0.001)
+        assert len(sources) == 3
+
+    def test_corner_sink_in_top_right(self):
+        sink = corner_sink_node(self.fld, self.rng)
+        x, y = self.fld.positions[sink]
+        assert x >= 200 - 36 - 1e-9 or y >= 200 - 36 - 1e-9
+
+    def test_corner_sink_excludes(self):
+        sink1 = corner_sink_node(self.fld, self.rng)
+        candidates = {
+            corner_sink_node(self.fld, random.Random(i), exclude={sink1})
+            for i in range(20)
+        }
+        assert sink1 not in candidates
+
+    def test_random_sources_exclude(self):
+        sources = random_source_nodes(self.fld, 10, self.rng, exclude={0, 1, 2})
+        assert not set(sources) & {0, 1, 2}
+        assert len(set(sources)) == 10
+
+    def test_random_sources_too_many_rejected(self):
+        with pytest.raises(ValueError):
+            random_source_nodes(self.fld, self.fld.n + 1, self.rng)
+
+    def test_scattered_sinks_first_at_corner(self):
+        sinks = scattered_sink_nodes(self.fld, 4, self.rng)
+        assert len(sinks) == 4
+        assert len(set(sinks)) == 4
+        x, y = self.fld.positions[sinks[0]]
+        assert x >= 200 - 36 - 1e-9 or y >= 200 - 36 - 1e-9
+
+    def test_event_radius_sources_clustered(self):
+        sources = event_radius_sources(self.fld, 5, radius=40.0, rng=self.rng)
+        assert len(sources) == 5
+        xs = [self.fld.positions[s][0] for s in sources]
+        ys = [self.fld.positions[s][1] for s in sources]
+        # Clustered: the bounding box is far smaller than the field.
+        assert max(xs) - min(xs) <= 120
+        assert max(ys) - min(ys) <= 120
+
+    def test_event_radius_pads_when_radius_too_small(self):
+        sources = event_radius_sources(self.fld, 5, radius=0.001, rng=self.rng)
+        assert len(sources) == 5

@@ -1,0 +1,125 @@
+"""Property-based tests for the diffusion caches and gradient table."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.diffusion.cache import ExploratoryCache, SeenCache
+from repro.diffusion.gradient import GradientTable
+
+keys = st.integers(min_value=0, max_value=30)
+
+
+class TestSeenCacheProperties:
+    @given(st.lists(keys, max_size=200), st.integers(min_value=1, max_value=16))
+    @settings(max_examples=60)
+    def test_no_key_reported_new_twice_within_capacity_window(self, seq, cap):
+        """Within any window smaller than the capacity, a key is new at
+        most once (the cache only forgets after >= cap distinct keys)."""
+        cache = SeenCache(capacity=cap)
+        last_new_at: dict[int, int] = {}
+        distinct_since: dict[int, set] = {}
+        for i, k in enumerate(seq):
+            is_new = cache.check_and_add(k)
+            if is_new and k in last_new_at:
+                # The cache must have seen >= cap distinct other keys since.
+                assert len(distinct_since[k]) >= cap
+            if is_new:
+                last_new_at[k] = i
+                distinct_since[k] = set()
+            for other in distinct_since.values():
+                other.add(k)
+
+    @given(st.lists(keys, max_size=200))
+    @settings(max_examples=60)
+    def test_duplicate_immediately_after_insert_never_new(self, seq):
+        cache = SeenCache(capacity=1024)
+        seen = set()
+        for k in seq:
+            is_new = cache.check_and_add(k)
+            assert is_new == (k not in seen)
+            seen.add(k)
+
+
+class TestExploratoryCacheProperties:
+    notes = st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=5),   # neighbor
+            st.floats(min_value=0.5, max_value=20.0, allow_nan=False),  # cost
+        ),
+        min_size=1,
+        max_size=30,
+    )
+
+    @given(notes)
+    @settings(max_examples=60)
+    def test_lowest_cost_choice_is_global_min(self, notes):
+        cache = ExploratoryCache()
+        t = 0.0
+        for neighbor, cost in notes:
+            cache.note_exploratory("k", neighbor, cost, t)
+            t += 0.01
+        choice = cache.lowest_cost_choice("k")
+        assert choice.cost == min(c for _n, c in notes)
+
+    @given(notes)
+    @settings(max_examples=60)
+    def test_first_flag_exactly_once(self, notes):
+        cache = ExploratoryCache()
+        firsts = sum(
+            cache.note_exploratory("k", n, c, i * 0.01)
+            for i, (n, c) in enumerate(notes)
+        )
+        assert firsts == 1
+
+    @given(notes)
+    @settings(max_examples=60)
+    def test_incremental_costs_never_increase_choice(self, notes):
+        cache = ExploratoryCache()
+        for i, (n, c) in enumerate(notes):
+            cache.note_exploratory("k", n, c, i * 0.01)
+        before = cache.lowest_cost_choice("k").cost
+        cache.note_incremental_cost("k", 99, before + 5.0, 1.0)
+        assert cache.lowest_cost_choice("k").cost == before
+        cache.note_incremental_cost("k", 98, before - 0.25, 1.1)
+        assert cache.lowest_cost_choice("k").cost == before - 0.25
+
+
+class TestGradientTableProperties:
+    ops = st.lists(
+        st.tuples(st.sampled_from(["refresh", "reinforce", "degrade"]), keys),
+        max_size=60,
+    )
+
+    @given(ops)
+    @settings(max_examples=80)
+    def test_at_most_one_data_gradient(self, ops):
+        """The single-outgoing invariant: whatever the operation sequence,
+        at most one live data gradient exists."""
+        table = GradientTable(gradient_timeout=100.0)
+        now = 0.0
+        for op, neighbor in ops:
+            now += 0.1
+            if op == "refresh":
+                table.refresh_exploratory(neighbor, now)
+            elif op == "reinforce":
+                table.reinforce(neighbor, now)
+            else:
+                table.degrade(neighbor)
+            assert len(table.data_neighbors(now)) <= 1
+
+    @given(ops)
+    @settings(max_examples=60)
+    def test_expiry_removes_only_stale(self, ops):
+        table = GradientTable(gradient_timeout=1.0)
+        now = 0.0
+        for op, neighbor in ops:
+            now += 0.1
+            if op == "refresh":
+                table.refresh_exploratory(neighbor, now)
+            elif op == "reinforce":
+                table.reinforce(neighbor, now)
+            else:
+                table.degrade(neighbor)
+        table.expire(now)
+        for g in table.all():
+            assert g.expires_at > now

@@ -1,0 +1,63 @@
+"""Property-based tests for energy accounting."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.energy import EnergyMeter, EnergyParams
+
+receptions = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False),  # start
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False),    # duration
+    ),
+    max_size=40,
+)
+
+
+class TestEnergyMeterProperties:
+    @given(receptions)
+    @settings(max_examples=80)
+    def test_rx_time_never_exceeds_span(self, rxs):
+        """Merged receive time is physical: bounded by the time span
+        actually covered by receptions (receptions are fed in
+        chronological order, as the radio does)."""
+        meter = EnergyMeter(EnergyParams())
+        rxs = sorted(rxs)
+        for start, dur in rxs:
+            meter.note_rx(start, dur)
+        if rxs:
+            span = max(s + d for s, d in rxs) - min(s for s, d in rxs)
+            assert meter.rx_time <= span + 1e-9
+        assert meter.rx_time >= 0.0
+
+    @given(receptions)
+    @settings(max_examples=80)
+    def test_rx_time_at_least_longest_single_frame(self, rxs):
+        meter = EnergyMeter(EnergyParams())
+        rxs = sorted(rxs)
+        for start, dur in rxs:
+            meter.note_rx(start, dur)
+        if rxs:
+            assert meter.rx_time >= max(d for _s, d in rxs) - 1e-9
+
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=1.0, allow_nan=False), max_size=30),
+        st.floats(min_value=0.0, max_value=1000.0, allow_nan=False),
+    )
+    @settings(max_examples=60)
+    def test_total_energy_monotone_in_time(self, txs, total_time):
+        meter = EnergyMeter(EnergyParams())
+        for d in txs:
+            meter.note_tx(d)
+        e1 = meter.total_energy_j(total_time)
+        e2 = meter.total_energy_j(total_time + 10.0)
+        assert e2 >= e1 - 1e-12
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1.0, allow_nan=False), max_size=30))
+    @settings(max_examples=60)
+    def test_communication_energy_nonnegative_and_additive(self, txs):
+        meter = EnergyMeter(EnergyParams())
+        for d in txs:
+            meter.note_tx(d)
+        expected = EnergyParams().tx_power_w * sum(txs)
+        assert abs(meter.communication_energy_j() - expected) < 1e-9

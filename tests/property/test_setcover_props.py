@@ -1,0 +1,91 @@
+"""Property-based tests for the weighted set-cover solvers."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aggregation.setcover import (
+    WeightedSubset,
+    exact_weighted_set_cover,
+    greedy_weighted_set_cover,
+    transform_to_sources,
+)
+
+
+@st.composite
+def instances(draw, max_elems=7, max_subsets=9):
+    """A coverable weighted set-cover instance."""
+    n = draw(st.integers(min_value=1, max_value=max_elems))
+    universe = list(range(n))
+    k = draw(st.integers(min_value=0, max_value=max_subsets - 1))
+    family = []
+    for _ in range(k):
+        elems = draw(st.sets(st.sampled_from(universe), min_size=1))
+        weight = draw(st.floats(min_value=0.0, max_value=10.0, allow_nan=False))
+        family.append(WeightedSubset(frozenset(elems), weight))
+    # Guarantee coverability with one (expensive) full subset.
+    family.append(WeightedSubset(frozenset(universe), 20.0))
+    return universe, family
+
+
+class TestGreedyProperties:
+    @given(instances())
+    @settings(max_examples=80)
+    def test_cover_is_complete(self, instance):
+        universe, family = instance
+        cover = greedy_weighted_set_cover(universe, family)
+        covered = frozenset().union(*(family[i].elements for i in cover.chosen))
+        assert covered >= frozenset(universe)
+
+    @given(instances())
+    @settings(max_examples=80)
+    def test_no_redundant_subset_survives_pruning(self, instance):
+        universe, family = instance
+        cover = greedy_weighted_set_cover(universe, family)
+        uni = frozenset(universe)
+        for idx in cover.chosen:
+            others = frozenset().union(
+                *(family[j].elements for j in cover.chosen if j != idx), frozenset()
+            )
+            assert not (uni & family[idx].elements) <= others
+
+    @given(instances())
+    @settings(max_examples=80)
+    def test_weight_equals_sum_of_chosen(self, instance):
+        universe, family = instance
+        cover = greedy_weighted_set_cover(universe, family)
+        assert cover.weight == sum(family[i].weight for i in cover.chosen)
+
+    @given(instances(max_elems=6, max_subsets=7))
+    @settings(max_examples=50, deadline=None)
+    def test_ln_d_plus_one_approximation_bound(self, instance):
+        """The classical guarantee: greedy <= (ln d + 1) * OPT where d is
+        the largest subset size (checked against the exact solver)."""
+        universe, family = instance
+        greedy = greedy_weighted_set_cover(universe, family)
+        exact = exact_weighted_set_cover(universe, family)
+        d = max(len(s.elements) for s in family)
+        bound = (math.log(d) + 1.0) * exact.weight + 1e-9
+        assert greedy.weight <= bound
+
+    @given(instances())
+    @settings(max_examples=50)
+    def test_deterministic(self, instance):
+        universe, family = instance
+        a = greedy_weighted_set_cover(universe, family)
+        b = greedy_weighted_set_cover(universe, family)
+        assert a == b
+
+
+class TestTransformProperties:
+    @given(instances(max_elems=6))
+    @settings(max_examples=50)
+    def test_transform_preserves_cost_ratio(self, instance):
+        _universe, family = instance
+        source_of = {e: e % 2 for s in family for e in s.elements}
+        transformed = transform_to_sources(family, source_of)
+        for before, after in zip(family, transformed):
+            r_before = before.weight / len(before.elements)
+            r_after = after.weight / len(after.elements)
+            assert abs(r_before - r_after) < 1e-9

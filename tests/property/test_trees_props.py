@@ -1,0 +1,97 @@
+"""Property-based tests for the centralized tree algorithms."""
+
+import random
+
+import networkx as nx
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trees.git import greedy_incremental_tree
+from repro.trees.spt import shortest_path_tree, tree_cost, validate_tree
+from repro.trees.steiner import steiner_tree_kmb
+
+
+@st.composite
+def connected_graph_with_terminals(draw):
+    """A random connected graph plus a sink and 1..5 distinct sources."""
+    n = draw(st.integers(min_value=3, max_value=18))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = random.Random(seed)
+    g = nx.gnp_random_graph(n, 0.35, seed=seed)
+    # Force connectivity by threading a random spanning path.
+    order = list(range(n))
+    rng.shuffle(order)
+    nx.add_path(g, order)
+    k = draw(st.integers(min_value=1, max_value=min(5, n - 1)))
+    nodes = rng.sample(range(n), k + 1)
+    return g, nodes[0], nodes[1:]
+
+
+class TestStructuralInvariants:
+    @given(connected_graph_with_terminals())
+    @settings(max_examples=60, deadline=None)
+    def test_spt_is_valid_tree(self, case):
+        g, sink, sources = case
+        tree = shortest_path_tree(g, sink, sources)
+        validate_tree(tree, sink, sources)
+
+    @given(connected_graph_with_terminals())
+    @settings(max_examples=60, deadline=None)
+    def test_git_is_valid_tree(self, case):
+        g, sink, sources = case
+        tree = greedy_incremental_tree(g, sink, sources, order="nearest")
+        validate_tree(tree, sink, sources)
+
+    @given(connected_graph_with_terminals())
+    @settings(max_examples=60, deadline=None)
+    def test_steiner_is_valid_tree(self, case):
+        g, sink, sources = case
+        tree = steiner_tree_kmb(g, [sink, *sources])
+        validate_tree(tree, sink, sources)
+
+    @given(connected_graph_with_terminals())
+    @settings(max_examples=60, deadline=None)
+    def test_all_tree_edges_exist_in_graph(self, case):
+        g, sink, sources = case
+        for builder in (
+            lambda: shortest_path_tree(g, sink, sources),
+            lambda: greedy_incremental_tree(g, sink, sources, order="nearest"),
+            lambda: steiner_tree_kmb(g, [sink, *sources]),
+        ):
+            tree = builder()
+            assert all(g.has_edge(u, v) for u, v in tree.edges)
+
+
+class TestCostRelations:
+    @given(connected_graph_with_terminals())
+    @settings(max_examples=60, deadline=None)
+    def test_git_no_worse_than_spt(self, case):
+        # GIT grafts each terminal at distance <= its distance to the
+        # sink, so its total cost never exceeds the SPT union's.
+        g, sink, sources = case
+        git = greedy_incremental_tree(g, sink, sources, order="nearest")
+        spt = shortest_path_tree(g, sink, sources)
+        assert tree_cost(git) <= tree_cost(spt)
+
+    @given(connected_graph_with_terminals())
+    @settings(max_examples=60, deadline=None)
+    def test_trees_at_least_spanning_lower_bound(self, case):
+        # Any tree spanning k+1 terminals needs >= k edges.
+        g, sink, sources = case
+        k = len(set(sources) - {sink})
+        for tree in (
+            shortest_path_tree(g, sink, sources),
+            greedy_incremental_tree(g, sink, sources, order="nearest"),
+            steiner_tree_kmb(g, [sink, *sources]),
+        ):
+            assert tree_cost(tree) >= k
+
+    @given(connected_graph_with_terminals())
+    @settings(max_examples=40, deadline=None)
+    def test_single_source_all_equal_shortest_path(self, case):
+        g, sink, sources = case
+        source = sources[0]
+        d = nx.shortest_path_length(g, source, sink)
+        assert tree_cost(shortest_path_tree(g, sink, [source])) == d
+        assert tree_cost(greedy_incremental_tree(g, sink, [source])) == d
+        assert tree_cost(steiner_tree_kmb(g, [sink, source])) == d

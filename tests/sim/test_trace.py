@@ -1,0 +1,104 @@
+"""Unit tests for counters and structured tracing."""
+
+from repro.sim import Simulator, TraceRecord, Tracer
+
+
+def make_tracer():
+    sim = Simulator()
+    return sim, Tracer(lambda: sim.now)
+
+
+class TestCounters:
+    def test_count_accumulates(self):
+        _sim, tr = make_tracer()
+        tr.count("mac.tx")
+        tr.count("mac.tx")
+        tr.count("mac.tx", 3)
+        assert tr.value("mac.tx") == 5
+
+    def test_unknown_counter_is_zero(self):
+        _sim, tr = make_tracer()
+        assert tr.value("never") == 0
+
+    def test_counters_are_independent(self):
+        _sim, tr = make_tracer()
+        tr.count("a")
+        tr.count("b", 2)
+        assert tr.value("a") == 1
+        assert tr.value("b") == 2
+
+
+class TestRecords:
+    def test_disabled_category_not_recorded(self):
+        _sim, tr = make_tracer()
+        tr.record("mac.tx", node=1)
+        assert tr.records() == []
+
+    def test_enabled_category_recorded_with_time(self):
+        sim, tr = make_tracer()
+        tr.enable("mac.tx")
+        sim.schedule(2.0, lambda: tr.record("mac.tx", node=1))
+        sim.run()
+        recs = tr.records("mac.tx")
+        assert len(recs) == 1
+        assert recs[0].time == 2.0
+        assert recs[0].get("node") == 1
+
+    def test_wildcard_enables_everything(self):
+        _sim, tr = make_tracer()
+        tr.enable("*")
+        tr.record("anything", x=1)
+        tr.record("else", y=2)
+        assert len(tr.records()) == 2
+
+    def test_disable(self):
+        _sim, tr = make_tracer()
+        tr.enable("cat")
+        tr.record("cat", n=1)
+        tr.disable("cat")
+        tr.record("cat", n=2)
+        assert len(tr.records("cat")) == 1
+
+    def test_filter_by_category(self):
+        _sim, tr = make_tracer()
+        tr.enable("a", "b")
+        tr.record("a", n=1)
+        tr.record("b", n=2)
+        assert len(tr.records("a")) == 1
+        assert len(tr.records()) == 2
+
+    def test_listener_invoked(self):
+        _sim, tr = make_tracer()
+        tr.enable("x")
+        seen = []
+        tr.add_listener(seen.append)
+        tr.record("x", k=1)
+        assert len(seen) == 1
+        assert isinstance(seen[0], TraceRecord)
+
+    def test_listener_not_invoked_for_disabled(self):
+        _sim, tr = make_tracer()
+        seen = []
+        tr.add_listener(seen.append)
+        tr.record("x", k=1)
+        assert seen == []
+
+    def test_categories_listing(self):
+        _sim, tr = make_tracer()
+        tr.enable("*")
+        tr.record("b")
+        tr.record("a")
+        tr.record("b")
+        assert list(tr.categories()) == ["a", "b"]
+
+    def test_clear_records(self):
+        _sim, tr = make_tracer()
+        tr.enable("x")
+        tr.record("x")
+        tr.clear_records()
+        assert tr.records() == []
+
+    def test_record_get_default(self):
+        rec = TraceRecord(0.0, "c", (("a", 1),))
+        assert rec.get("missing", "dflt") == "dflt"
+        assert rec.as_dict() == {"a": 1}

@@ -1,0 +1,22 @@
+"""Wire-size constants and their cross-module consistency."""
+
+from repro.aggregation.functions import LinearAggregation, PerfectAggregation
+from repro.constants import CONTROL_SIZE, EVENT_SIZE
+from repro.diffusion import messages
+
+
+class TestWireSizes:
+    def test_paper_values(self):
+        assert EVENT_SIZE == 64
+        assert CONTROL_SIZE == 36
+
+    def test_messages_reexport(self):
+        assert messages.EVENT_SIZE is EVENT_SIZE
+        assert messages.CONTROL_SIZE is CONTROL_SIZE
+
+    def test_linear_item_plus_header_is_one_event(self):
+        # 28-byte item + 36-byte header == one 64-byte event packet: the
+        # paper's sizes are internally consistent and so are ours.
+        lin = LinearAggregation()
+        assert lin.item_size + lin.header_size == EVENT_SIZE
+        assert lin.size(1) == PerfectAggregation().size(1)

@@ -1,0 +1,101 @@
+"""End-to-end integration tests: full packet-level runs of both schemes.
+
+These are the "does the whole reproduction hang together" checks — small
+fields, short runs, but the complete stack and workload.
+"""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig, FailureModel, smoke
+from repro.experiments.runner import run_experiment
+
+
+def run(scheme, n=80, seed=11, **overrides):
+    return run_experiment(
+        ExperimentConfig.from_profile(smoke(), scheme, n, seed=seed, **overrides)
+    )
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("scheme", ["opportunistic", "greedy"])
+    def test_high_delivery_in_static_network(self, scheme):
+        r = run(scheme)
+        assert r.delivery_ratio >= 0.85
+        assert r.distinct_delivered > 50
+
+    @pytest.mark.parametrize("scheme", ["opportunistic", "greedy"])
+    def test_delays_sub_second(self, scheme):
+        # Uncongested small field: a few hops plus at most a couple of
+        # aggregation delays.
+        r = run(scheme)
+        assert 0.0 < r.avg_delay < 1.5
+
+    @pytest.mark.parametrize("scheme", ["opportunistic", "greedy"])
+    def test_deterministic_end_to_end(self, scheme):
+        a, b = run(scheme), run(scheme)
+        assert a.avg_dissipated_energy == b.avg_dissipated_energy
+        assert a.counters == b.counters
+
+    def test_energy_accounting_consistent_with_counters(self):
+        r = run("greedy")
+        # Communication energy must be positive and bounded by the total
+        # bytes on the air at tx+rx power over their air time.
+        assert r.total_energy_j > 0
+        air_time_per_byte = 8 / 1.6e6
+        max_power = 0.660 + 0.395 * 50  # tx + up to ~50 overhearers
+        upper = r.counters["radio.tx_bytes"] * air_time_per_byte * max_power
+        assert r.total_energy_j < upper
+
+    def test_greedy_builds_smaller_data_path_than_opportunistic(self):
+        greedy = run("greedy", n=150, seed=21)
+        opp = run("opportunistic", n=150, seed=21)
+        assert (
+            greedy.counters["diffusion.data_sent"]
+            < opp.counters["diffusion.data_sent"]
+        )
+
+    def test_greedy_uses_incremental_cost_machinery(self):
+        r = run("greedy", n=150, seed=21)
+        assert r.counters.get("greedy.ic_originated", 0) > 0
+        assert r.counters.get("greedy.ic_received", 0) > 0
+
+    def test_opportunistic_never_uses_incremental_cost(self):
+        r = run("opportunistic", n=150, seed=21)
+        assert r.counters.get("greedy.ic_originated", 0) == 0
+
+    @pytest.mark.parametrize("scheme", ["opportunistic", "greedy"])
+    def test_failures_degrade_but_do_not_kill(self, scheme):
+        r = run(scheme, failures=FailureModel(fraction=0.2, epoch=6.0))
+        assert 0.1 < r.delivery_ratio < 1.0
+        assert r.counters["node.fail"] > 0
+        assert r.counters["node.recover"] > 0
+
+    def test_multi_sink_delivers_to_each_sink(self):
+        r = run("greedy", n=120, n_sinks=3, seed=6)
+        # Three interests, each with its own deliveries.
+        assert r.events_sent > 0
+        assert r.delivery_ratio > 0.7
+
+    def test_many_sources(self):
+        r = run("greedy", n=120, n_sources=10, seed=6)
+        assert r.delivery_ratio > 0.8
+
+    @pytest.mark.parametrize("aggregation", ["perfect", "linear", "none"])
+    def test_aggregation_functions_end_to_end(self, aggregation):
+        r = run("greedy", aggregation=aggregation, seed=13)
+        assert r.delivery_ratio > 0.8
+
+    def test_linear_aggregation_costs_more_than_perfect(self):
+        perfect = run("greedy", n=120, n_sources=10, seed=9)
+        linear = run("greedy", n=120, n_sources=10, seed=9, aggregation="linear")
+        assert linear.avg_dissipated_energy > perfect.avg_dissipated_energy
+
+    def test_counters_conserve_flows(self):
+        r = run("greedy")
+        c = r.counters
+        # Every MAC reception corresponds to a PHY delivery.
+        assert c["mac.rx"] <= c["radio.rx"]
+        # ACKs only for unicast data frames.
+        assert c["mac.acked"] <= c["mac.tx"]
+        # Deliveries cannot exceed generated events (per interest dedup).
+        assert c["diffusion.item_delivered"] <= c["diffusion.item_generated"] * 1

@@ -1,0 +1,55 @@
+"""Public API surface tests: everything advertised in __all__ exists and
+the README quickstart actually works."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestTopLevelExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.sim",
+            "repro.net",
+            "repro.diffusion",
+            "repro.aggregation",
+            "repro.core",
+            "repro.trees",
+            "repro.experiments",
+            "repro.cli",
+            "repro.constants",
+        ],
+    )
+    def test_subpackage_all_resolves(self, module):
+        mod = importlib.import_module(module)
+        for name in getattr(mod, "__all__", []):
+            assert hasattr(mod, name), f"{module}.{name}"
+
+    def test_readme_quickstart_runs(self):
+        from repro import ExperimentConfig, run_experiment, smoke
+
+        cfg = ExperimentConfig.from_profile(smoke(), "greedy", 50, seed=1, n_sources=2)
+        r = run_experiment(cfg)
+        assert r.delivery_ratio > 0
+
+    def test_schemes_cover_agents(self):
+        from repro.experiments.config import SCHEMES
+        from repro.experiments.runner import _AGENTS
+
+        assert set(SCHEMES) == set(_AGENTS)
+
+    def test_agent_scheme_names_match_registry(self):
+        from repro.experiments.runner import _AGENTS
+
+        for name, cls in _AGENTS.items():
+            assert cls.scheme_name == name

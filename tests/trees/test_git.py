@@ -1,0 +1,91 @@
+"""Unit tests for the greedy incremental tree."""
+
+import networkx as nx
+import pytest
+
+from repro.trees.git import greedy_incremental_tree
+from repro.trees.spt import shortest_path_tree, tree_cost, validate_tree
+
+
+class TestGIT:
+    def test_single_source_is_shortest_path(self):
+        g = nx.Graph()
+        nx.add_path(g, range(5))
+        tree = greedy_incremental_tree(g, sink=4, sources=[0])
+        assert tree_cost(tree) == 4
+
+    def test_second_source_grafts_at_closest_point(self):
+        # 0-1-2-3(sink), with 4 adjacent to 2 only.
+        g = nx.Graph()
+        nx.add_path(g, [0, 1, 2, 3])
+        g.add_edge(4, 2)
+        tree = greedy_incremental_tree(g, sink=3, sources=[0, 4])
+        assert tree_cost(tree) == 4  # 3 path edges + 1 graft edge
+        assert tree.has_edge(4, 2)
+
+    def test_paper_motivating_example_beats_spt(self):
+        """Fig 1's structure: two sources near each other, far from the
+        sink; GIT merges them early, SPT-like routing does not.
+
+            s1 - a - b - c - sink
+            s2 - a'  (a' adjacent to a and s2)
+
+        Build a graph where independent shortest paths cost more than the
+        shared greedy tree.
+        """
+        g = nx.Graph()
+        nx.add_path(g, ["s1", "a", "b", "c", "sink"])
+        g.add_edge("s2", "a")
+        # An alternative equal-length path for s2 that shares nothing:
+        nx.add_path(g, ["s2", "x", "y", "z", "sink"])
+        git = greedy_incremental_tree(g, "sink", ["s1", "s2"], order="nearest")
+        assert tree_cost(git) == 5  # s1-a-b-c-sink plus s2-a
+
+    def test_nearest_order_connects_closest_first(self):
+        g = nx.Graph()
+        nx.add_path(g, [0, 1, 2, 3, 4])  # sink at 0; sources 4 (far), 1 (near)
+        tree = greedy_incremental_tree(g, 0, [4, 1], order="nearest")
+        validate_tree(tree, 0, [1, 4])
+        assert tree_cost(tree) == 4
+
+    def test_given_order_respected(self):
+        g = nx.cycle_graph(6)
+        t1 = greedy_incremental_tree(g, 0, [2, 3], order="given")
+        validate_tree(t1, 0, [2, 3])
+
+    def test_invalid_order_rejected(self):
+        with pytest.raises(ValueError):
+            greedy_incremental_tree(nx.path_graph(3), 0, [2], order="magic")
+
+    def test_disconnected_raises(self):
+        g = nx.Graph()
+        g.add_edge(0, 1)
+        g.add_node(5)
+        with pytest.raises(nx.NetworkXNoPath):
+            greedy_incremental_tree(g, 0, [5])
+
+    def test_source_on_existing_tree_costs_nothing(self):
+        g = nx.path_graph(5)
+        t = greedy_incremental_tree(g, 4, [0, 2])  # 2 lies on 0's path
+        assert tree_cost(t) == 4
+
+    def test_result_always_tree(self):
+        g = nx.convert_node_labels_to_integers(nx.grid_2d_graph(5, 5))
+        tree = greedy_incremental_tree(g, 0, [6, 12, 18, 24], order="nearest")
+        validate_tree(tree, 0, [6, 12, 18, 24])
+
+    def test_git_never_worse_than_spt_on_grids(self):
+        g = nx.convert_node_labels_to_integers(nx.grid_2d_graph(6, 6))
+        sources = [7, 14, 21, 28, 35]
+        git = greedy_incremental_tree(g, 0, sources, order="nearest")
+        spt = shortest_path_tree(g, 0, sources)
+        assert tree_cost(git) <= tree_cost(spt)
+
+    def test_weighted_graft(self):
+        g = nx.Graph()
+        g.add_edge(0, 1, weight=1.0)
+        g.add_edge(1, 2, weight=1.0)
+        g.add_edge(3, 1, weight=0.5)
+        g.add_edge(3, 2, weight=10.0)
+        tree = greedy_incremental_tree(g, 0, [2, 3], order="given", weight="weight")
+        assert tree.has_edge(3, 1)  # cheap graft, not the heavy direct edge

@@ -1,0 +1,103 @@
+"""Tests for the exact Steiner solver and the heuristic bounds it anchors."""
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.trees.git import greedy_incremental_tree
+from repro.trees.optimal import steiner_cost_exact, steiner_tree_exact
+from repro.trees.spt import tree_cost, validate_tree
+from repro.trees.steiner import steiner_tree_kmb
+
+
+class TestExactBasics:
+    def test_two_terminals_shortest_path(self):
+        g = nx.path_graph(6)
+        assert steiner_cost_exact(g, [0, 5]) == 5
+
+    def test_single_terminal(self):
+        t = steiner_tree_exact(nx.path_graph(3), [2])
+        assert t.number_of_nodes() == 1
+
+    def test_no_terminals_rejected(self):
+        with pytest.raises(ValueError):
+            steiner_tree_exact(nx.path_graph(3), [])
+
+    def test_too_many_terminals_rejected(self):
+        g = nx.complete_graph(20)
+        with pytest.raises(ValueError):
+            steiner_tree_exact(g, list(range(11)))
+
+    def test_disconnected_raises(self):
+        g = nx.Graph()
+        g.add_edge(0, 1)
+        g.add_node(9)
+        with pytest.raises(nx.NetworkXNoPath):
+            steiner_tree_exact(g, [0, 9])
+
+    def test_star_optimum_uses_steiner_point(self):
+        g = nx.star_graph(4)  # hub 0, leaves 1..4
+        tree = steiner_tree_exact(g, [1, 2, 3])
+        validate_tree(tree, 1, [2, 3])
+        assert tree_cost(tree) == 3
+        assert 0 in tree.nodes
+
+    def test_grid_corners_optimum(self):
+        # 3x3 grid, 4 corners: OPT is the 6-edge "H" through the middle
+        # row/column (e.g. 0-1-2, 1-4-7, 6-7-8).
+        g = nx.convert_node_labels_to_integers(nx.grid_2d_graph(3, 3))
+        cost = steiner_cost_exact(g, [0, 2, 6, 8])
+        assert cost == 6
+
+    def test_weighted_instance(self):
+        g = nx.Graph()
+        g.add_edge(0, 1, weight=1.0)
+        g.add_edge(1, 2, weight=1.0)
+        g.add_edge(0, 2, weight=5.0)
+        g.add_edge(1, 3, weight=1.0)
+        cost = steiner_cost_exact(g, [0, 2, 3], weight="weight")
+        assert cost == pytest.approx(3.0)
+
+    def test_returns_valid_tree(self):
+        g = nx.convert_node_labels_to_integers(nx.grid_2d_graph(4, 4))
+        terminals = [0, 3, 12, 15]
+        tree = steiner_tree_exact(g, terminals)
+        validate_tree(tree, terminals[0], terminals[1:])
+
+
+class TestHeuristicBounds:
+    def _random_cases(self, count=15, max_nodes=14):
+        rng = random.Random(6)
+        for i in range(count):
+            n = rng.randint(5, max_nodes)
+            g = nx.gnp_random_graph(n, 0.4, seed=i)
+            order = list(range(n))
+            rng.shuffle(order)
+            nx.add_path(g, order)  # ensure connectivity
+            k = rng.randint(2, min(5, n))
+            terminals = rng.sample(range(n), k)
+            yield g, terminals
+
+    def test_kmb_within_two_of_optimum(self):
+        for g, terminals in self._random_cases():
+            opt = steiner_cost_exact(g, terminals)
+            kmb = tree_cost(steiner_tree_kmb(g, terminals))
+            assert opt <= kmb <= 2 * opt + 1e-9
+
+    def test_git_within_two_of_optimum(self):
+        for g, terminals in self._random_cases():
+            opt = steiner_cost_exact(g, terminals)
+            git = tree_cost(
+                greedy_incremental_tree(g, terminals[0], terminals[1:], order="nearest")
+            )
+            assert opt <= git <= 2 * opt + 1e-9
+
+    def test_exact_never_above_heuristics(self):
+        for g, terminals in self._random_cases(count=10):
+            opt = steiner_cost_exact(g, terminals)
+            kmb = tree_cost(steiner_tree_kmb(g, terminals))
+            git = tree_cost(
+                greedy_incremental_tree(g, terminals[0], terminals[1:], order="nearest")
+            )
+            assert opt <= min(kmb, git) + 1e-9

@@ -1,0 +1,78 @@
+"""Unit tests for the shortest-path tree baseline."""
+
+import networkx as nx
+import pytest
+
+from repro.trees.spt import shortest_path_tree, tree_cost, validate_tree
+
+
+def path_graph(n):
+    g = nx.Graph()
+    nx.add_path(g, range(n))
+    return g
+
+
+class TestSPT:
+    def test_chain(self):
+        g = path_graph(5)
+        tree = shortest_path_tree(g, sink=4, sources=[0])
+        assert tree_cost(tree) == 4
+
+    def test_union_shares_common_prefix(self):
+        # Star into a chain: 0-2, 1-2, 2-3-4(sink)
+        g = nx.Graph()
+        g.add_edges_from([(0, 2), (1, 2), (2, 3), (3, 4)])
+        tree = shortest_path_tree(g, sink=4, sources=[0, 1])
+        assert tree_cost(tree) == 4  # shared 2-3-4 segment counted once
+
+    def test_result_is_a_tree(self):
+        g = nx.grid_2d_graph(4, 4)
+        g = nx.convert_node_labels_to_integers(g)
+        tree = shortest_path_tree(g, sink=0, sources=[5, 10, 15])
+        validate_tree(tree, 0, [5, 10, 15])
+
+    def test_consistent_predecessors_no_cycles(self):
+        # A graph with many equal shortest paths must still give a tree.
+        g = nx.complete_graph(6)
+        tree = shortest_path_tree(g, sink=0, sources=[1, 2, 3, 4, 5])
+        validate_tree(tree, 0, [1, 2, 3, 4, 5])
+        assert tree_cost(tree) == 5
+
+    def test_source_equals_sink(self):
+        g = path_graph(3)
+        tree = shortest_path_tree(g, sink=0, sources=[0])
+        assert tree_cost(tree) == 0
+
+    def test_disconnected_source_raises(self):
+        g = path_graph(3)
+        g.add_node(99)
+        with pytest.raises(KeyError):
+            shortest_path_tree(g, sink=0, sources=[99])
+
+    def test_weighted_paths(self):
+        g = nx.Graph()
+        g.add_edge(0, 1, weight=10.0)
+        g.add_edge(0, 2, weight=1.0)
+        g.add_edge(2, 1, weight=1.0)
+        tree = shortest_path_tree(g, sink=0, sources=[1], weight="weight")
+        assert tree_cost(tree, weight="weight") == 2.0
+
+
+class TestValidate:
+    def test_missing_terminal_rejected(self):
+        tree = nx.Graph()
+        tree.add_edge(0, 1)
+        with pytest.raises(ValueError, match="misses"):
+            validate_tree(tree, 0, [5])
+
+    def test_cycle_rejected(self):
+        tree = nx.cycle_graph(3)
+        with pytest.raises(ValueError, match="cycle"):
+            validate_tree(tree, 0, [1])
+
+    def test_disconnected_rejected(self):
+        tree = nx.Graph()
+        tree.add_edge(0, 1)
+        tree.add_edge(2, 3)
+        with pytest.raises(ValueError):
+            validate_tree(tree, 0, [1, 2])

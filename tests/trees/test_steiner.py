@@ -1,0 +1,76 @@
+"""Unit tests for the KMB Steiner approximation."""
+
+import networkx as nx
+import pytest
+
+from repro.trees.spt import tree_cost, validate_tree
+from repro.trees.steiner import steiner_tree_kmb
+
+
+class TestKMB:
+    def test_two_terminals_is_shortest_path(self):
+        g = nx.path_graph(6)
+        tree = steiner_tree_kmb(g, [0, 5])
+        assert tree_cost(tree) == 5
+
+    def test_single_terminal(self):
+        tree = steiner_tree_kmb(nx.path_graph(3), [1])
+        assert tree.number_of_nodes() == 1
+        assert tree_cost(tree) == 0
+
+    def test_no_terminals_rejected(self):
+        with pytest.raises(ValueError):
+            steiner_tree_kmb(nx.path_graph(3), [])
+
+    def test_star_with_steiner_point(self):
+        # Terminals 1,2,3 all adjacent to 0 only: the optimal tree uses
+        # non-terminal node 0.
+        g = nx.star_graph(3)
+        tree = steiner_tree_kmb(g, [1, 2, 3])
+        assert tree_cost(tree) == 3
+        assert 0 in tree.nodes
+
+    def test_non_terminal_leaves_pruned(self):
+        g = nx.path_graph(6)
+        tree = steiner_tree_kmb(g, [1, 4])
+        assert 0 not in tree.nodes
+        assert 5 not in tree.nodes
+
+    def test_valid_tree_on_grid(self):
+        g = nx.convert_node_labels_to_integers(nx.grid_2d_graph(5, 5))
+        terminals = [0, 4, 20, 24]
+        tree = steiner_tree_kmb(g, terminals)
+        validate_tree(tree, terminals[0], terminals[1:])
+
+    def test_duplicate_terminals_deduped(self):
+        g = nx.path_graph(4)
+        tree = steiner_tree_kmb(g, [0, 3, 3, 0])
+        assert tree_cost(tree) == 3
+
+    def test_disconnected_terminals_raise(self):
+        g = nx.Graph()
+        g.add_edge(0, 1)
+        g.add_node(9)
+        with pytest.raises(nx.NetworkXNoPath):
+            steiner_tree_kmb(g, [0, 9])
+
+    def test_matches_networkx_reference_on_random_graphs(self):
+        from networkx.algorithms.approximation import steiner_tree as nx_steiner
+
+        rng = nx.gnm_random_graph(20, 45, seed=4)
+        if not nx.is_connected(rng):
+            rng = rng.subgraph(max(nx.connected_components(rng), key=len)).copy()
+        terminals = list(rng.nodes)[:5]
+        ours = steiner_tree_kmb(rng, terminals)
+        theirs = nx_steiner(rng, terminals, method="kou")
+        # Same algorithm family: costs must agree within rounding of tie
+        # breaks (allow small slack for different MST tie-breaking).
+        assert tree_cost(ours) <= theirs.number_of_edges() + 2
+
+    def test_two_approximation_bound_on_known_instance(self):
+        # Optimal Steiner tree of the 4 corners of a 3x3 grid has 8 edges
+        # (a plus/spanning shape); KMB must stay within 2x.
+        g = nx.convert_node_labels_to_integers(nx.grid_2d_graph(3, 3))
+        tree = steiner_tree_kmb(g, [0, 2, 6, 8])
+        assert tree_cost(tree) <= 2 * 8
+        validate_tree(tree, 0, [2, 6, 8])
