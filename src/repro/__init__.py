@@ -56,6 +56,15 @@ from .experiments import (
     smoke,
 )
 from .net import EnergyParams, MacParams, Node, RadioParams, SensorField, generate_field
+from .obs import (
+    MetricsRegistry,
+    ObsOptions,
+    ProfileReport,
+    Profiler,
+    TraceWriter,
+    format_profile,
+    read_trace,
+)
 from .sim import RngRegistry, Simulator, Tracer
 from .trees import greedy_incremental_tree, shortest_path_tree, steiner_tree_kmb, tree_cost
 
@@ -67,6 +76,14 @@ __all__ = [
     "Simulator",
     "Tracer",
     "RngRegistry",
+    # observability
+    "MetricsRegistry",
+    "ObsOptions",
+    "Profiler",
+    "ProfileReport",
+    "TraceWriter",
+    "read_trace",
+    "format_profile",
     # network substrate
     "Node",
     "SensorField",

@@ -3,9 +3,13 @@
 Subcommands::
 
     repro-wsn run   --scheme greedy -n 150 --seed 1          # one experiment
+    repro-wsn run   --profile --trace-out t.jsonl \\
+                    --manifest m.json                        # ... observed
     repro-wsn fig   fig5 --profile fast --trials 2           # one paper figure
     repro-wsn trees --nodes 100 200 350 --trials 5           # GIT vs SPT table
     repro-wsn all   --profile fast                           # every figure
+    repro-wsn stats m.json                                   # inspect manifest
+    repro-wsn stats t.jsonl                                  # inspect trace
 
 Figures print the same series the paper plots (see
 :mod:`repro.experiments.report`).
@@ -56,6 +60,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_p.add_argument("--failures", action="store_true", help="enable §5.3 node dynamics")
     run_p.add_argument("--include-idle", action="store_true")
+    run_p.add_argument(
+        "--profile",
+        action="store_true",
+        help="profile the event loop (events/sec, heap depth, hot callbacks)",
+    )
+    run_p.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        help="stream enabled trace categories to a JSONL file",
+    )
+    run_p.add_argument(
+        "--trace-categories",
+        nargs="+",
+        default=["*"],
+        metavar="CAT",
+        help="categories to trace (default: everything)",
+    )
+    run_p.add_argument(
+        "--manifest", metavar="PATH", help="write the run provenance manifest here"
+    )
+    run_p.add_argument(
+        "--detailed-metrics",
+        action="store_true",
+        help="enable per-node labelled metric series",
+    )
 
     fig_p = sub.add_parser("fig", help="reproduce one of figures 5-10")
     fig_p.add_argument("figure", choices=sorted(FIGURES))
@@ -85,11 +114,21 @@ def build_parser() -> argparse.ArgumentParser:
     all_p.add_argument("--trials", type=int, default=None)
     all_p.add_argument("--workers", type=int, default=0)
 
+    stats_p = sub.add_parser(
+        "stats", help="pretty-print a manifest.json or a JSONL trace file"
+    )
+    stats_p.add_argument("file", help="path to a manifest or trace produced by this tool")
+    stats_p.add_argument(
+        "--top", type=int, default=12, help="how many top counters/categories to show"
+    )
+
     return parser
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
     from .experiments.config import fast
+    from .experiments.runner import run_observed
+    from .obs import ObsOptions, format_profile
 
     profile = fast()
     cfg = ExperimentConfig(
@@ -106,28 +145,98 @@ def _cmd_run(args: argparse.Namespace) -> int:
         failures=FailureModel(epoch=profile.failure_epoch) if args.failures else None,
         include_idle=args.include_idle,
     )
-    result = run_experiment(cfg)
+    obs = None
+    if args.profile or args.trace_out or args.manifest or args.detailed_metrics:
+        obs = ObsOptions(
+            profile=args.profile,
+            trace_path=args.trace_out,
+            trace_categories=tuple(args.trace_categories),
+            manifest_path=args.manifest,
+            detailed_metrics=args.detailed_metrics,
+        )
+    observed = run_observed(cfg, obs)
+    result = observed.metrics
     print(f"scheme                 {result.scheme}")
     print(f"nodes                  {result.n_nodes} (mean degree {result.mean_degree:.1f})")
     print(f"avg dissipated energy  {result.avg_dissipated_energy:.6f} J/node/event")
     print(f"avg delay              {result.avg_delay:.4f} s")
     print(f"delivery ratio         {result.delivery_ratio:.3f}")
     print(f"distinct delivered     {result.distinct_delivered} / {result.events_sent}")
+    if observed.profile is not None:
+        print()
+        print(format_profile(observed.profile))
+    if observed.trace_path is not None:
+        print(f"\ntrace written: {observed.trace_path}")
+    if observed.manifest_path is not None:
+        print(f"manifest written: {observed.manifest_path}")
     return 0
 
 
 def _cmd_fig(args: argparse.Namespace) -> int:
+    import time
+
     profile = PROFILES[args.profile]()
+    t0 = time.perf_counter()
     result = FIGURES[args.figure](profile, trials=args.trials, workers=args.workers)
+    wall = time.perf_counter() - t0
     print(format_figure(result))
     if args.save:
-        from .experiments.persistence import save_figure_json
+        from .experiments.persistence import (
+            build_figure_manifest,
+            manifest_path_for,
+            save_figure_json,
+            save_manifest,
+        )
 
         print(f"saved: {save_figure_json(result, args.save)}")
+        manifest = build_figure_manifest(
+            result,
+            profile,
+            wall_time_s=wall,
+            trials=args.trials,
+            workers=args.workers,
+            result_path=args.save,
+        )
+        print(f"manifest: {save_manifest(manifest, manifest_path_for(args.save))}")
     if args.csv:
         from .experiments.persistence import export_figure_csv
 
         print(f"exported: {export_figure_csv(result, args.csv)}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from .obs import format_manifest, load_manifest, trace_summary
+
+    path = Path(args.file)
+    if not path.exists():
+        print(f"no such file: {path}", file=sys.stderr)
+        return 1
+    try:
+        data = json.loads(path.read_text())
+        is_manifest = isinstance(data, dict) and "manifest_version" in data
+    except json.JSONDecodeError:
+        is_manifest = False  # multi-line JSONL traces land here
+    if is_manifest:
+        print(format_manifest(load_manifest(path), top_counters=args.top))
+        return 0
+    try:
+        summary = trace_summary(path)
+    except json.JSONDecodeError:
+        print(f"not a manifest or JSONL trace: {path}", file=sys.stderr)
+        return 1
+    t_min, t_max = summary["time_span"]
+    span = f"{t_min:.3f} .. {t_max:.3f} s" if t_min is not None else "empty"
+    print(f"trace {summary['path']} (v{summary['trace_version']})")
+    print(f"records          {summary['records']}")
+    print(f"gauge snapshots  {summary['gauge_snapshots']}")
+    print(f"time span        {span}")
+    print(f"categories ({len(summary['categories'])}):")
+    for cat, n in list(summary["categories"].items())[: args.top]:
+        print(f"  {cat:<32} {n}")
     return 0
 
 
@@ -191,6 +300,7 @@ _COMMANDS = {
     "trees": _cmd_trees,
     "all": _cmd_all,
     "inspect": _cmd_inspect,
+    "stats": _cmd_stats,
 }
 
 

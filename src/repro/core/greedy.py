@@ -97,6 +97,13 @@ class GreedyAgent(DiffusionAgent):
             if choice.via_incremental
             else "greedy.reinforce_via_exploratory"
         )
+        self.tracer.record(
+            "greedy.decision",
+            node=self.node.node_id,
+            interest=interest_id,
+            neighbor=choice.neighbor,
+            via_incremental=choice.via_incremental,
+        )
         self.send_reinforcement(interest_id, event_key, choice.neighbor)
 
     # ==================================================================

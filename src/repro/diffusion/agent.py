@@ -135,6 +135,9 @@ class DiffusionAgent:
         self.metrics = metrics
         self.rng = node.mac.rng  # reuse the node's deterministic stream
         self.attributes: AttributeSet = node_attributes("tracking", node.x, node.y)
+        self._merge_size = self.tracer.registry.histogram(
+            "agg.merge_size", buckets=(1, 2, 3, 4, 6, 8, 12, 16, 24, 32)
+        )
 
         # interest / gradient state
         self.own_interests: dict[int, InterestMsg] = {}
@@ -591,6 +594,7 @@ class DiffusionAgent:
         result = buf.flush()
         self.tracer.count("diffusion.flushes")
         for agg in result.aggregates:
+            self._merge_size.observe(len(agg.items))
             if len(agg.items) > 1:
                 self.tracer.count("diffusion.items_aggregated", len(agg.items))
             out = AggregateMsg(

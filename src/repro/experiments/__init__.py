@@ -37,9 +37,25 @@ from .inspect import (
     tree_stats,
 )
 from .metrics import MetricsCollector, RunMetrics
-from .persistence import export_figure_csv, load_figure_json, save_figure_json
+from .persistence import (
+    build_figure_manifest,
+    build_run_manifest,
+    export_figure_csv,
+    load_figure_json,
+    load_manifest,
+    manifest_path_for,
+    save_figure_json,
+    save_manifest,
+)
 from .report import format_figure, format_table, format_tree_table
-from .runner import FailureDriver, World, build_world, run_experiment
+from .runner import (
+    FailureDriver,
+    ObservedRun,
+    World,
+    build_world,
+    run_experiment,
+    run_observed,
+)
 from .sweeps import CellSummary, cell_seed, paired_sweep, run_configs
 
 __all__ = [
@@ -57,6 +73,8 @@ __all__ = [
     "MetricsCollector",
     "RunMetrics",
     "run_experiment",
+    "run_observed",
+    "ObservedRun",
     "build_world",
     "World",
     "FailureDriver",
@@ -84,4 +102,9 @@ __all__ = [
     "save_figure_json",
     "load_figure_json",
     "export_figure_csv",
+    "save_manifest",
+    "load_manifest",
+    "build_run_manifest",
+    "build_figure_manifest",
+    "manifest_path_for",
 ]

@@ -1,10 +1,16 @@
-"""Result persistence: save and reload figure results as JSON/CSV.
+"""Result persistence: save and reload figure results as JSON/CSV,
+plus run/figure provenance manifests.
 
 Long sweeps are expensive; the harness can checkpoint a
 :class:`~repro.experiments.figures.FigureResult` to disk and reload it
 for later reporting or cross-profile comparison (EXPERIMENTS.md's tables
 are generated this way).  JSON is the lossless round-trip format; CSV is
 a convenience export with one row per (scheme, sweep value).
+
+Provenance: every saved artifact can carry a ``manifest.json`` tying it
+to the exact config/seed/version/host that produced it — the builders
+and (re)loaders live in :mod:`repro.obs.manifest` and are re-exported
+here so persistence stays the one-stop module for disk formats.
 """
 
 from __future__ import annotations
@@ -14,10 +20,31 @@ import json
 from pathlib import Path
 from typing import Union
 
+from ..obs.manifest import (
+    build_figure_manifest,
+    build_run_manifest,
+    load_manifest,
+    save_manifest,
+)
 from .figures import FigureResult
 from .sweeps import CellSummary
 
-__all__ = ["save_figure_json", "load_figure_json", "export_figure_csv"]
+__all__ = [
+    "save_figure_json",
+    "load_figure_json",
+    "export_figure_csv",
+    "save_manifest",
+    "load_manifest",
+    "build_run_manifest",
+    "build_figure_manifest",
+    "manifest_path_for",
+]
+
+
+def manifest_path_for(result_path: Union[str, Path]) -> Path:
+    """Conventional manifest location next to a saved result file."""
+    p = Path(result_path)
+    return p.with_name(p.stem + ".manifest.json")
 
 _FORMAT_VERSION = 1
 

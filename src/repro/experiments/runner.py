@@ -16,7 +16,9 @@ the matched set is the paper's workload.
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Optional, Sequence
 
 from ..aggregation.functions import by_name
@@ -37,11 +39,28 @@ from ..net.topology import (
     random_source_nodes,
     scattered_sink_nodes,
 )
+from ..obs import (
+    MetricsRegistry,
+    ObsOptions,
+    ProfileReport,
+    Profiler,
+    TraceWriter,
+    build_run_manifest,
+    save_manifest,
+)
 from ..sim import RngRegistry, Simulator, Tracer
 from .config import ExperimentConfig, FailureModel
 from .metrics import MetricsCollector, RunMetrics
 
-__all__ = ["run_experiment", "build_world", "World", "FailureDriver", "TRACKING_SPEC"]
+__all__ = [
+    "run_experiment",
+    "run_observed",
+    "ObservedRun",
+    "build_world",
+    "World",
+    "FailureDriver",
+    "TRACKING_SPEC",
+]
 
 #: the tracking interest: task type plus the target flag (see module doc)
 TRACKING_SPEC = InterestSpec.of(
@@ -134,10 +153,17 @@ def _place_sources(
     return event_radius_sources(field, cfg.n_sources, radius=cfg.range_m, rng=rng, exclude=sinks)
 
 
-def build_world(cfg: ExperimentConfig) -> World:
+def build_world(cfg: ExperimentConfig, obs: Optional[ObsOptions] = None) -> World:
     """Construct the full simulation for one config (without running it)."""
     sim = Simulator()
-    tracer = Tracer(lambda: sim.now)
+    if obs is not None:
+        tracer = Tracer(
+            lambda: sim.now,
+            registry=MetricsRegistry(detailed=obs.detailed_metrics),
+            max_records=obs.effective_max_records(),
+        )
+    else:
+        tracer = Tracer(lambda: sim.now)
     rngs = RngRegistry(cfg.seed)
     field = generate_field(
         cfg.n_nodes,
@@ -183,10 +209,54 @@ def build_world(cfg: ExperimentConfig) -> World:
     return world
 
 
-def run_experiment(cfg: ExperimentConfig) -> RunMetrics:
+@dataclass
+class ObservedRun:
+    """One run's metrics plus the observability artifacts it produced."""
+
+    metrics: RunMetrics
+    wall_time_s: float
+    profile: Optional[ProfileReport] = None
+    manifest: Optional[dict] = None
+    manifest_path: Optional[Path] = None
+    trace_path: Optional[Path] = None
+
+
+def run_experiment(cfg: ExperimentConfig, obs: Optional[ObsOptions] = None) -> RunMetrics:
     """Run one experiment end to end and reduce it to metrics."""
-    world = build_world(cfg)
+    return run_observed(cfg, obs).metrics
+
+
+def run_observed(cfg: ExperimentConfig, obs: Optional[ObsOptions] = None) -> ObservedRun:
+    """Run one experiment with optional profiling/tracing/provenance.
+
+    With ``obs=None`` this is exactly :func:`run_experiment`; otherwise
+    the requested instruments are attached before the run and their
+    artifacts (profile report, JSONL trace, ``manifest.json``) are
+    collected afterwards.
+    """
+    world = build_world(cfg, obs)
     sim, tracer = world.sim, world.tracer
+
+    profiler: Optional[Profiler] = None
+    writer: Optional[TraceWriter] = None
+    if obs is not None:
+        if obs.trace_path is not None:
+            writer = TraceWriter(obs.trace_path, registry=tracer.registry)
+            writer.attach(tracer, *obs.trace_categories)
+            interval = obs.snapshot_interval or cfg.duration / 10.0
+
+            def snap() -> None:
+                g = tracer.registry.gauge
+                g("sim.pending_events").set(world.sim.pending_count())
+                g("sim.events_processed").set(world.sim.events_processed)
+                g("sim.cancelled_skipped").set(world.sim.cancelled_skipped)
+                assert writer is not None
+                writer.write_snapshot(sim.now)
+                sim.schedule(interval, snap)
+
+            sim.schedule(interval, snap)
+        if obs.profile:
+            profiler = Profiler(obs.profile_sample_interval).attach(sim)
 
     snapshots: list[tuple[float, float]] = []
 
@@ -194,7 +264,15 @@ def run_experiment(cfg: ExperimentConfig) -> RunMetrics:
         snapshots.extend((n.energy.tx_time, n.energy.rx_time) for n in world.nodes)
 
     sim.schedule(cfg.warmup, take_snapshot)
-    sim.run(until=cfg.duration)
+    t0 = time.perf_counter()
+    try:
+        sim.run(until=cfg.duration)
+    finally:
+        if profiler is not None:
+            profiler.detach()
+        if writer is not None:
+            writer.close()
+    wall_time = time.perf_counter() - t0
 
     window = cfg.duration - cfg.warmup
     total_energy = 0.0
@@ -219,7 +297,7 @@ def run_experiment(cfg: ExperimentConfig) -> RunMetrics:
         avg_energy = total_energy / cfg.n_nodes
         avg_delay = window
 
-    return RunMetrics(
+    run_metrics = RunMetrics(
         scheme=cfg.scheme,
         n_nodes=cfg.n_nodes,
         seed=cfg.seed,
@@ -232,3 +310,22 @@ def run_experiment(cfg: ExperimentConfig) -> RunMetrics:
         mean_degree=world.field.mean_degree(),
         counters=dict(tracer.counters),
     )
+
+    observed = ObservedRun(
+        metrics=run_metrics,
+        wall_time_s=wall_time,
+        profile=profiler.report() if profiler is not None else None,
+        trace_path=Path(obs.trace_path) if obs is not None and obs.trace_path else None,
+    )
+    if obs is not None and obs.manifest_path is not None:
+        observed.manifest = build_run_manifest(
+            cfg,
+            run_metrics,
+            wall_time_s=wall_time,
+            sim=sim,
+            registry=tracer.registry,
+            profile_report=observed.profile,
+            trace_path=observed.trace_path,
+        )
+        observed.manifest_path = save_manifest(observed.manifest, obs.manifest_path)
+    return observed

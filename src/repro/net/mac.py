@@ -85,6 +85,19 @@ class CsmaMac:
         prop = radio.channel.params.propagation_delay_s
         self._ack_timeout = params.sifs_s + ack_air + 2 * prop + params.slot_time_s
 
+        registry = tracer.registry
+        self._backoff_slots = registry.histogram(
+            "mac.backoff_slots", buckets=(0, 1, 2, 4, 8, 16, 32, 64, 128, 256)
+        )
+        self._queue_depth = registry.histogram(
+            "mac.queue_depth", buckets=(0, 1, 2, 4, 8, 16, 32, 64, 128)
+        )
+        # Per-node series are opt-in: one labelled counter per node is
+        # fine at paper scale but not free, so it rides the detailed flag.
+        self._tx_by_node = (
+            registry.counter("mac.tx", node=str(radio.node_id)) if registry.detailed else None
+        )
+
     # ------------------------------------------------------------------
     # transmit path
     # ------------------------------------------------------------------
@@ -97,6 +110,7 @@ class CsmaMac:
             self.tracer.count("mac.drop_queue")
             return False
         self._queue.append(Frame(src=self.radio.node_id, dst=dst, size=size, payload=payload))
+        self._queue_depth.observe(len(self._queue))
         self._kick()
         return True
 
@@ -118,7 +132,9 @@ class CsmaMac:
 
     def _backoff(self) -> None:
         """Defer DIFS + a random number of slots, then sense-and-transmit."""
-        delay = self.params.difs_s + self.rng.randrange(self._cw) * self.params.slot_time_s
+        slots = self.rng.randrange(self._cw)
+        self._backoff_slots.observe(slots)
+        delay = self.params.difs_s + slots * self.params.slot_time_s
         self._pending = self.sim.schedule(delay, self._sense_and_transmit)
 
     def _sense_and_transmit(self) -> None:
@@ -138,6 +154,8 @@ class CsmaMac:
         frame = self._current
         duration = self.radio.start_tx(frame)
         self.tracer.count("mac.tx")
+        if self._tx_by_node is not None:
+            self._tx_by_node.inc()
         self.sim.schedule(duration, self._tx_done)
 
     def _backoff_now(self) -> None:

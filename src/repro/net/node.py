@@ -80,6 +80,9 @@ class Node:
         self._down_since = self.sim.now
         self.mac.fail()
         self.tracer.count("node.fail")
+        if self.tracer.registry.detailed:
+            self.tracer.registry.counter("node.fail", node=str(self.node_id)).inc()
+        self.tracer.record("node.fail", node=self.node_id)
 
     def recover(self) -> None:
         """Turn the node back on (idempotent)."""
@@ -90,6 +93,7 @@ class Node:
             self.downtime += self.sim.now - self._down_since
             self._down_since = None
         self.tracer.count("node.recover")
+        self.tracer.record("node.recover", node=self.node_id)
 
     # ------------------------------------------------------------------
     # protocol plumbing

@@ -74,6 +74,9 @@ class Channel:
         self.params = params
         self.radios: dict[int, Radio] = {}
         self._neighbors: Optional[dict[int, list["Radio"]]] = None
+        self._frame_bytes = tracer.registry.histogram(
+            "radio.frame_bytes", buckets=(10, 36, 64, 128, 256, 512)
+        )
 
     def register(self, radio: "Radio") -> None:
         if radio.node_id in self.radios:
@@ -133,6 +136,15 @@ class Channel:
         now = self.sim.now
         self.tracer.count("radio.tx")
         self.tracer.count("radio.tx_bytes", frame.size)
+        self._frame_bytes.observe(frame.size)
+        self.tracer.record(
+            "phy.tx",
+            frame=frame.frame_id,
+            src=sender.node_id,
+            dst=frame.dst,
+            size=frame.size,
+            kind=frame.kind,
+        )
         sender.energy.note_tx(duration)
         sender.tx_until = max(sender.tx_until, now + duration)
         for receiver in self.neighbors(sender.node_id):
@@ -244,6 +256,12 @@ class Radio:
             self.tracer.count("radio.halfduplex_loss")
             return
         self.tracer.count("radio.rx")
+        self.tracer.record(
+            "phy.rx",
+            frame=arrival.frame.frame_id,
+            node=self.node_id,
+            src=arrival.frame.src,
+        )
         if self.deliver is not None:
             self.deliver(arrival.frame)
 

@@ -1,0 +1,54 @@
+"""Observability subsystem: metrics registry, profiling, trace export,
+run provenance.
+
+Layered under :mod:`repro.sim` (the tracer's counters are registry
+instruments) and consumed by :mod:`repro.experiments` (the runner wires
+profiling / export / manifests per :class:`ObsOptions`).  Everything
+here is opt-in beyond the always-on counter registry; a run with
+observability disabled pays one branch per simulator event.
+"""
+
+from .export import TraceWriter, iter_trace_lines, read_trace, trace_summary
+from .manifest import (
+    MANIFEST_VERSION,
+    build_figure_manifest,
+    build_run_manifest,
+    format_manifest,
+    load_manifest,
+    save_manifest,
+)
+from .options import DEFAULT_MAX_RECORDS, ObsOptions
+from .profiler import CallbackStats, ProfileReport, Profiler, format_profile
+from .registry import (
+    DEFAULT_BUCKETS,
+    CardinalityError,
+    CounterMetric,
+    GaugeMetric,
+    HistogramMetric,
+    MetricsRegistry,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "CounterMetric",
+    "GaugeMetric",
+    "HistogramMetric",
+    "CardinalityError",
+    "DEFAULT_BUCKETS",
+    "Profiler",
+    "ProfileReport",
+    "CallbackStats",
+    "format_profile",
+    "TraceWriter",
+    "read_trace",
+    "iter_trace_lines",
+    "trace_summary",
+    "ObsOptions",
+    "DEFAULT_MAX_RECORDS",
+    "build_run_manifest",
+    "build_figure_manifest",
+    "save_manifest",
+    "load_manifest",
+    "format_manifest",
+    "MANIFEST_VERSION",
+]

@@ -1,0 +1,146 @@
+"""Streaming JSONL trace export.
+
+A :class:`TraceWriter` registers as a :class:`~repro.sim.trace.Tracer`
+listener and serializes every recorded :class:`TraceRecord` to one JSON
+line as it happens — nothing is buffered in memory, so multi-hour runs
+with ``enable("*")`` stay flat.  The file interleaves three line types:
+
+* ``{"type": "record", "t": ..., "cat": ..., "fields": {...}}``
+* ``{"type": "gauges", "t": ..., "gauges": {...}}`` — periodic registry
+  gauge snapshots (scheduled by the runner);
+* ``{"type": "meta", ...}`` — one header line with the export version.
+
+Round-trip contract: a record whose field values are JSON-representable
+scalars (str/int/float/bool/None) reads back **exactly** via
+:func:`read_trace`; richer values degrade to their JSON image (tuples
+become lists, unknown objects become ``str``).  Property tests lean on
+the exact case.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Iterator, Optional, Union
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.trace import TraceRecord, Tracer
+    from .registry import MetricsRegistry
+
+__all__ = ["TraceWriter", "read_trace", "iter_trace_lines", "trace_summary", "TRACE_VERSION"]
+
+TRACE_VERSION = 1
+
+
+class TraceWriter:
+    """JSONL sink for trace records and gauge snapshots.
+
+    Use as a context manager, or call :meth:`close` explicitly; each line
+    is written as it is produced.
+    """
+
+    def __init__(self, path: Union[str, Path], registry: Optional["MetricsRegistry"] = None):
+        self.path = Path(path)
+        self.registry = registry
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = self.path.open("w")
+        self.records_written = 0
+        self.snapshots_written = 0
+        self._write({"type": "meta", "trace_version": TRACE_VERSION})
+
+    def _write(self, obj: dict[str, Any]) -> None:
+        self._fh.write(json.dumps(obj, default=str))
+        self._fh.write("\n")
+
+    # ------------------------------------------------------------------
+    # sinks
+    # ------------------------------------------------------------------
+    def __call__(self, rec: "TraceRecord") -> None:
+        """Tracer-listener entry point: stream one record."""
+        self._write(
+            {"type": "record", "t": rec.time, "cat": rec.category, "fields": dict(rec.fields)}
+        )
+        self.records_written += 1
+
+    def write_snapshot(self, now: float) -> None:
+        """Append a gauge snapshot from the attached registry."""
+        if self.registry is None:
+            return
+        self._write({"type": "gauges", "t": now, "gauges": self.registry.snapshot()["gauges"]})
+        self.snapshots_written += 1
+
+    def attach(self, tracer: "Tracer", *categories: str) -> "TraceWriter":
+        """Enable ``categories`` (default everything) and start streaming."""
+        tracer.enable(*(categories or ("*",)))
+        tracer.add_listener(self)
+        if self.registry is None:
+            self.registry = tracer.registry
+        return self
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+def iter_trace_lines(path: Union[str, Path]) -> Iterator[dict[str, Any]]:
+    """Yield every parsed line of a JSONL trace file."""
+    with Path(path).open() as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                yield json.loads(line)
+
+
+def read_trace(
+    path: Union[str, Path], category: Optional[str] = None
+) -> Iterator["TraceRecord"]:
+    """Yield the trace's records as :class:`TraceRecord`, oldest first."""
+    # Imported here, not at module top: sim.trace imports the registry from
+    # this package, so a top-level import would be circular.
+    from ..sim.trace import TraceRecord
+
+    for obj in iter_trace_lines(path):
+        if obj.get("type") != "record":
+            continue
+        if category is not None and obj["cat"] != category:
+            continue
+        yield TraceRecord(obj["t"], obj["cat"], tuple(obj["fields"].items()))
+
+
+def trace_summary(path: Union[str, Path]) -> dict[str, Any]:
+    """Aggregate view of a trace file (the ``repro stats`` backend)."""
+    categories: dict[str, int] = {}
+    t_min: Optional[float] = None
+    t_max: Optional[float] = None
+    records = 0
+    snapshots = 0
+    version: Optional[int] = None
+    for obj in iter_trace_lines(path):
+        kind = obj.get("type")
+        if kind == "meta":
+            version = obj.get("trace_version")
+        elif kind == "record":
+            records += 1
+            categories[obj["cat"]] = categories.get(obj["cat"], 0) + 1
+            t = obj["t"]
+            t_min = t if t_min is None else min(t_min, t)
+            t_max = t if t_max is None else max(t_max, t)
+        elif kind == "gauges":
+            snapshots += 1
+    return {
+        "path": str(path),
+        "trace_version": version,
+        "records": records,
+        "gauge_snapshots": snapshots,
+        "time_span": (t_min, t_max),
+        "categories": dict(sorted(categories.items(), key=lambda kv: -kv[1])),
+    }

@@ -1,0 +1,208 @@
+"""Run provenance manifests.
+
+A manifest ties a result back to exactly what produced it: the full
+config (every knob, not just the swept ones), the seed, the package
+version, host/interpreter info, wall-clock cost, and the metrics summary.
+``repro stats manifest.json`` pretty-prints one; sweeps write a
+``kind: "figure"`` variant next to their saved series.
+
+The schema is versioned (:data:`MANIFEST_VERSION`); loaders reject
+versions they do not understand rather than misreading them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import platform
+import socket
+import sys
+import time
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Optional, Union
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..experiments.config import ExperimentConfig, Profile
+    from ..experiments.figures import FigureResult
+    from ..experiments.metrics import RunMetrics
+    from ..sim.engine import Simulator
+    from .profiler import ProfileReport
+    from .registry import MetricsRegistry
+
+__all__ = [
+    "MANIFEST_VERSION",
+    "build_run_manifest",
+    "build_figure_manifest",
+    "save_manifest",
+    "load_manifest",
+    "format_manifest",
+]
+
+MANIFEST_VERSION = 1
+
+
+def _package_version() -> str:
+    import repro  # late import: repro/__init__ may still be initializing at import time
+
+    return getattr(repro, "__version__", "unknown")
+
+
+def _environment() -> dict[str, Any]:
+    return {
+        "package": {"name": "repro", "version": _package_version()},
+        "python": sys.version.split()[0],
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "hostname": socket.gethostname(),
+    }
+
+
+def build_run_manifest(
+    cfg: "ExperimentConfig",
+    metrics: "RunMetrics",
+    *,
+    wall_time_s: float,
+    sim: Optional["Simulator"] = None,
+    registry: Optional["MetricsRegistry"] = None,
+    profile_report: Optional["ProfileReport"] = None,
+    trace_path: Optional[Union[str, Path]] = None,
+) -> dict[str, Any]:
+    """Assemble the provenance manifest for one experiment run."""
+    manifest: dict[str, Any] = {
+        "manifest_version": MANIFEST_VERSION,
+        "kind": "run",
+        "created_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "environment": _environment(),
+        "config": dataclasses.asdict(cfg),
+        "seed": cfg.seed,
+        "wall_time_s": wall_time_s,
+        "metrics": dataclasses.asdict(metrics),
+    }
+    if sim is not None:
+        manifest["simulator"] = {
+            "events_processed": sim.events_processed,
+            "events_per_sec": sim.events_processed / wall_time_s if wall_time_s > 0 else 0.0,
+            "cancelled_skipped": sim.cancelled_skipped,
+            "sim_time_s": sim.now,
+        }
+    if registry is not None:
+        manifest["metrics_snapshot"] = registry.snapshot()
+    if profile_report is not None:
+        manifest["profile"] = profile_report.as_dict()
+    if trace_path is not None:
+        manifest["trace_path"] = str(trace_path)
+    return manifest
+
+
+def build_figure_manifest(
+    result: "FigureResult",
+    profile: "Profile",
+    *,
+    wall_time_s: float,
+    trials: Optional[int] = None,
+    workers: int = 0,
+    result_path: Optional[Union[str, Path]] = None,
+) -> dict[str, Any]:
+    """Assemble the provenance manifest for one figure sweep."""
+    return {
+        "manifest_version": MANIFEST_VERSION,
+        "kind": "figure",
+        "created_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "environment": _environment(),
+        "figure_id": result.figure_id,
+        "title": result.title,
+        "x_label": result.x_label,
+        "profile": {
+            "name": profile.name,
+            "trials": trials if trials is not None else profile.trials,
+            "duration": profile.duration,
+            "warmup": profile.warmup,
+        },
+        "workers": workers,
+        "wall_time_s": wall_time_s,
+        "n_cells": len(result.cells),
+        "cells": [dataclasses.asdict(c) for c in result.cells],
+        "result_path": str(result_path) if result_path is not None else None,
+    }
+
+
+def save_manifest(manifest: dict[str, Any], path: Union[str, Path]) -> Path:
+    """Write a manifest as pretty-printed JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(manifest, indent=2, sort_keys=True, default=str))
+    return path
+
+
+def load_manifest(path: Union[str, Path]) -> dict[str, Any]:
+    """Reload a manifest, validating its schema version."""
+    data = json.loads(Path(path).read_text())
+    version = data.get("manifest_version")
+    if version != MANIFEST_VERSION:
+        raise ValueError(f"unsupported manifest version: {version!r}")
+    return data
+
+
+def _fmt_kv(pairs: list[tuple[str, Any]]) -> list[str]:
+    width = max(len(k) for k, _v in pairs)
+    return [f"{k:<{width}}  {v}" for k, v in pairs]
+
+
+def format_manifest(data: dict[str, Any], top_counters: int = 12) -> str:
+    """Pretty-print a manifest (the ``repro stats`` backend)."""
+    env = data.get("environment", {})
+    pkg = env.get("package", {})
+    lines: list[str] = [f"{data.get('kind', '?')} manifest (v{data.get('manifest_version')})"]
+    pairs: list[tuple[str, Any]] = [
+        ("created", data.get("created_at")),
+        ("package", f"{pkg.get('name')} {pkg.get('version')}"),
+        ("python", f"{env.get('python')} ({env.get('implementation')})"),
+        ("host", f"{env.get('hostname')} / {env.get('platform')}"),
+        ("wall time", f"{data.get('wall_time_s', 0.0):.3f} s"),
+    ]
+    if data.get("kind") == "run":
+        cfg = data.get("config", {})
+        m = data.get("metrics", {})
+        pairs += [
+            ("scheme", cfg.get("scheme")),
+            ("nodes", cfg.get("n_nodes")),
+            ("seed", data.get("seed")),
+            ("duration", f"{cfg.get('duration')} s (warmup {cfg.get('warmup')} s)"),
+            ("avg energy", f"{m.get('avg_dissipated_energy', 0.0):.6f} J/node/event"),
+            ("avg delay", f"{m.get('avg_delay', 0.0):.4f} s"),
+            ("delivery ratio", f"{m.get('delivery_ratio', 0.0):.3f}"),
+            ("delivered/sent", f"{m.get('distinct_delivered')} / {m.get('events_sent')}"),
+        ]
+        sim = data.get("simulator")
+        if sim:
+            pairs += [
+                ("events", sim.get("events_processed")),
+                ("events/sec", f"{sim.get('events_per_sec', 0.0):,.0f}"),
+            ]
+        lines += _fmt_kv(pairs)
+        counters = m.get("counters") or {}
+        if counters:
+            lines.append("")
+            lines.append(f"top counters ({min(top_counters, len(counters))} of {len(counters)}):")
+            ranked = sorted(counters.items(), key=lambda kv: -kv[1])[:top_counters]
+            width = max(len(k) for k, _ in ranked)
+            lines += [f"  {k:<{width}}  {v}" for k, v in ranked]
+        if "profile" in data:
+            prof = data["profile"]
+            lines.append("")
+            lines.append(
+                f"profile: {prof.get('events_per_sec', 0.0):,.0f} events/sec, "
+                f"{len(prof.get('callbacks', []))} callsites, "
+                f"heap max {prof.get('heap', {}).get('max')}"
+            )
+    elif data.get("kind") == "figure":
+        prof = data.get("profile", {})
+        pairs += [
+            ("figure", f"{data.get('figure_id')}: {data.get('title')}"),
+            ("profile", f"{prof.get('name')} (trials={prof.get('trials')})"),
+            ("cells", data.get("n_cells")),
+        ]
+        lines += _fmt_kv(pairs)
+    else:
+        lines += _fmt_kv(pairs)
+    return "\n".join(lines)

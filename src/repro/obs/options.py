@@ -1,0 +1,52 @@
+"""Per-run observability switches.
+
+:class:`ObsOptions` is how callers (the CLI, notebooks, sweeps) opt a
+single :func:`~repro.experiments.runner.run_experiment` into profiling,
+trace export, and manifest emission without widening
+:class:`~repro.experiments.config.ExperimentConfig` — the config stays a
+pure description of *what* to simulate; observability describes how
+closely to watch it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Union
+
+__all__ = ["ObsOptions", "DEFAULT_MAX_RECORDS"]
+
+#: default in-memory record bound (see Tracer.max_records)
+DEFAULT_MAX_RECORDS = 262_144
+
+
+@dataclass
+class ObsOptions:
+    """Observability configuration for one run.
+
+    ``trace_path`` switches the tracer to pure streaming (records go to
+    the JSONL file, not memory); ``detailed_metrics`` unlocks the
+    per-node labelled series that are too high-cardinality to keep on by
+    default.
+    """
+
+    #: attach a Profiler to the simulator and report on it
+    profile: bool = False
+    #: heap-depth sampling stride (events per sample)
+    profile_sample_interval: int = 64
+    #: stream enabled trace categories to this JSONL file
+    trace_path: Optional[Union[str, Path]] = None
+    #: categories to enable when tracing ("*" = everything)
+    trace_categories: tuple[str, ...] = ("*",)
+    #: sim-seconds between gauge snapshots in the trace (None = duration/10)
+    snapshot_interval: Optional[float] = None
+    #: write the run provenance manifest here
+    manifest_path: Optional[Union[str, Path]] = None
+    #: enable per-node labelled metric series
+    detailed_metrics: bool = False
+    #: in-memory record cap for the tracer (0 with trace_path set)
+    max_records: Optional[int] = field(default=DEFAULT_MAX_RECORDS)
+
+    def effective_max_records(self) -> Optional[int]:
+        """Streaming runs keep nothing in memory."""
+        return 0 if self.trace_path is not None else self.max_records

@@ -2,16 +2,18 @@
 
 Public surface:
 
-* :class:`Simulator` / :class:`ScheduledEvent` — the event scheduler.
+* :class:`Simulator` / :class:`ScheduledEvent` — the event scheduler
+  (with an opt-in profiler hook, see :mod:`repro.obs.profiler`).
 * :class:`OneShotTimer` / :class:`PeriodicTimer` — protocol timer idioms.
-* :class:`Tracer` / :class:`TraceRecord` — counters and structured traces.
+* :class:`Tracer` / :class:`TraceRecord` — registry-backed metrics and
+  structured traces.
 * :class:`RngRegistry` — named deterministic random substreams.
 """
 
 from .engine import ScheduledEvent, SimulationError, Simulator
 from .rng import RngRegistry, derive_seed
 from .timers import OneShotTimer, PeriodicTimer
-from .trace import TraceRecord, Tracer
+from .trace import DEFAULT_MAX_RECORDS, TraceRecord, Tracer
 
 __all__ = [
     "Simulator",
@@ -21,6 +23,7 @@ __all__ = [
     "PeriodicTimer",
     "Tracer",
     "TraceRecord",
+    "DEFAULT_MAX_RECORDS",
     "RngRegistry",
     "derive_seed",
 ]

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Any, Callable, Optional
 
 __all__ = ["Simulator", "ScheduledEvent", "SimulationError"]
@@ -94,6 +95,9 @@ class Simulator:
         self._running = False
         self._stopped = False
         self.events_processed: int = 0
+        #: cancelled entries popped off the heap (scheduling churn)
+        self.cancelled_skipped: int = 0
+        self._profiler: Optional[Any] = None
 
     # ------------------------------------------------------------------
     # clock
@@ -102,6 +106,17 @@ class Simulator:
     def now(self) -> float:
         """Current virtual time in seconds."""
         return self._now
+
+    # ------------------------------------------------------------------
+    # profiling
+    # ------------------------------------------------------------------
+    def set_profiler(self, profiler: Optional[Any]) -> None:
+        """Install (or remove, with None) an event-loop profiler.
+
+        The profiler's ``note(fn, elapsed_s, heap_len)`` is called after
+        every fired event; see :class:`repro.obs.profiler.Profiler`.
+        """
+        self._profiler = profiler
 
     # ------------------------------------------------------------------
     # scheduling
@@ -148,11 +163,18 @@ class Simulator:
                 heapq.heappop(self._heap)
                 ev = entry.event
                 if ev.cancelled:
+                    self.cancelled_skipped += 1
                     continue
                 self._now = entry.time
                 ev.fired = True
                 self.events_processed += 1
-                ev.fn(*ev.args)
+                prof = self._profiler
+                if prof is None:
+                    ev.fn(*ev.args)
+                else:
+                    t0 = perf_counter()
+                    ev.fn(*ev.args)
+                    prof.note(ev.fn, perf_counter() - t0, len(self._heap))
             if until is not None and self._now < until and not self._stopped:
                 self._now = until
         finally:
@@ -164,11 +186,18 @@ class Simulator:
             entry = heapq.heappop(self._heap)
             ev = entry.event
             if ev.cancelled:
+                self.cancelled_skipped += 1
                 continue
             self._now = entry.time
             ev.fired = True
             self.events_processed += 1
-            ev.fn(*ev.args)
+            prof = self._profiler
+            if prof is None:
+                ev.fn(*ev.args)
+            else:
+                t0 = perf_counter()
+                ev.fn(*ev.args)
+                prof.note(ev.fn, perf_counter() - t0, len(self._heap))
             return True
         return False
 
@@ -184,10 +213,20 @@ class Simulator:
         return sum(1 for e in self._heap if not e.event.cancelled)
 
     def peek_time(self) -> Optional[float]:
-        """Time of the next live event, or None if the queue is empty."""
-        for e in sorted(self._heap):
-            if not e.event.cancelled:
-                return e.time
+        """Time of the next live event, or None if the queue is empty.
+
+        Cancelled entries at the front are purged lazily (amortized
+        O(log n) per cancelled event, versus the full sort this used to
+        do); the purge is counted as scheduler churn.
+        """
+        heap = self._heap
+        while heap:
+            entry = heap[0]
+            if entry.event.cancelled:
+                heapq.heappop(heap)
+                self.cancelled_skipped += 1
+            else:
+                return entry.time
         return None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

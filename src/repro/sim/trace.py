@@ -3,11 +3,22 @@
 A :class:`Tracer` is attached to a simulation and collects two kinds of
 observations:
 
-* **counters** — cheap monotone statistics (``tracer.count("mac.tx")``),
-  always on; the experiment harness reads these to build its metrics.
+* **metrics** — cheap typed statistics backed by a
+  :class:`~repro.obs.registry.MetricsRegistry`.  ``tracer.count()`` is
+  kept as the thin compatibility shim every protocol layer already uses;
+  call sites needing gauges, histograms, or labels reach the registry
+  directly (``tracer.registry.histogram("agg.merge_size")``).
 * **records** — optional structured trace entries (time, category,
-  fields), enabled per category, used by tests and by the CLI's
-  ``--trace`` mode.  Disabled categories cost one dict lookup per call.
+  fields), enabled per category, used by tests, the CLI's trace export,
+  and offline analysis.  Disabled categories cost one set lookup per
+  call.
+
+The in-memory record store is **bounded** (``max_records``, default
+:data:`~repro.obs.options.DEFAULT_MAX_RECORDS`): once full, new records
+still reach listeners (e.g. a streaming
+:class:`~repro.obs.export.TraceWriter`) but are not stored, and the drop
+is counted under ``trace.records_dropped``.  ``max_records=0`` is the
+pure-streaming mode; ``max_records=None`` removes the bound.
 
 Keeping tracing inside the kernel (rather than ad-hoc prints) is what lets
 property tests assert global invariants such as "every reception has a
@@ -16,11 +27,15 @@ matching transmission".
 
 from __future__ import annotations
 
-from collections import Counter
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Optional
 
-__all__ = ["TraceRecord", "Tracer"]
+from ..obs.registry import MetricsRegistry
+
+__all__ = ["TraceRecord", "Tracer", "DEFAULT_MAX_RECORDS"]
+
+#: default bound on the in-memory record list (re-exported from obs)
+DEFAULT_MAX_RECORDS = 262_144
 
 
 @dataclass(frozen=True)
@@ -46,25 +61,45 @@ class TraceRecord:
 
 
 class Tracer:
-    """Counter + structured-record sink for one simulation run."""
+    """Metrics + structured-record sink for one simulation run."""
 
-    def __init__(self, clock: Callable[[], float]) -> None:
+    def __init__(
+        self,
+        clock: Callable[[], float],
+        registry: Optional[MetricsRegistry] = None,
+        max_records: Optional[int] = DEFAULT_MAX_RECORDS,
+    ) -> None:
         self._clock = clock
-        self.counters: Counter[str] = Counter()
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.max_records = max_records
+        self.records_dropped = 0
         self._enabled: set[str] = set()
         self._records: list[TraceRecord] = []
         self._listeners: list[Callable[[TraceRecord], None]] = []
+        #: per-tracer fast path: counter-name -> instrument handle
+        self._counter_cache: dict[str, Any] = {}
 
     # ------------------------------------------------------------------
-    # counters
+    # counters (compatibility shim over the registry)
     # ------------------------------------------------------------------
     def count(self, key: str, n: int = 1) -> None:
-        """Increment counter ``key`` by ``n``."""
-        self.counters[key] += n
+        """Increment the unlabelled registry counter ``key`` by ``n``."""
+        c = self._counter_cache.get(key)
+        if c is None:
+            c = self._counter_cache[key] = self.registry.counter(key)
+        c.inc(n)
 
     def value(self, key: str) -> int:
         """Current value of a counter (0 if never incremented)."""
-        return self.counters.get(key, 0)
+        c = self._counter_cache.get(key)
+        if c is not None:
+            return c.value
+        return self.registry.value(key)
+
+    @property
+    def counters(self):
+        """Flat counter snapshot (``name{labels}`` -> value)."""
+        return self.registry.counters_flat()
 
     # ------------------------------------------------------------------
     # structured records
@@ -83,12 +118,20 @@ class Tracer:
         """Register a callback invoked for every *recorded* entry."""
         self._listeners.append(fn)
 
+    def remove_listener(self, fn: Callable[[TraceRecord], None]) -> None:
+        self._listeners.remove(fn)
+
     def record(self, category: str, **fields: Any) -> None:
         """Emit a structured record if its category is enabled."""
         if category not in self._enabled and "*" not in self._enabled:
             return
         rec = TraceRecord(self._clock(), category, tuple(fields.items()))
-        self._records.append(rec)
+        if self.max_records is None or len(self._records) < self.max_records:
+            self._records.append(rec)
+        else:
+            self.records_dropped += 1
+            if self.max_records:  # bounded store overflowed: make it loud
+                self.count("trace.records_dropped")
         for fn in self._listeners:
             fn(rec)
 

@@ -214,6 +214,37 @@ class TestIntrospection:
         ev.cancel()
         assert sim.peek_time() == 5.0
 
+    def test_peek_time_purges_cancelled_front_entries(self):
+        sim = Simulator()
+        cancelled = [sim.schedule(float(i), lambda: None) for i in range(5)]
+        sim.schedule(10.0, lambda: None)
+        for ev in cancelled:
+            ev.cancel()
+        assert sim.peek_time() == 10.0
+        # the lazy scan removed the garbage and recorded the churn
+        assert len(sim._heap) == 1
+        assert sim.cancelled_skipped == 5
+        # repeated peeks don't re-count
+        assert sim.peek_time() == 10.0
+        assert sim.cancelled_skipped == 5
+
+    def test_peek_time_all_cancelled_returns_none(self):
+        sim = Simulator()
+        evs = [sim.schedule(1.0, lambda: None), sim.schedule(2.0, lambda: None)]
+        for ev in evs:
+            ev.cancel()
+        assert sim.peek_time() is None
+        assert sim.cancelled_skipped == 2
+
+    def test_run_counts_cancelled_churn(self):
+        sim = Simulator()
+        live = [sim.schedule(float(i), lambda: None) for i in range(6)]
+        for ev in live[::2]:
+            ev.cancel()
+        sim.run()
+        assert sim.events_processed == 3
+        assert sim.cancelled_skipped == 3
+
     def test_determinism_same_schedule_same_order(self):
         def run_once():
             sim = Simulator()

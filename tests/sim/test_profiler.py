@@ -1,0 +1,91 @@
+"""Unit tests for the simulator profiler."""
+
+from repro.obs import Profiler, format_profile
+from repro.sim import Simulator
+
+
+def slow_callback():
+    # Burn a tiny, observable amount of wall time.
+    sum(range(200))
+
+
+class TestProfiler:
+    def test_report_counts_events_and_throughput(self):
+        sim = Simulator()
+        for i in range(100):
+            sim.schedule(i * 0.1, slow_callback)
+        prof = Profiler(sample_interval=10).attach(sim)
+        sim.run()
+        prof.detach()
+        report = prof.report()
+        assert report.events == 100
+        assert report.events_per_sec > 0
+        assert report.wall_time_s > 0
+        assert report.sim_time_s == 9.9
+
+    def test_callback_table_keys_by_qualname(self):
+        sim = Simulator()
+        out = []
+        sim.schedule(1.0, slow_callback)
+        sim.schedule(2.0, out.append, "x")
+        prof = Profiler().attach(sim)
+        sim.run()
+        report = prof.report()
+        callsites = {c.callsite for c in report.callbacks}
+        assert "slow_callback" in callsites
+        # bound methods collapse onto their underlying function
+        assert any("append" in c for c in callsites)
+        by_site = {c.callsite: c for c in report.callbacks}
+        assert by_site["slow_callback"].calls == 1
+        assert by_site["slow_callback"].total_s >= 0
+        assert by_site["slow_callback"].max_s >= by_site["slow_callback"].total_s / 2
+
+    def test_bound_method_calls_aggregate(self):
+        sim = Simulator()
+        out = []
+        for i in range(10):
+            sim.schedule(float(i), out.append, i)
+        prof = Profiler().attach(sim)
+        sim.run()
+        by_site = {c.callsite: c for c in prof.report().callbacks}
+        (name,) = by_site
+        assert by_site[name].calls == 10
+
+    def test_heap_depth_sampling(self):
+        sim = Simulator()
+        for i in range(64):
+            sim.schedule(float(i), lambda: None)
+        prof = Profiler(sample_interval=8).attach(sim)
+        sim.run()
+        report = prof.report()
+        assert report.heap_samples == 8
+        assert report.heap_min >= 0
+        assert report.heap_max <= 64
+        assert report.heap_min <= report.heap_mean <= report.heap_max
+
+    def test_cancelled_churn_counted(self):
+        sim = Simulator()
+        keep = [sim.schedule(float(i), lambda: None) for i in range(10)]
+        for ev in keep[:4]:
+            ev.cancel()
+        prof = Profiler().attach(sim)
+        sim.run()
+        report = prof.report()
+        assert report.events == 6
+        assert report.cancelled_churn == 4
+
+    def test_format_profile_mentions_headline_numbers(self):
+        sim = Simulator()
+        sim.schedule(1.0, slow_callback)
+        prof = Profiler().attach(sim)
+        sim.run()
+        text = format_profile(prof.report())
+        assert "events/sec" in text
+        assert "heap depth" in text
+        assert "slow_callback" in text
+
+    def test_simulator_without_profiler_has_no_note_overhead_state(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.events_processed == 1  # plain path still works

@@ -102,3 +102,84 @@ class TestRecords:
         rec = TraceRecord(0.0, "c", (("a", 1),))
         assert rec.get("missing", "dflt") == "dflt"
         assert rec.as_dict() == {"a": 1}
+
+    def test_remove_listener(self):
+        _sim, tr = make_tracer()
+        tr.enable("x")
+        seen = []
+        tr.add_listener(seen.append)
+        tr.record("x", k=1)
+        tr.remove_listener(seen.append)
+        tr.record("x", k=2)
+        assert len(seen) == 1
+
+
+class TestRegistryBacking:
+    """tracer.count() is a shim over the typed metrics registry."""
+
+    def test_counts_land_in_registry(self):
+        _sim, tr = make_tracer()
+        tr.count("mac.tx", 3)
+        assert tr.registry.value("mac.tx") == 3
+
+    def test_registry_counters_visible_through_value(self):
+        _sim, tr = make_tracer()
+        tr.registry.counter("direct").inc(7)
+        assert tr.value("direct") == 7
+
+    def test_counters_snapshot_includes_labelled_series(self):
+        _sim, tr = make_tracer()
+        tr.count("mac.tx")
+        tr.registry.counter("mac.tx", node="5").inc(2)
+        assert tr.counters["mac.tx"] == 1
+        assert tr.counters["mac.tx{node=5}"] == 2
+
+    def test_shared_registry_can_be_injected(self):
+        from repro.obs import MetricsRegistry
+
+        sim = Simulator()
+        reg = MetricsRegistry(detailed=True)
+        tr = Tracer(lambda: sim.now, registry=reg)
+        tr.count("a")
+        assert reg.value("a") == 1
+        assert tr.registry.detailed
+
+
+class TestRecordBounds:
+    def test_default_bound_is_finite(self):
+        from repro.sim import DEFAULT_MAX_RECORDS
+
+        _sim, tr = make_tracer()
+        assert tr.max_records == DEFAULT_MAX_RECORDS
+
+    def test_bounded_store_drops_and_counts(self):
+        sim = Simulator()
+        tr = Tracer(lambda: sim.now, max_records=2)
+        tr.enable("x")
+        for i in range(5):
+            tr.record("x", i=i)
+        assert len(tr.records()) == 2
+        assert tr.records_dropped == 3
+        assert tr.value("trace.records_dropped") == 3
+
+    def test_streaming_mode_stores_nothing_but_feeds_listeners(self):
+        sim = Simulator()
+        tr = Tracer(lambda: sim.now, max_records=0)
+        tr.enable("x")
+        seen = []
+        tr.add_listener(seen.append)
+        for i in range(4):
+            tr.record("x", i=i)
+        assert tr.records() == []
+        assert len(seen) == 4
+        # pure streaming is expected behaviour, not an overflow signal
+        assert tr.value("trace.records_dropped") == 0
+
+    def test_unbounded_when_explicitly_none(self):
+        sim = Simulator()
+        tr = Tracer(lambda: sim.now, max_records=None)
+        tr.enable("x")
+        for i in range(10):
+            tr.record("x", i=i)
+        assert len(tr.records()) == 10
+        assert tr.records_dropped == 0
