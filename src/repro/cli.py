@@ -8,6 +8,7 @@ Subcommands::
     repro-wsn fig   fig5 --profile fast --trials 2           # one paper figure
     repro-wsn trees --nodes 100 200 350 --trials 5           # GIT vs SPT table
     repro-wsn all   --profile fast                           # every figure
+    repro-wsn bench --out BENCH_sweep.json                   # canonical perf run
     repro-wsn stats m.json                                   # inspect manifest
     repro-wsn stats t.jsonl                                  # inspect trace
 
@@ -114,6 +115,22 @@ def build_parser() -> argparse.ArgumentParser:
     all_p.add_argument("--trials", type=int, default=None)
     all_p.add_argument("--workers", type=int, default=0)
 
+    bench_p = sub.add_parser(
+        "bench", help="run the canonical sweep benchmark and write BENCH_sweep.json"
+    )
+    bench_p.add_argument(
+        "--quick", action="store_true", help="CI-smoke workload (~10x cheaper)"
+    )
+    bench_p.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="also time the parallel executor and verify it matches serial",
+    )
+    bench_p.add_argument(
+        "--out", metavar="PATH", default="BENCH_sweep.json", help="where to write the JSON"
+    )
+
     stats_p = sub.add_parser(
         "stats", help="pretty-print a manifest.json or a JSONL trace file"
     )
@@ -172,12 +189,22 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _sweep_progress(done: int, total: int) -> None:
+    """Coarse progress line for long parallel sweeps (stderr, no spam)."""
+    step = max(1, total // 10)
+    if done % step == 0 or done == total:
+        print(f"sweep: {done}/{total} runs", file=sys.stderr)
+
+
 def _cmd_fig(args: argparse.Namespace) -> int:
     import time
 
     profile = PROFILES[args.profile]()
+    progress = _sweep_progress if args.workers and args.workers > 1 else None
     t0 = time.perf_counter()
-    result = FIGURES[args.figure](profile, trials=args.trials, workers=args.workers)
+    result = FIGURES[args.figure](
+        profile, trials=args.trials, workers=args.workers, progress=progress
+    )
     wall = time.perf_counter() - t0
     print(format_figure(result))
     if args.save:
@@ -286,11 +313,28 @@ def _cmd_trees(args: argparse.Namespace) -> int:
 
 def _cmd_all(args: argparse.Namespace) -> int:
     profile = PROFILES[args.profile]()
+    progress = _sweep_progress if args.workers and args.workers > 1 else None
     for name in sorted(FIGURES):
-        result = FIGURES[name](profile, trials=args.trials, workers=args.workers)
+        result = FIGURES[name](
+            profile, trials=args.trials, workers=args.workers, progress=progress
+        )
         print(format_figure(result))
         print()
     print(format_tree_table(git_vs_spt_table()))
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .experiments.bench import format_bench, run_bench, save_bench
+
+    payload = run_bench(quick=args.quick, workers=args.workers)
+    print(format_bench(payload))
+    path = save_bench(payload, args.out)
+    print(f"\nwritten: {path}")
+    par = payload.get("parallel")
+    if par and not par["identical"]:
+        print("ERROR: parallel results diverged from serial", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -299,6 +343,7 @@ _COMMANDS = {
     "fig": _cmd_fig,
     "trees": _cmd_trees,
     "all": _cmd_all,
+    "bench": _cmd_bench,
     "inspect": _cmd_inspect,
     "stats": _cmd_stats,
 }

@@ -56,7 +56,15 @@ from .runner import (
     run_experiment,
     run_observed,
 )
-from .sweeps import CellSummary, cell_seed, paired_sweep, run_configs
+from .bench import bench_configs, format_bench, run_bench, save_bench
+from .sweeps import (
+    CellSummary,
+    RunFailure,
+    SweepError,
+    cell_seed,
+    paired_sweep,
+    run_configs,
+)
 
 __all__ = [
     "ExperimentConfig",
@@ -79,9 +87,15 @@ __all__ = [
     "World",
     "FailureDriver",
     "CellSummary",
+    "RunFailure",
+    "SweepError",
     "paired_sweep",
     "run_configs",
     "cell_seed",
+    "bench_configs",
+    "run_bench",
+    "save_bench",
+    "format_bench",
     "FigureResult",
     "figure5",
     "figure6",

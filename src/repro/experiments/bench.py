@@ -1,0 +1,190 @@
+"""The canonical sweep benchmark: ``repro bench`` and ``BENCH_sweep.json``.
+
+This is the repo's perf trajectory.  Every PR that touches the sweep
+pipeline re-runs the *same* deterministic workload — a miniature density
+study (densities x schemes x paired trials, short runs) — and commits the
+resulting ``BENCH_sweep.json`` so wall-time, event throughput, scheduler
+churn, and field-cache effectiveness accumulate per PR and regressions
+show up as diffs.
+
+The workload is fixed on purpose: comparability beats coverage here.  It
+exercises every layer the sweeps pay for — world building (with the
+field cache), the event kernel, the PHY fan-out, the MAC, both diffusion
+schemes — while staying under a minute on a laptop.  ``--quick`` is a
+smaller variant for CI smoke jobs.
+
+When ``workers`` is given, the same configs also run through the
+hardened parallel executor and the results are checked for exact
+equality against the serial pass (``parallel.identical`` in the JSON) —
+the determinism contract, asserted on every benchmark run.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict
+from pathlib import Path
+from typing import Optional, Union
+
+from ..diffusion.agent import DiffusionParams
+from ..net.fieldcache import default_field_cache
+from .config import ExperimentConfig
+from .runner import run_observed
+from .sweeps import cell_seed, run_configs
+
+__all__ = [
+    "BENCH_VERSION",
+    "CANONICAL_WORKLOAD",
+    "QUICK_WORKLOAD",
+    "bench_configs",
+    "run_bench",
+    "save_bench",
+    "format_bench",
+]
+
+BENCH_VERSION = 1
+
+#: the canonical workload (do not change casually: it is the comparison
+#: axis across PRs; bump BENCH_VERSION if it must move)
+CANONICAL_WORKLOAD = {
+    "densities": (50, 150, 250),
+    "schemes": ("opportunistic", "greedy"),
+    "trials": 2,
+    "duration": 30.0,
+    "warmup": 12.0,
+    "exploratory_interval": 10.0,
+}
+
+#: CI-smoke variant (same shape, ~10x cheaper)
+QUICK_WORKLOAD = {
+    "densities": (50, 100),
+    "schemes": ("opportunistic", "greedy"),
+    "trials": 1,
+    "duration": 15.0,
+    "warmup": 6.0,
+    "exploratory_interval": 6.0,
+}
+
+
+def bench_configs(quick: bool = False) -> list[ExperimentConfig]:
+    """The deterministic config list for the bench workload (paired seeds)."""
+    w = QUICK_WORKLOAD if quick else CANONICAL_WORKLOAD
+    diffusion = DiffusionParams(exploratory_interval=w["exploratory_interval"])
+    configs = []
+    for n in w["densities"]:
+        for trial in range(w["trials"]):
+            seed = cell_seed(0, n, trial)
+            for scheme in w["schemes"]:
+                configs.append(
+                    ExperimentConfig(
+                        scheme=scheme,
+                        n_nodes=n,
+                        seed=seed,
+                        duration=w["duration"],
+                        warmup=w["warmup"],
+                        diffusion=diffusion,
+                    )
+                )
+    return configs
+
+
+def run_bench(quick: bool = False, workers: int = 0) -> dict:
+    """Run the bench workload and assemble the perf payload.
+
+    The serial pass is the timed headline (it is what the cache and the
+    kernel fast paths speed up); the optional parallel pass measures the
+    executor and proves parallel == serial bit-for-bit.
+    """
+    from ..obs.manifest import _environment
+
+    cache = default_field_cache()
+    cache.clear()
+    configs = bench_configs(quick)
+
+    per_run = []
+    t0 = time.perf_counter()
+    observed = [run_observed(cfg) for cfg in configs]
+    wall = time.perf_counter() - t0
+
+    total_events = sum(o.events_processed for o in observed)
+    total_cancelled = sum(o.cancelled_skipped for o in observed)
+    for cfg, o in zip(configs, observed):
+        per_run.append(
+            {
+                "scheme": cfg.scheme,
+                "n_nodes": cfg.n_nodes,
+                "seed": cfg.seed,
+                "wall_time_s": round(o.wall_time_s, 4),
+                "events_processed": o.events_processed,
+                "cancelled_skipped": o.cancelled_skipped,
+                "field_cache_hit": o.field_cache_hit,
+                "avg_dissipated_energy": o.metrics.avg_dissipated_energy,
+                "delivery_ratio": o.metrics.delivery_ratio,
+            }
+        )
+
+    w = QUICK_WORKLOAD if quick else CANONICAL_WORKLOAD
+    payload: dict = {
+        "bench_version": BENCH_VERSION,
+        "kind": "bench",
+        "created_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "quick": quick,
+        "workload": {k: list(v) if isinstance(v, tuple) else v for k, v in w.items()},
+        "n_runs": len(configs),
+        "wall_time_s": round(wall, 3),
+        "runs_per_sec": round(len(configs) / wall, 4) if wall > 0 else 0.0,
+        "events_processed": total_events,
+        "events_per_sec": round(total_events / wall, 1) if wall > 0 else 0.0,
+        "cancelled_skipped": total_cancelled,
+        "cancelled_churn": round(total_cancelled / total_events, 6) if total_events else 0.0,
+        "field_cache": cache.stats(),
+        "environment": _environment(),
+    }
+
+    if workers and workers > 1:
+        t1 = time.perf_counter()
+        parallel_results = run_configs(configs, workers=workers)
+        parallel_wall = time.perf_counter() - t1
+        identical = [o.metrics for o in observed] == parallel_results
+        payload["parallel"] = {
+            "workers": workers,
+            "wall_time_s": round(parallel_wall, 3),
+            "speedup_vs_serial": round(wall / parallel_wall, 3) if parallel_wall > 0 else 0.0,
+            "identical": identical,
+        }
+
+    payload["per_run"] = per_run
+    return payload
+
+
+def save_bench(payload: dict, path: Union[str, Path]) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def format_bench(payload: dict) -> str:
+    """Human-readable bench summary (the CLI's output)."""
+    cache = payload["field_cache"]
+    lines = [
+        f"repro bench ({'quick' if payload['quick'] else 'canonical'} workload, "
+        f"{payload['n_runs']} runs)",
+        f"wall time        {payload['wall_time_s']:.3f} s "
+        f"({payload['runs_per_sec']:.2f} runs/s)",
+        f"events           {payload['events_processed']:,} "
+        f"({payload['events_per_sec']:,.0f} events/s)",
+        f"cancelled churn  {payload['cancelled_skipped']:,} "
+        f"({100 * payload['cancelled_churn']:.2f}% of events)",
+        f"field cache      {cache['hits']} hits / {cache['misses']} misses "
+        f"(hit rate {100 * cache['hit_rate']:.0f}%)",
+    ]
+    par = payload.get("parallel")
+    if par:
+        status = "identical to serial" if par["identical"] else "MISMATCH vs serial!"
+        lines.append(
+            f"parallel         {par['wall_time_s']:.3f} s with {par['workers']} workers "
+            f"({par['speedup_vs_serial']:.2f}x, {status})"
+        )
+    return "\n".join(lines)

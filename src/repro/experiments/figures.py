@@ -80,11 +80,14 @@ def _run(
     sweep_field: str,
     trials: Optional[int],
     workers: int,
+    progress=None,
 ) -> FigureResult:
     def make_config(scheme: str, x, seed: int) -> ExperimentConfig:
         return replace(base, scheme=scheme, seed=seed, **{sweep_field: x})
 
-    cells = paired_sweep(profile, xs, make_config, trials=trials, workers=workers)
+    cells = paired_sweep(
+        profile, xs, make_config, trials=trials, workers=workers, progress=progress
+    )
     return FigureResult(figure_id, title, x_label, tuple(cells))
 
 
@@ -105,6 +108,7 @@ def figure5(
     densities: Sequence[int] = DENSITY_SWEEP,
     trials: Optional[int] = None,
     workers: int = 0,
+    progress=None,
 ) -> FigureResult:
     """Fig 5: greedy vs opportunistic across network density (the headline
     comparison: 5 corner sources, 1 corner sink, perfect aggregation)."""
@@ -118,6 +122,7 @@ def figure5(
         "n_nodes",
         trials,
         workers,
+        progress,
     )
 
 
@@ -126,6 +131,7 @@ def figure6(
     densities: Sequence[int] = DENSITY_SWEEP,
     trials: Optional[int] = None,
     workers: int = 0,
+    progress=None,
 ) -> FigureResult:
     """Fig 6: same sweep under rotating 20% node failures (§5.3)."""
     base = _base(profile, failures=FailureModel(fraction=0.2, epoch=profile.failure_epoch))
@@ -139,6 +145,7 @@ def figure6(
         "n_nodes",
         trials,
         workers,
+        progress,
     )
 
 
@@ -147,6 +154,7 @@ def figure7(
     densities: Sequence[int] = DENSITY_SWEEP,
     trials: Optional[int] = None,
     workers: int = 0,
+    progress=None,
 ) -> FigureResult:
     """Fig 7: random source placement (§5.4: savings shrink to ~30%)."""
     base = _base(profile, source_placement="random")
@@ -160,6 +168,7 @@ def figure7(
         "n_nodes",
         trials,
         workers,
+        progress,
     )
 
 
@@ -169,6 +178,7 @@ def figure8(
     n_nodes: int = 350,
     trials: Optional[int] = None,
     workers: int = 0,
+    progress=None,
 ) -> FigureResult:
     """Fig 8: 1-5 sinks on the 350-node field (first at the corner, rest
     scattered)."""
@@ -183,6 +193,7 @@ def figure8(
         "n_sinks",
         trials,
         workers,
+        progress,
     )
 
 
@@ -192,6 +203,7 @@ def figure9(
     n_nodes: int = 350,
     trials: Optional[int] = None,
     workers: int = 0,
+    progress=None,
 ) -> FigureResult:
     """Fig 9: 2-14 corner sources on the 350-node field."""
     base = _base(profile, n_nodes=n_nodes)
@@ -205,6 +217,7 @@ def figure9(
         "n_sources",
         trials,
         workers,
+        progress,
     )
 
 
@@ -214,6 +227,7 @@ def figure10(
     n_nodes: int = 350,
     trials: Optional[int] = None,
     workers: int = 0,
+    progress=None,
 ) -> FigureResult:
     """Fig 10: fig 9's sweep under *linear* aggregation (header savings
     only) — the inefficient-aggregation sensitivity study."""
@@ -228,6 +242,7 @@ def figure10(
         "n_sources",
         trials,
         workers,
+        progress,
     )
 
 

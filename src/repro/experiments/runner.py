@@ -28,6 +28,7 @@ from ..diffusion.attributes import AttributeSet, InterestSpec, Op, Predicate
 from ..diffusion.baselines import FloodingAgent, OmniscientAgent
 from ..diffusion.opportunistic import OpportunisticAgent
 from ..trees.git import greedy_incremental_tree
+from ..net.fieldcache import FieldCache, cached_field
 from ..net.node import Node
 from ..net.radio import Channel, RadioParams
 from ..net.topology import (
@@ -35,7 +36,6 @@ from ..net.topology import (
     corner_sink_node,
     corner_source_nodes,
     event_radius_sources,
-    generate_field,
     random_source_nodes,
     scattered_sink_nodes,
 )
@@ -141,6 +141,8 @@ class World:
     sinks: list[int]
     metrics: MetricsCollector
     failure_driver: Optional[FailureDriver]
+    #: whether the field came out of the per-process field cache
+    field_cache_hit: bool = False
 
 
 def _place_sources(
@@ -153,8 +155,19 @@ def _place_sources(
     return event_radius_sources(field, cfg.n_sources, radius=cfg.range_m, rng=rng, exclude=sinks)
 
 
-def build_world(cfg: ExperimentConfig, obs: Optional[ObsOptions] = None) -> World:
-    """Construct the full simulation for one config (without running it)."""
+def build_world(
+    cfg: ExperimentConfig,
+    obs: Optional[ObsOptions] = None,
+    field_cache: Optional[FieldCache] = None,
+) -> World:
+    """Construct the full simulation for one config (without running it).
+
+    The sensor field is memoized per process (see
+    :mod:`repro.net.fieldcache`): paired sweeps rebuild the same
+    ``(seed, n, field_size, range_m)`` geometry once per scheme, and the
+    cache removes that duplicate work without touching any RNG stream.
+    Pass ``field_cache=FieldCache(maxsize=0)`` to force a fresh build.
+    """
     sim = Simulator()
     if obs is not None:
         tracer = Tracer(
@@ -165,11 +178,12 @@ def build_world(cfg: ExperimentConfig, obs: Optional[ObsOptions] = None) -> Worl
     else:
         tracer = Tracer(lambda: sim.now)
     rngs = RngRegistry(cfg.seed)
-    field = generate_field(
+    field, cache_hit = cached_field(
         cfg.n_nodes,
-        rngs.stream("topology"),
+        cfg.seed,
         field_size=cfg.field_size,
         range_m=cfg.range_m,
+        cache=field_cache,
     )
     channel = Channel(sim, tracer, RadioParams(range_m=cfg.range_m))
     nodes = [
@@ -203,7 +217,10 @@ def build_world(cfg: ExperimentConfig, obs: Optional[ObsOptions] = None) -> Worl
             sim, nodes, cfg.failures, rngs.stream("failures"), exempt=frozenset(sinks)
         )
 
-    world = World(cfg, sim, tracer, field, nodes, agents, sources, sinks, metrics, driver)
+    world = World(
+        cfg, sim, tracer, field, nodes, agents, sources, sinks, metrics, driver,
+        field_cache_hit=cache_hit,
+    )
     if cfg.scheme == "omniscient":
         _install_omniscient_trees(world)
     return world
@@ -219,14 +236,27 @@ class ObservedRun:
     manifest: Optional[dict] = None
     manifest_path: Optional[Path] = None
     trace_path: Optional[Path] = None
+    #: simulator totals for throughput accounting (repro bench)
+    events_processed: int = 0
+    cancelled_skipped: int = 0
+    #: whether the sensor field came from the per-process cache
+    field_cache_hit: bool = False
 
 
-def run_experiment(cfg: ExperimentConfig, obs: Optional[ObsOptions] = None) -> RunMetrics:
+def run_experiment(
+    cfg: ExperimentConfig,
+    obs: Optional[ObsOptions] = None,
+    field_cache: Optional[FieldCache] = None,
+) -> RunMetrics:
     """Run one experiment end to end and reduce it to metrics."""
-    return run_observed(cfg, obs).metrics
+    return run_observed(cfg, obs, field_cache=field_cache).metrics
 
 
-def run_observed(cfg: ExperimentConfig, obs: Optional[ObsOptions] = None) -> ObservedRun:
+def run_observed(
+    cfg: ExperimentConfig,
+    obs: Optional[ObsOptions] = None,
+    field_cache: Optional[FieldCache] = None,
+) -> ObservedRun:
     """Run one experiment with optional profiling/tracing/provenance.
 
     With ``obs=None`` this is exactly :func:`run_experiment`; otherwise
@@ -234,7 +264,7 @@ def run_observed(cfg: ExperimentConfig, obs: Optional[ObsOptions] = None) -> Obs
     artifacts (profile report, JSONL trace, ``manifest.json``) are
     collected afterwards.
     """
-    world = build_world(cfg, obs)
+    world = build_world(cfg, obs, field_cache=field_cache)
     sim, tracer = world.sim, world.tracer
 
     profiler: Optional[Profiler] = None
@@ -273,6 +303,17 @@ def run_observed(cfg: ExperimentConfig, obs: Optional[ObsOptions] = None) -> Obs
         if writer is not None:
             writer.close()
     wall_time = time.perf_counter() - t0
+
+    if len(snapshots) != len(world.nodes):
+        # The warmup snapshot never fired (or fired partially): energy
+        # accounting would silently report 0.0.  Config validation rejects
+        # warmup >= duration, so reaching this means the scheduler was
+        # stopped early or misused — fail loudly instead of reporting
+        # zero-energy runs.
+        raise RuntimeError(
+            f"warmup energy snapshot incomplete ({len(snapshots)} of "
+            f"{len(world.nodes)} nodes) — warmup={cfg.warmup} duration={cfg.duration}"
+        )
 
     window = cfg.duration - cfg.warmup
     total_energy = 0.0
@@ -316,6 +357,9 @@ def run_observed(cfg: ExperimentConfig, obs: Optional[ObsOptions] = None) -> Obs
         wall_time_s=wall_time,
         profile=profiler.report() if profiler is not None else None,
         trace_path=Path(obs.trace_path) if obs is not None and obs.trace_path else None,
+        events_processed=sim.events_processed,
+        cancelled_skipped=sim.cancelled_skipped,
+        field_cache_hit=world.field_cache_hit,
     )
     if obs is not None and obs.manifest_path is not None:
         observed.manifest = build_run_manifest(
@@ -326,6 +370,10 @@ def run_observed(cfg: ExperimentConfig, obs: Optional[ObsOptions] = None) -> Obs
             registry=tracer.registry,
             profile_report=observed.profile,
             trace_path=observed.trace_path,
+            field_info={
+                "redraws": world.field.redraws,
+                "cache_hit": world.field_cache_hit,
+            },
         )
         observed.manifest_path = save_manifest(observed.manifest, obs.manifest_path)
     return observed

@@ -8,15 +8,32 @@ pairing.
 
 Cells can run serially (deterministic order, easiest to debug) or across
 processes (``workers > 1``); results are identical either way because
-each run is fully determined by its config.
+each run is fully determined by its config.  The parallel executor is
+hardened for long sweeps:
+
+* runs are dispatched in contiguous, order-preserving chunks (one IPC
+  round-trip per chunk, and a worker's field cache sees a cell's paired
+  runs back to back);
+* a config that raises does not kill the sweep — it becomes a
+  :class:`RunFailure` placeholder at its position, and the sweep raises
+  one :class:`SweepError` summary at the end (or hands the placeholders
+  back with ``return_failures=True``);
+* a hard-crashed worker (e.g. OOM-killed) only takes down the chunks it
+  owned — they also become placeholders;
+* ``max_tasks_per_child`` recycles worker processes (Python 3.11+) and
+  ``progress`` reports completion without touching results.
 """
 
 from __future__ import annotations
 
 import statistics
-from concurrent.futures import ProcessPoolExecutor
+import sys
+import traceback as _traceback
+import warnings
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Callable, Iterable, Sequence
+from typing import Callable, Iterable, Optional, Sequence, Union
 
 from ..sim.rng import derive_seed
 from .config import ExperimentConfig, Profile
@@ -27,7 +44,15 @@ from .runner import run_experiment
 #: swept explicitly by the ablation benchmarks)
 COMPARISON_SCHEMES = ("opportunistic", "greedy")
 
-__all__ = ["CellSummary", "summarize_cell", "run_configs", "paired_sweep", "cell_seed"]
+__all__ = [
+    "CellSummary",
+    "RunFailure",
+    "SweepError",
+    "summarize_cell",
+    "run_configs",
+    "paired_sweep",
+    "cell_seed",
+]
 
 
 def cell_seed(base_seed: int, x: object, trial: int) -> int:
@@ -69,12 +94,153 @@ def summarize_cell(scheme: str, x: float, runs: Sequence[RunMetrics]) -> CellSum
     return CellSummary.from_runs(scheme, x, runs)
 
 
-def run_configs(configs: Sequence[ExperimentConfig], workers: int = 0) -> list[RunMetrics]:
-    """Run many experiments, optionally in parallel processes."""
-    if workers and workers > 1:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(run_experiment, configs))
-    return [run_experiment(cfg) for cfg in configs]
+@dataclass(frozen=True)
+class RunFailure:
+    """Placeholder for one run that raised instead of producing metrics."""
+
+    index: int
+    config: ExperimentConfig
+    error: str
+    traceback: str = ""
+
+    def __str__(self) -> str:
+        return f"run[{self.index}] {self.config.scheme}/n={self.config.n_nodes}: {self.error}"
+
+
+class SweepError(RuntimeError):
+    """Some runs of a sweep failed; the rest completed.
+
+    Carries the full order-preserving result list (``RunMetrics`` for
+    completed runs, :class:`RunFailure` placeholders for failed ones) so
+    a caller can salvage the survivors.
+    """
+
+    def __init__(self, failures: Sequence[RunFailure], results: Sequence) -> None:
+        self.failures = list(failures)
+        self.results = list(results)
+        shown = "; ".join(str(f) for f in self.failures[:5])
+        more = f" (+{len(self.failures) - 5} more)" if len(self.failures) > 5 else ""
+        super().__init__(
+            f"{len(self.failures)} of {len(self.results)} sweep runs failed: {shown}{more}"
+        )
+
+
+def _safe_run(index: int, cfg: ExperimentConfig) -> Union[RunMetrics, RunFailure]:
+    """Run one experiment, converting any exception into a placeholder."""
+    try:
+        return run_experiment(cfg)
+    except BaseException as exc:  # noqa: BLE001 - isolate *any* run failure
+        if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+            raise
+        return RunFailure(index, cfg, f"{type(exc).__name__}: {exc}", _traceback.format_exc())
+
+
+def _run_chunk(chunk: Sequence[tuple[int, ExperimentConfig]]) -> list:
+    """Worker entry point: run a contiguous slice of the sweep plan."""
+    return [(index, _safe_run(index, cfg)) for index, cfg in chunk]
+
+
+def _default_chunksize(n_configs: int, workers: int) -> int:
+    # ~4 chunks per worker balances IPC overhead against stragglers while
+    # keeping a cell's paired runs adjacent in one worker's field cache.
+    return max(1, -(-n_configs // (workers * 4)))
+
+
+def _run_parallel(
+    configs: Sequence[ExperimentConfig],
+    workers: int,
+    chunksize: Optional[int],
+    max_tasks_per_child: Optional[int],
+    progress: Optional[Callable[[int, int], None]],
+) -> list:
+    total = len(configs)
+    chunksize = chunksize or _default_chunksize(total, workers)
+    indexed = list(enumerate(configs))
+    chunks = [indexed[i : i + chunksize] for i in range(0, total, chunksize)]
+
+    pool_kwargs: dict = {"max_workers": workers}
+    if max_tasks_per_child is not None:
+        if sys.version_info >= (3, 11):
+            # max_tasks_per_child requires a non-fork start method.
+            import multiprocessing
+
+            pool_kwargs["max_tasks_per_child"] = max_tasks_per_child
+            pool_kwargs["mp_context"] = multiprocessing.get_context("spawn")
+        else:
+            warnings.warn(
+                "max_tasks_per_child needs Python >= 3.11; ignoring",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+
+    results: list = [None] * total
+    done = 0
+    with ProcessPoolExecutor(**pool_kwargs) as pool:
+        future_chunks = {pool.submit(_run_chunk, chunk): chunk for chunk in chunks}
+        pending = set(future_chunks)
+        while pending:
+            finished, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in finished:
+                chunk = future_chunks[future]
+                try:
+                    pairs = future.result()
+                except BrokenProcessPool as exc:
+                    # The worker owning this chunk died hard (signal/OOM);
+                    # every run it held becomes a placeholder.  Remaining
+                    # futures on the broken pool will surface here too.
+                    pairs = [
+                        (index, RunFailure(index, cfg, f"worker process died: {exc}"))
+                        for index, cfg in chunk
+                    ]
+                except BaseException as exc:  # pragma: no cover - defensive
+                    pairs = [
+                        (index, RunFailure(index, cfg, f"{type(exc).__name__}: {exc}"))
+                        for index, cfg in chunk
+                    ]
+                for index, outcome in pairs:
+                    results[index] = outcome
+                done += len(pairs)
+                if progress is not None:
+                    progress(done, total)
+    return results
+
+
+def run_configs(
+    configs: Sequence[ExperimentConfig],
+    workers: int = 0,
+    *,
+    chunksize: Optional[int] = None,
+    max_tasks_per_child: Optional[int] = None,
+    progress: Optional[Callable[[int, int], None]] = None,
+    return_failures: bool = False,
+) -> list:
+    """Run many experiments, optionally in parallel processes.
+
+    Results come back in config order regardless of worker scheduling.
+    Every config runs to completion even when some fail: failures become
+    :class:`RunFailure` placeholders at their positions.  By default a
+    single :class:`SweepError` summarizing all failures is raised *after*
+    the sweep finishes; with ``return_failures=True`` the mixed list is
+    returned instead.
+
+    ``progress(done, total)`` is invoked as runs complete (per run when
+    serial, per chunk when parallel).  ``max_tasks_per_child`` recycles
+    worker processes after that many chunks (Python 3.11+).
+    """
+    configs = list(configs)
+    total = len(configs)
+    if workers and workers > 1 and total > 1:
+        results = _run_parallel(configs, workers, chunksize, max_tasks_per_child, progress)
+    else:
+        results = []
+        for i, cfg in enumerate(configs):
+            results.append(_safe_run(i, cfg))
+            if progress is not None:
+                progress(i + 1, total)
+    failures = [r for r in results if isinstance(r, RunFailure)]
+    if failures and not return_failures:
+        raise SweepError(failures, results)
+    return results
 
 
 def paired_sweep(
@@ -84,12 +250,22 @@ def paired_sweep(
     trials: int | None = None,
     workers: int = 0,
     schemes: Sequence[str] = COMPARISON_SCHEMES,
+    progress: Optional[Callable[[int, int], None]] = None,
+    on_error: str = "raise",
 ) -> list[CellSummary]:
     """Run both schemes over all sweep values with paired seeds.
 
     ``make_config(scheme, x, seed)`` builds the run config for one cell
     member; the sweep enumerates every (scheme, x, trial) combination.
+
+    ``on_error`` controls what happens when individual runs fail:
+    ``"raise"`` finishes the sweep and raises a :class:`SweepError`
+    summary carrying every completed result and failure placeholder;
+    ``"skip"`` summarizes the surviving runs of each cell (cells with no
+    survivors are dropped).
     """
+    if on_error not in ("raise", "skip"):
+        raise ValueError(f"on_error must be 'raise' or 'skip', got {on_error!r}")
     trials = profile.trials if trials is None else trials
     if trials < 1:
         raise ValueError("need at least one trial")
@@ -99,10 +275,17 @@ def paired_sweep(
             seed = cell_seed(0, x, trial)
             for scheme in schemes:
                 plan.append((scheme, x, make_config(scheme, x, seed)))
-    results = run_configs([cfg for _s, _x, cfg in plan], workers=workers)
+    results = run_configs(
+        [cfg for _s, _x, cfg in plan],
+        workers=workers,
+        progress=progress,
+        return_failures=(on_error == "skip"),
+    )
 
     grouped: dict[tuple[str, object], list[RunMetrics]] = {}
     for (scheme, x, _cfg), run in zip(plan, results):
+        if isinstance(run, RunFailure):
+            continue
         grouped.setdefault((scheme, x), []).append(run)
     return [
         CellSummary.from_runs(scheme, float(x), runs)  # type: ignore[arg-type]

@@ -7,6 +7,7 @@ WINS-like power profile, and the paper's sensor-field generators.
 """
 
 from .energy import EnergyMeter, EnergyParams
+from .fieldcache import FieldCache, cached_field, default_field_cache
 from .mac import CsmaMac, MacParams
 from .node import Node
 from .packet import BROADCAST, Frame, FrameKind
@@ -35,6 +36,9 @@ __all__ = [
     "Radio",
     "RadioParams",
     "SensorField",
+    "FieldCache",
+    "cached_field",
+    "default_field_cache",
     "generate_field",
     "corner_source_nodes",
     "corner_sink_node",

@@ -65,6 +65,18 @@ class _Arrival:
         self.corrupted = False
 
 
+def _fanout_start(arrivals: list) -> None:
+    """Begin reception of one frame at every in-range receiver."""
+    for receiver, arrival in arrivals:
+        receiver.arrival_start(arrival)
+
+
+def _fanout_end(arrivals: list) -> None:
+    """Finish reception of one frame at every in-range receiver."""
+    for receiver, arrival in arrivals:
+        receiver.arrival_end(arrival)
+
+
 class Channel:
     """The shared wireless medium: positions, neighborhoods, delivery."""
 
@@ -130,29 +142,51 @@ class Channel:
         Delivery (or corruption) at each in-range receiver is scheduled on
         the simulator; the caller (MAC) is responsible for its own
         end-of-transmission bookkeeping.
+
+        All receivers hear the frame at the same two instants (start and
+        end of reception), so the whole neighborhood is serviced by *two*
+        scheduled events carrying one preallocated ``(receiver, arrival)``
+        list, not two events per receiver.  Receivers are visited in
+        neighbor order inside each fan-out, which is exactly the order the
+        per-receiver events used to fire in (same timestamps, consecutive
+        sequence numbers), so runs stay bit-identical.
         """
-        duration = self.params.air_time(frame.size)
-        prop = self.params.propagation_delay_s
-        now = self.sim.now
-        self.tracer.count("radio.tx")
-        self.tracer.count("radio.tx_bytes", frame.size)
+        params = self.params
+        duration = params.air_time(frame.size)
+        prop = params.propagation_delay_s
+        sim = self.sim
+        now = sim.now
+        tracer = self.tracer
+        tracer.count("radio.tx")
+        tracer.count("radio.tx_bytes", frame.size)
         self._frame_bytes.observe(frame.size)
-        self.tracer.record(
-            "phy.tx",
-            frame=frame.frame_id,
-            src=sender.node_id,
-            dst=frame.dst,
-            size=frame.size,
-            kind=frame.kind,
-        )
+        if tracer.wants("phy.tx"):
+            tracer.record(
+                "phy.tx",
+                frame=frame.frame_id,
+                src=sender.node_id,
+                dst=frame.dst,
+                size=frame.size,
+                kind=frame.kind,
+            )
         sender.energy.note_tx(duration)
-        sender.tx_until = max(sender.tx_until, now + duration)
-        for receiver in self.neighbors(sender.node_id):
-            if not receiver.up:
-                continue
-            arrival = _Arrival(frame, now + prop, now + prop + duration)
-            self.sim.schedule(prop, receiver.arrival_start, arrival)
-            self.sim.schedule(prop + duration, receiver.arrival_end, arrival)
+        end_of_tx = now + duration
+        if end_of_tx > sender.tx_until:
+            sender.tx_until = end_of_tx
+        start = now + prop
+        end = start + duration
+        arrivals = [
+            (receiver, _Arrival(frame, start, end))
+            for receiver in self.neighbors(sender.node_id)
+            if receiver.up
+        ]
+        if arrivals:
+            sim.schedule_at(start, _fanout_start, arrivals)
+            # NB: now + (prop + duration), not (now + prop) + duration — the
+            # end event's timestamp must match the historical float exactly
+            # (it differs from arrival.end by an ULP on some inputs, and
+            # event timestamps feed tie-breaking and MAC timing).
+            sim.schedule_at(now + (prop + duration), _fanout_end, arrivals)
         return duration
 
 
@@ -226,22 +260,26 @@ class Radio:
         if not self.up:
             arrival.corrupted = True  # radio off: nothing heard, nothing spent
             return
-        self.busy_until = max(self.busy_until, arrival.end)
-        self.energy.note_rx(arrival.start, arrival.end - arrival.start)
+        end = arrival.end
+        if end > self.busy_until:
+            self.busy_until = end
+        self.energy.note_rx(arrival.start, end - arrival.start)
         if self.transmitting:
             # Half duplex: we miss frames that arrive while we transmit.
             arrival.corrupted = True
             self.tracer.count("radio.halfduplex_loss")
-        if self._active:
+        active = self._active
+        if active:
             # Overlap with another in-flight frame: everyone is corrupted.
-            for other in self._active:
+            tracer = self.tracer
+            for other in active:
                 if not other.corrupted:
                     other.corrupted = True
-                    self.tracer.count("radio.collision")
+                    tracer.count("radio.collision")
             if not arrival.corrupted:
                 arrival.corrupted = True
-                self.tracer.count("radio.collision")
-        self._active.append(arrival)
+                tracer.count("radio.collision")
+        active.append(arrival)
 
     def arrival_end(self, arrival: _Arrival) -> None:
         try:
@@ -255,13 +293,15 @@ class Radio:
             # carrier sense, but possible with zero-backoff ACKs).
             self.tracer.count("radio.halfduplex_loss")
             return
-        self.tracer.count("radio.rx")
-        self.tracer.record(
-            "phy.rx",
-            frame=arrival.frame.frame_id,
-            node=self.node_id,
-            src=arrival.frame.src,
-        )
+        tracer = self.tracer
+        tracer.count("radio.rx")
+        if tracer.wants("phy.rx"):
+            tracer.record(
+                "phy.rx",
+                frame=arrival.frame.frame_id,
+                node=self.node_id,
+                src=arrival.frame.src,
+            )
         if self.deliver is not None:
             self.deliver(arrival.frame)
 

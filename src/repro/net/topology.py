@@ -53,17 +53,34 @@ def expected_degree(n: int, field_size: float, range_m: float) -> float:
 
 @dataclass
 class SensorField:
-    """A generated sensor field: node positions plus geometry metadata."""
+    """A generated sensor field: node positions plus geometry metadata.
+
+    ``redraws`` is the number of *discarded* draws the
+    redraw-until-connected loop went through before this field came out
+    connected (0 = the first draw was already connected).  It is not an
+    RNG seed — the generating seed lives in the experiment config — and
+    is surfaced in run manifests so cached and fresh fields can be told
+    apart and compared.
+    """
 
     positions: list[tuple[float, float]]
     field_size: float
     range_m: float
-    seed: int = 0
+    redraws: int = 0
     _graph: nx.Graph = field(default=None, repr=False, compare=False)  # type: ignore[assignment]
 
     @property
     def n(self) -> int:
         return len(self.positions)
+
+    @property
+    def seed(self) -> int:
+        """Deprecated alias for :attr:`redraws`.
+
+        Historical misnomer: this was never the RNG seed, it was the
+        redraw attempt index.  Kept read-only for compatibility.
+        """
+        return self.redraws
 
     def connectivity_graph(self) -> nx.Graph:
         """Unit-disc connectivity graph (cached).  Edge weight = 1 hop,
@@ -127,7 +144,7 @@ def generate_field(
         positions = [
             (rng.uniform(0.0, field_size), rng.uniform(0.0, field_size)) for _ in range(n)
         ]
-        fld = SensorField(positions, field_size, range_m, seed=attempt)
+        fld = SensorField(positions, field_size, range_m, redraws=attempt)
         if not require_connected or fld.is_connected():
             return fld
     raise RuntimeError(

@@ -66,8 +66,14 @@ def build_run_manifest(
     registry: Optional["MetricsRegistry"] = None,
     profile_report: Optional["ProfileReport"] = None,
     trace_path: Optional[Union[str, Path]] = None,
+    field_info: Optional[dict[str, Any]] = None,
 ) -> dict[str, Any]:
-    """Assemble the provenance manifest for one experiment run."""
+    """Assemble the provenance manifest for one experiment run.
+
+    ``field_info`` records sensor-field provenance (connected-redraw
+    count, whether the field came from the per-process cache) so cached
+    and fresh fields are distinguishable when comparing runs.
+    """
     manifest: dict[str, Any] = {
         "manifest_version": MANIFEST_VERSION,
         "kind": "run",
@@ -85,6 +91,8 @@ def build_run_manifest(
             "cancelled_skipped": sim.cancelled_skipped,
             "sim_time_s": sim.now,
         }
+    if field_info is not None:
+        manifest["field"] = dict(field_info)
     if registry is not None:
         manifest["metrics_snapshot"] = registry.snapshot()
     if profile_report is not None:

@@ -15,12 +15,21 @@ Semantics match what the protocol code needs from ns-2:
   makes runs bit-for-bit deterministic for a fixed seed.
 * An event may schedule further events, including zero-delay events, which
   fire before the clock advances.
+
+Performance notes (this is the hottest loop in the repo — every frame on
+the air turns into heap traffic here):
+
+* Heap entries are plain ``(time, seq, event)`` tuples, compared by
+  CPython's C tuple comparison; ``seq`` is unique so the event object is
+  never compared.
+* :meth:`Simulator.pending_count` is O(1): cancellations are counted as
+  they happen (see :meth:`ScheduledEvent.cancel`) instead of scanning the
+  heap, because trace snapshots read it on every tick.
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Any, Callable, Optional
 
@@ -31,15 +40,6 @@ class SimulationError(RuntimeError):
     """Raised for invalid scheduler use (negative delays, running twice...)."""
 
 
-@dataclass(order=True)
-class _HeapEntry:
-    """Internal heap record; ordering key is (time, seq)."""
-
-    time: float
-    seq: int
-    event: "ScheduledEvent" = field(compare=False)
-
-
 class ScheduledEvent:
     """Handle for a pending callback.
 
@@ -47,19 +47,29 @@ class ScheduledEvent:
     ever cancels or inspects them.
     """
 
-    __slots__ = ("time", "fn", "args", "cancelled", "fired")
+    __slots__ = ("time", "fn", "args", "cancelled", "fired", "_sim")
 
-    def __init__(self, time: float, fn: Callable[..., Any], args: tuple):
+    def __init__(
+        self, time: float, fn: Callable[..., Any], args: tuple, sim: "Optional[Simulator]" = None
+    ):
         self.time = time
         self.fn = fn
         self.args = args
         self.cancelled = False
         self.fired = False
+        self._sim = sim
 
     def cancel(self) -> None:
         """Prevent the callback from running.  Idempotent; cancelling an
         already-fired event is a harmless no-op."""
+        if self.cancelled or self.fired:
+            return
         self.cancelled = True
+        sim = self._sim
+        if sim is not None:
+            # Keep the owning simulator's live-entry count exact so
+            # pending_count() stays O(1).
+            sim._cancelled_pending += 1
 
     @property
     def pending(self) -> bool:
@@ -90,13 +100,16 @@ class Simulator:
 
     def __init__(self) -> None:
         self._now: float = 0.0
-        self._heap: list[_HeapEntry] = []
+        #: pending events as (time, seq, event) tuples (cheap C comparison)
+        self._heap: list[tuple[float, int, ScheduledEvent]] = []
         self._seq: int = 0
         self._running = False
         self._stopped = False
         self.events_processed: int = 0
         #: cancelled entries popped off the heap (scheduling churn)
         self.cancelled_skipped: int = 0
+        #: cancelled entries still sitting in the heap (see pending_count)
+        self._cancelled_pending: int = 0
         self._profiler: Optional[Any] = None
 
     # ------------------------------------------------------------------
@@ -136,9 +149,9 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at t={time} before current time t={self._now}"
             )
-        ev = ScheduledEvent(time, fn, args)
+        ev = ScheduledEvent(time, fn, args, self)
         self._seq += 1
-        heapq.heappush(self._heap, _HeapEntry(time, self._seq, ev))
+        heapq.heappush(self._heap, (time, self._seq, ev))
         return ev
 
     # ------------------------------------------------------------------
@@ -155,17 +168,19 @@ class Simulator:
             raise SimulationError("simulator is already running (re-entrant run())")
         self._running = True
         self._stopped = False
+        heap = self._heap
+        heappop = heapq.heappop
         try:
-            while self._heap and not self._stopped:
-                entry = self._heap[0]
-                if until is not None and entry.time > until:
+            while heap and not self._stopped:
+                time, _seq, ev = heap[0]
+                if until is not None and time > until:
                     break
-                heapq.heappop(self._heap)
-                ev = entry.event
+                heappop(heap)
                 if ev.cancelled:
                     self.cancelled_skipped += 1
+                    self._cancelled_pending -= 1
                     continue
-                self._now = entry.time
+                self._now = time
                 ev.fired = True
                 self.events_processed += 1
                 prof = self._profiler
@@ -174,7 +189,7 @@ class Simulator:
                 else:
                     t0 = perf_counter()
                     ev.fn(*ev.args)
-                    prof.note(ev.fn, perf_counter() - t0, len(self._heap))
+                    prof.note(ev.fn, perf_counter() - t0, len(heap))
             if until is not None and self._now < until and not self._stopped:
                 self._now = until
         finally:
@@ -182,13 +197,14 @@ class Simulator:
 
     def step(self) -> bool:
         """Fire exactly one pending event.  Returns False if the queue is empty."""
-        while self._heap:
-            entry = heapq.heappop(self._heap)
-            ev = entry.event
+        heap = self._heap
+        while heap:
+            time, _seq, ev = heapq.heappop(heap)
             if ev.cancelled:
                 self.cancelled_skipped += 1
+                self._cancelled_pending -= 1
                 continue
-            self._now = entry.time
+            self._now = time
             ev.fired = True
             self.events_processed += 1
             prof = self._profiler
@@ -197,7 +213,7 @@ class Simulator:
             else:
                 t0 = perf_counter()
                 ev.fn(*ev.args)
-                prof.note(ev.fn, perf_counter() - t0, len(self._heap))
+                prof.note(ev.fn, perf_counter() - t0, len(heap))
             return True
         return False
 
@@ -209,8 +225,8 @@ class Simulator:
     # introspection
     # ------------------------------------------------------------------
     def pending_count(self) -> int:
-        """Number of not-yet-cancelled events still queued."""
-        return sum(1 for e in self._heap if not e.event.cancelled)
+        """Number of not-yet-cancelled events still queued (O(1))."""
+        return len(self._heap) - self._cancelled_pending
 
     def peek_time(self) -> Optional[float]:
         """Time of the next live event, or None if the queue is empty.
@@ -221,12 +237,13 @@ class Simulator:
         """
         heap = self._heap
         while heap:
-            entry = heap[0]
-            if entry.event.cancelled:
+            time, _seq, ev = heap[0]
+            if ev.cancelled:
                 heapq.heappop(heap)
                 self.cancelled_skipped += 1
+                self._cancelled_pending -= 1
             else:
-                return entry.time
+                return time
         return None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

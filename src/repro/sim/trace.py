@@ -114,6 +114,17 @@ class Tracer:
     def disable(self, *categories: str) -> None:
         self._enabled.difference_update(categories)
 
+    def wants(self, category: str) -> bool:
+        """True if :meth:`record` would do anything for ``category``.
+
+        Hot paths (one ``phy.tx``/``phy.rx`` per frame) call this before
+        building the kwargs dict a :meth:`record` call would need — when
+        nothing listens, the whole record is skipped for the cost of one
+        set lookup.
+        """
+        enabled = self._enabled
+        return category in enabled or "*" in enabled
+
     def add_listener(self, fn: Callable[[TraceRecord], None]) -> None:
         """Register a callback invoked for every *recorded* entry."""
         self._listeners.append(fn)

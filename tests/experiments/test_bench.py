@@ -1,0 +1,71 @@
+"""`repro bench` harness: deterministic workload, payload schema, artifact."""
+
+import json
+
+from repro.experiments.bench import (
+    BENCH_VERSION,
+    bench_configs,
+    format_bench,
+    run_bench,
+    save_bench,
+)
+
+
+class TestBenchConfigs:
+    def test_deterministic_and_paired(self):
+        a = bench_configs(quick=True)
+        b = bench_configs(quick=True)
+        assert a == b
+        # paired: consecutive scheme pair shares its seed
+        assert a[0].seed == a[1].seed
+        assert {a[0].scheme, a[1].scheme} == {"opportunistic", "greedy"}
+
+    def test_canonical_shape(self):
+        configs = bench_configs()
+        # 3 densities x 2 trials x 2 schemes
+        assert len(configs) == 12
+        assert {c.n_nodes for c in configs} == {50, 150, 250}
+
+    def test_quick_is_smaller(self):
+        assert len(bench_configs(quick=True)) < len(bench_configs())
+
+
+class TestRunBench:
+    def test_quick_payload_schema_and_artifact(self, tmp_path):
+        payload = run_bench(quick=True)
+        for key in (
+            "bench_version",
+            "wall_time_s",
+            "runs_per_sec",
+            "events_processed",
+            "events_per_sec",
+            "cancelled_skipped",
+            "cancelled_churn",
+            "field_cache",
+            "per_run",
+            "environment",
+        ):
+            assert key in payload, key
+        assert payload["bench_version"] == BENCH_VERSION
+        assert payload["quick"] is True
+        assert payload["n_runs"] == len(payload["per_run"]) == 4
+        assert payload["wall_time_s"] > 0
+        assert payload["events_processed"] > 0
+        # paired schemes: the second run of each cell hits the field cache
+        cache = payload["field_cache"]
+        assert cache["hits"] == 2
+        assert cache["misses"] == 2
+        assert cache["hit_rate"] == 0.5
+
+        out = save_bench(payload, tmp_path / "BENCH_sweep.json")
+        reloaded = json.loads(out.read_text())
+        assert reloaded == payload
+
+        text = format_bench(payload)
+        assert "field cache" in text
+        assert "wall time" in text
+
+    def test_parallel_pass_is_identical(self):
+        payload = run_bench(quick=True, workers=2)
+        assert payload["parallel"]["identical"] is True
+        assert payload["parallel"]["workers"] == 2

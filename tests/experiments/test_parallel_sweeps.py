@@ -1,0 +1,139 @@
+"""Hardened-executor tests: parallel == serial bit-for-bit, failure
+placeholders instead of pool-wide crashes, progress reporting."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig, smoke
+from repro.experiments.metrics import RunMetrics
+from repro.experiments.sweeps import (
+    RunFailure,
+    SweepError,
+    paired_sweep,
+    run_configs,
+)
+
+
+def _tiny(scheme: str, n: int, seed: int, **overrides) -> ExperimentConfig:
+    return ExperimentConfig.from_profile(
+        smoke(), scheme, n, seed=seed, duration=8.0, warmup=3.0, **overrides
+    )
+
+
+def _make_config_factory():
+    def make(scheme, x, seed):
+        return _tiny(scheme, x, seed)
+
+    return make
+
+
+class TestParallelEqualsSerial:
+    def test_paired_sweep_workers_bit_identical(self):
+        profile = smoke()
+        make = _make_config_factory()
+        serial = paired_sweep(profile, [50, 60], make, trials=1, workers=0)
+        parallel = paired_sweep(profile, [50, 60], make, trials=1, workers=2)
+        assert parallel == serial
+
+    def test_run_configs_preserves_order(self):
+        configs = [_tiny("greedy", 50, seed) for seed in (3, 1, 2)]
+        serial = run_configs(configs)
+        parallel = run_configs(configs, workers=2, chunksize=1)
+        assert [m.seed for m in parallel] == [3, 1, 2]
+        assert parallel == serial
+
+
+class TestFailureIsolation:
+    def test_crashed_config_yields_placeholder_and_summary(self, monkeypatch):
+        # Serial path shares the same per-run capture as workers, so the
+        # monkeypatch (which cannot cross a process boundary) exercises it.
+        import repro.experiments.sweeps as sweeps_mod
+
+        good = _tiny("greedy", 50, 1)
+        bad = _tiny("greedy", 50, 2)
+        real_run = sweeps_mod.run_experiment
+
+        def exploding(cfg):
+            if cfg.seed == 2:
+                raise RuntimeError("boom")
+            return real_run(cfg)
+
+        monkeypatch.setattr(sweeps_mod, "run_experiment", exploding)
+
+        # return_failures: the mixed list comes back, order preserved.
+        results = run_configs([good, bad, good], return_failures=True)
+        assert isinstance(results[0], RunMetrics)
+        assert isinstance(results[1], RunFailure)
+        assert isinstance(results[2], RunMetrics)
+        assert "boom" in results[1].error
+        assert results[1].index == 1
+
+        # default: one SweepError summary at the end, carrying everything.
+        with pytest.raises(SweepError) as exc_info:
+            run_configs([good, bad])
+        err = exc_info.value
+        assert len(err.failures) == 1
+        assert len(err.results) == 2
+        assert isinstance(err.results[0], RunMetrics)
+        assert "boom" in str(err)
+
+    def test_failure_in_worker_process_survives_sweep(self):
+        # A config that genuinely raises inside a worker (too many random
+        # sources for the node count): the pool must not die with it.
+        good = _tiny("greedy", 50, 1)
+        bad = _tiny("greedy", 50, 2, n_sources=50, source_placement="random")
+        results = run_configs([good, bad, good], workers=2, return_failures=True)
+        assert isinstance(results[0], RunMetrics)
+        assert isinstance(results[1], RunFailure)
+        assert isinstance(results[2], RunMetrics)
+        assert results[0] == results[2]
+        assert "ValueError" in results[1].error
+
+    def test_paired_sweep_on_error_skip_drops_failed_runs(self, monkeypatch):
+        import repro.experiments.sweeps as sweeps_mod
+
+        real_run = sweeps_mod.run_experiment
+        calls = {"n": 0}
+
+        def flaky(cfg):
+            calls["n"] += 1
+            if cfg.scheme == "opportunistic":
+                raise RuntimeError("scheme down")
+            return real_run(cfg)
+
+        monkeypatch.setattr(sweeps_mod, "run_experiment", flaky)
+        cells = paired_sweep(
+            smoke(), [50], _make_config_factory(), trials=1, on_error="skip"
+        )
+        assert [c.scheme for c in cells] == ["greedy"]
+        assert calls["n"] == 2  # the failure did not abort the sweep
+
+    def test_paired_sweep_on_error_validated(self):
+        with pytest.raises(ValueError):
+            paired_sweep(smoke(), [50], _make_config_factory(), on_error="retry")
+
+
+class TestProgressAndKnobs:
+    def test_progress_reaches_total_serial(self):
+        seen = []
+        run_configs(
+            [_tiny("greedy", 50, s) for s in (1, 2)],
+            progress=lambda done, total: seen.append((done, total)),
+        )
+        assert seen == [(1, 2), (2, 2)]
+
+    def test_progress_reaches_total_parallel(self):
+        seen = []
+        run_configs(
+            [_tiny("greedy", 50, s) for s in (1, 2, 3)],
+            workers=2,
+            chunksize=1,
+            progress=lambda done, total: seen.append((done, total)),
+        )
+        assert [d for d, _t in seen] and seen[-1] == (3, 3)
+        assert [d for d, _t in seen] == sorted(d for d, _t in seen)
+
+    def test_empty_sweep(self):
+        assert run_configs([]) == []
+        assert run_configs([], workers=4) == []

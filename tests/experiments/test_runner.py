@@ -117,3 +117,50 @@ class TestRunExperiment:
     def test_event_radius_placement_runs(self):
         r = run_experiment(cfg(source_placement="event-radius"))
         assert r.distinct_delivered > 0
+
+
+class TestEnergyAccountingGuards:
+    def test_warmup_at_or_past_duration_rejected_at_config(self):
+        # Silent-zero energy bug: if the warmup snapshot never fired, the
+        # energy zip iterated zero pairs and total_energy came out 0.0.
+        # The config layer must refuse such runs outright.
+        with pytest.raises(ValueError):
+            ExperimentConfig(
+                scheme="greedy", n_nodes=50, seed=1, duration=10.0, warmup=10.0
+            )
+        with pytest.raises(ValueError):
+            ExperimentConfig(
+                scheme="greedy", n_nodes=50, seed=1, duration=10.0, warmup=12.0
+            )
+
+    def test_missing_snapshot_fails_loudly(self, monkeypatch):
+        # Defense in depth: if the scheduler stops before the warmup
+        # snapshot fires, the run must raise instead of silently
+        # reporting zero energy.
+        from repro.sim.engine import Simulator
+
+        real_run = Simulator.run
+
+        def truncated_run(self, until=None):
+            return real_run(self, until=1.0)  # well before warmup=12.0
+
+        monkeypatch.setattr(Simulator, "run", truncated_run)
+        with pytest.raises(RuntimeError, match="snapshot incomplete"):
+            run_experiment(cfg())
+
+
+class TestFieldProvenance:
+    def test_manifest_records_redraws_and_cache_hit(self, tmp_path):
+        from repro.experiments.runner import run_observed
+        from repro.net.fieldcache import FieldCache
+        from repro.obs import ObsOptions
+
+        cache = FieldCache(maxsize=4)
+        c = cfg()
+        obs = ObsOptions(manifest_path=tmp_path / "m.json")
+        first = run_observed(c, obs, field_cache=cache)
+        assert first.manifest["field"] == {"redraws": 0, "cache_hit": False}
+        second = run_observed(c, obs, field_cache=cache)
+        assert second.manifest["field"]["cache_hit"] is True
+        assert second.field_cache_hit
+        assert second.events_processed > 0

@@ -65,13 +65,16 @@ class TestStructuralInvariants:
 class TestCostRelations:
     @given(connected_graph_with_terminals())
     @settings(max_examples=60, deadline=None)
-    def test_git_no_worse_than_spt(self, case):
-        # GIT grafts each terminal at distance <= its distance to the
-        # sink, so its total cost never exceeds the SPT union's.
+    def test_git_within_sum_of_distances(self, case):
+        # GIT grafts each terminal at distance <= its shortest distance to
+        # the sink, so its total cost is bounded by the *sum* of per-source
+        # sink distances.  (It is NOT always <= the SPT union's cost: the
+        # union shares edges between sources, and hypothesis finds graphs
+        # where greedy grafting loses to that sharing.)
         g, sink, sources = case
         git = greedy_incremental_tree(g, sink, sources, order="nearest")
-        spt = shortest_path_tree(g, sink, sources)
-        assert tree_cost(git) <= tree_cost(spt)
+        dist = nx.single_source_shortest_path_length(g, sink)
+        assert tree_cost(git) <= sum(dist[s] for s in set(sources) - {sink})
 
     @given(connected_graph_with_terminals())
     @settings(max_examples=60, deadline=None)

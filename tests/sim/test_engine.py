@@ -228,6 +228,32 @@ class TestIntrospection:
         assert sim.peek_time() == 10.0
         assert sim.cancelled_skipped == 5
 
+    def test_pending_count_is_live_counter(self):
+        # pending_count is O(1) (len(heap) - cancelled-in-heap): check the
+        # bookkeeping through every path a cancelled entry can leave by.
+        sim = Simulator()
+        evs = [sim.schedule(float(i + 1), lambda: None) for i in range(4)]
+        assert sim.pending_count() == 4
+        evs[0].cancel()
+        evs[0].cancel()  # idempotent: must not double-count
+        assert sim.pending_count() == 3
+        sim.step()  # pops the cancelled head, then fires evs[1]
+        assert sim.pending_count() == 2
+        evs[2].cancel()
+        sim.run()  # drains the rest, skipping the cancelled entry
+        assert sim.pending_count() == 0
+        assert sim.cancelled_skipped == 2
+
+    def test_cancel_after_fire_keeps_count_exact(self):
+        sim = Simulator()
+        ev = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.run(until=1.5)
+        ev.cancel()  # no-op on a fired event: count must not go stale
+        assert sim.pending_count() == 1
+        sim.run()
+        assert sim.pending_count() == 0
+
     def test_peek_time_all_cancelled_returns_none(self):
         sim = Simulator()
         evs = [sim.schedule(1.0, lambda: None), sim.schedule(2.0, lambda: None)]

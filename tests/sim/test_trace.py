@@ -183,3 +183,17 @@ class TestRecordBounds:
             tr.record("x", i=i)
         assert len(tr.records()) == 10
         assert tr.records_dropped == 0
+
+    def test_wants_mirrors_enablement(self):
+        # Hot paths (phy.tx/phy.rx) skip building record payloads when
+        # nobody is listening; wants() must track enable/disable exactly.
+        _sim, tracer = make_tracer()
+        assert not tracer.wants("phy.tx")
+        tracer.enable("phy.tx")
+        assert tracer.wants("phy.tx")
+        assert not tracer.wants("phy.rx")
+        tracer.disable("phy.tx")
+        assert not tracer.wants("phy.tx")
+        tracer.enable("*")
+        assert tracer.wants("phy.rx")
+        assert tracer.wants("anything.at.all")
