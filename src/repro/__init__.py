@@ -42,6 +42,7 @@ from .experiments import (
     FigureResult,
     Profile,
     RunMetrics,
+    RunStore,
     fast,
     figure5,
     figure6,
@@ -53,6 +54,7 @@ from .experiments import (
     git_vs_spt_table,
     paper,
     run_experiment,
+    run_key,
     smoke,
 )
 from .net import EnergyParams, MacParams, Node, RadioParams, SensorField, generate_field
@@ -118,6 +120,8 @@ __all__ = [
     "smoke",
     "run_experiment",
     "RunMetrics",
+    "RunStore",
+    "run_key",
     "FigureResult",
     "figure5",
     "figure6",

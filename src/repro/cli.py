@@ -11,6 +11,10 @@ Subcommands::
     repro-wsn bench --out BENCH_sweep.json                   # canonical perf run
     repro-wsn stats m.json                                   # inspect manifest
     repro-wsn stats t.jsonl                                  # inspect trace
+    repro-wsn fig fig5 --store runs/                         # resumable sweep
+    repro-wsn store ls runs/                                 # list stored runs
+    repro-wsn store gc runs/                                 # prune stale entries
+    repro-wsn store rm runs/ KEY [KEY...]                    # delete entries
 
 Figures print the same series the paper plots (see
 :mod:`repro.experiments.report`).
@@ -86,6 +90,11 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="enable per-node labelled metric series",
     )
+    run_p.add_argument(
+        "--store",
+        metavar="PATH",
+        help="consult/update a content-addressed run store at PATH",
+    )
 
     fig_p = sub.add_parser("fig", help="reproduce one of figures 5-10")
     fig_p.add_argument("figure", choices=sorted(FIGURES))
@@ -94,6 +103,12 @@ def build_parser() -> argparse.ArgumentParser:
     fig_p.add_argument("--workers", type=int, default=0)
     fig_p.add_argument("--save", metavar="PATH", help="write the result as JSON")
     fig_p.add_argument("--csv", metavar="PATH", help="export the series as CSV")
+    fig_p.add_argument(
+        "--store",
+        metavar="PATH",
+        help="resumable sweep: skip runs already in the store at PATH, "
+        "persist each fresh run as it completes",
+    )
 
     inspect_p = sub.add_parser(
         "inspect", help="run one experiment and print its aggregation tree"
@@ -114,6 +129,28 @@ def build_parser() -> argparse.ArgumentParser:
     all_p.add_argument("--profile", choices=sorted(PROFILES), default="fast")
     all_p.add_argument("--trials", type=int, default=None)
     all_p.add_argument("--workers", type=int, default=0)
+    all_p.add_argument(
+        "--store", metavar="PATH", help="resumable sweeps via the run store at PATH"
+    )
+
+    store_p = sub.add_parser(
+        "store", help="inspect and maintain a content-addressed run store"
+    )
+    store_sub = store_p.add_subparsers(dest="store_command", required=True)
+    store_ls = store_sub.add_parser("ls", help="list stored runs")
+    store_ls.add_argument("path", help="store directory")
+    store_gc = store_sub.add_parser(
+        "gc", help="prune temp litter, corrupt entries, and stale-version entries"
+    )
+    store_gc.add_argument("path", help="store directory")
+    store_gc.add_argument(
+        "--keep-stale",
+        action="store_true",
+        help="keep entries written by other package/store versions",
+    )
+    store_rm = store_sub.add_parser("rm", help="delete entries by key")
+    store_rm.add_argument("path", help="store directory")
+    store_rm.add_argument("keys", nargs="+", metavar="KEY", help="entry keys (sha256)")
 
     bench_p = sub.add_parser(
         "bench", help="run the canonical sweep benchmark and write BENCH_sweep.json"
@@ -171,21 +208,36 @@ def _cmd_run(args: argparse.Namespace) -> int:
             manifest_path=args.manifest,
             detailed_metrics=args.detailed_metrics,
         )
-    observed = run_observed(cfg, obs)
-    result = observed.metrics
+    if args.store and obs is None:
+        from .experiments.store import RunStore
+
+        store = RunStore(args.store)
+        result = run_experiment(cfg, store=store)
+        observed = None
+        if store.stats.hits:
+            print(f"run store: hit ({args.store})")
+    else:
+        if args.store:
+            print(
+                "note: --store is ignored for observed runs (profile/trace/manifest)",
+                file=sys.stderr,
+            )
+        observed = run_observed(cfg, obs)
+        result = observed.metrics
     print(f"scheme                 {result.scheme}")
     print(f"nodes                  {result.n_nodes} (mean degree {result.mean_degree:.1f})")
     print(f"avg dissipated energy  {result.avg_dissipated_energy:.6f} J/node/event")
     print(f"avg delay              {result.avg_delay:.4f} s")
     print(f"delivery ratio         {result.delivery_ratio:.3f}")
     print(f"distinct delivered     {result.distinct_delivered} / {result.events_sent}")
-    if observed.profile is not None:
-        print()
-        print(format_profile(observed.profile))
-    if observed.trace_path is not None:
-        print(f"\ntrace written: {observed.trace_path}")
-    if observed.manifest_path is not None:
-        print(f"manifest written: {observed.manifest_path}")
+    if observed is not None:
+        if observed.profile is not None:
+            print()
+            print(format_profile(observed.profile))
+        if observed.trace_path is not None:
+            print(f"\ntrace written: {observed.trace_path}")
+        if observed.manifest_path is not None:
+            print(f"manifest written: {observed.manifest_path}")
     return 0
 
 
@@ -196,17 +248,33 @@ def _sweep_progress(done: int, total: int) -> None:
         print(f"sweep: {done}/{total} runs", file=sys.stderr)
 
 
+def _store_block(store, path) -> dict:
+    """The manifest/reporting summary of one sweep's store accounting."""
+    return {"path": str(path), **store.stats.as_dict()}
+
+
 def _cmd_fig(args: argparse.Namespace) -> int:
     import time
 
     profile = PROFILES[args.profile]()
     progress = _sweep_progress if args.workers and args.workers > 1 else None
+    store = None
+    if args.store:
+        from .experiments.store import RunStore
+
+        store = RunStore(args.store)
     t0 = time.perf_counter()
     result = FIGURES[args.figure](
-        profile, trials=args.trials, workers=args.workers, progress=progress
+        profile, trials=args.trials, workers=args.workers, progress=progress, store=store
     )
     wall = time.perf_counter() - t0
     print(format_figure(result))
+    if store is not None:
+        s = store.stats
+        print(
+            f"run store: {s.hits} hits, {s.misses} misses, "
+            f"{s.persisted} persisted ({args.store})"
+        )
     if args.save:
         from .experiments.persistence import (
             build_figure_manifest,
@@ -223,6 +291,7 @@ def _cmd_fig(args: argparse.Namespace) -> int:
             trials=args.trials,
             workers=args.workers,
             result_path=args.save,
+            store=_store_block(store, args.store) if store is not None else None,
         )
         print(f"manifest: {save_manifest(manifest, manifest_path_for(args.save))}")
     if args.csv:
@@ -314,13 +383,57 @@ def _cmd_trees(args: argparse.Namespace) -> int:
 def _cmd_all(args: argparse.Namespace) -> int:
     profile = PROFILES[args.profile]()
     progress = _sweep_progress if args.workers and args.workers > 1 else None
+    store = None
+    if args.store:
+        from .experiments.store import RunStore
+
+        store = RunStore(args.store)
     for name in sorted(FIGURES):
         result = FIGURES[name](
-            profile, trials=args.trials, workers=args.workers, progress=progress
+            profile, trials=args.trials, workers=args.workers, progress=progress,
+            store=store,
         )
         print(format_figure(result))
         print()
     print(format_tree_table(git_vs_spt_table()))
+    if store is not None:
+        s = store.stats
+        print(
+            f"\nrun store: {s.hits} hits, {s.misses} misses, "
+            f"{s.persisted} persisted ({args.store})"
+        )
+    return 0
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    from .experiments.store import RunStore
+
+    store = RunStore(args.path)
+    if args.store_command == "ls":
+        rows = store.ls()
+        if not rows:
+            print(f"empty store: {args.path}")
+            return 0
+        print(f"{'key':<16} {'scheme':<14} {'nodes':>5} {'seed':>10} {'ratio':>6}  created")
+        for row in rows:
+            ratio = row.get("delivery_ratio")
+            ratio_s = f"{ratio:.3f}" if isinstance(ratio, (int, float)) else "?"
+            print(
+                f"{row['key'][:16]:<16} {str(row.get('scheme')):<14} "
+                f"{str(row.get('n_nodes')):>5} {str(row.get('seed')):>10} "
+                f"{ratio_s:>6}  {row.get('created_at')}"
+            )
+        print(f"{len(rows)} entries")
+        return 0
+    if args.store_command == "gc":
+        stats = store.gc(prune_stale_versions=not args.keep_stale)
+        print(
+            f"gc: kept {stats['kept']}, removed {stats['stale_removed']} stale, "
+            f"{stats['corrupt_removed']} corrupt, {stats['tmp_removed']} temp files"
+        )
+        return 0
+    removed = store.rm(args.keys)
+    print(f"removed {removed} of {len(args.keys)} entries")
     return 0
 
 
@@ -346,6 +459,7 @@ _COMMANDS = {
     "bench": _cmd_bench,
     "inspect": _cmd_inspect,
     "stats": _cmd_stats,
+    "store": _cmd_store,
 }
 
 

@@ -1,8 +1,13 @@
-"""Evaluation harness: configs, metrics, the runner, sweeps, figures.
+"""Evaluation harness: configs, metrics, the runner, sweeps, figures,
+persistence, and the resumable run store.
 
 Reproduces §5 of the paper: the three metrics, the density/source/sink
 sweeps, the failure study, and the aggregation-function sensitivity —
-plus the GIT-vs-SPT abstract comparison from related work.
+plus the GIT-vs-SPT abstract comparison from related work.  Results
+persist two ways: whole-figure JSON checkpoints
+(:mod:`~repro.experiments.persistence`) and the per-run
+content-addressed store (:mod:`~repro.experiments.store`) that makes
+interrupted sweeps resumable.
 """
 
 from .config import (
@@ -48,6 +53,7 @@ from .persistence import (
     save_manifest,
 )
 from .report import format_figure, format_table, format_tree_table
+from .store import RunStore, StoreStats, canonical_json, open_store, run_key
 from .runner import (
     FailureDriver,
     ObservedRun,
@@ -121,4 +127,9 @@ __all__ = [
     "build_run_manifest",
     "build_figure_manifest",
     "manifest_path_for",
+    "RunStore",
+    "StoreStats",
+    "open_store",
+    "run_key",
+    "canonical_json",
 ]

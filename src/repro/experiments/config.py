@@ -50,14 +50,18 @@ SCHEMES = ("opportunistic", "greedy", "greedy-events", "flooding", "omniscient")
 class FailureModel:
     """§5.3 dynamics: every ``epoch`` seconds a fresh random ``fraction``
     of nodes is turned off for that epoch (no settling time).  Sinks are
-    exempt — a dead sink measures nothing about the dissemination scheme."""
+    exempt — a dead sink measures nothing about the dissemination scheme.
+
+    ``fraction`` is inclusive at the top: 1.0 means *every non-exempt
+    node* is down each epoch (sinks stay up, so the run still measures
+    something — the all-relays-dead worst case)."""
 
     fraction: float = 0.2
     epoch: float = 30.0
 
     def __post_init__(self) -> None:
-        if not 0.0 < self.fraction < 1.0:
-            raise ValueError("failure fraction must be in (0, 1)")
+        if not 0.0 < self.fraction <= 1.0:
+            raise ValueError("failure fraction must be in (0, 1]")
         if self.epoch <= 0:
             raise ValueError("failure epoch must be positive")
 

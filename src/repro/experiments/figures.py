@@ -22,7 +22,7 @@ from .config import (
     FailureModel,
     Profile,
 )
-from .sweeps import CellSummary, paired_sweep
+from .sweeps import CellSummary, StoreArg, paired_sweep
 
 __all__ = [
     "FigureResult",
@@ -81,12 +81,14 @@ def _run(
     trials: Optional[int],
     workers: int,
     progress=None,
+    store: StoreArg = None,
 ) -> FigureResult:
     def make_config(scheme: str, x, seed: int) -> ExperimentConfig:
         return replace(base, scheme=scheme, seed=seed, **{sweep_field: x})
 
     cells = paired_sweep(
-        profile, xs, make_config, trials=trials, workers=workers, progress=progress
+        profile, xs, make_config, trials=trials, workers=workers, progress=progress,
+        store=store,
     )
     return FigureResult(figure_id, title, x_label, tuple(cells))
 
@@ -109,6 +111,7 @@ def figure5(
     trials: Optional[int] = None,
     workers: int = 0,
     progress=None,
+    store: StoreArg = None,
 ) -> FigureResult:
     """Fig 5: greedy vs opportunistic across network density (the headline
     comparison: 5 corner sources, 1 corner sink, perfect aggregation)."""
@@ -123,6 +126,7 @@ def figure5(
         trials,
         workers,
         progress,
+        store,
     )
 
 
@@ -132,6 +136,7 @@ def figure6(
     trials: Optional[int] = None,
     workers: int = 0,
     progress=None,
+    store: StoreArg = None,
 ) -> FigureResult:
     """Fig 6: same sweep under rotating 20% node failures (§5.3)."""
     base = _base(profile, failures=FailureModel(fraction=0.2, epoch=profile.failure_epoch))
@@ -146,6 +151,7 @@ def figure6(
         trials,
         workers,
         progress,
+        store,
     )
 
 
@@ -155,6 +161,7 @@ def figure7(
     trials: Optional[int] = None,
     workers: int = 0,
     progress=None,
+    store: StoreArg = None,
 ) -> FigureResult:
     """Fig 7: random source placement (§5.4: savings shrink to ~30%)."""
     base = _base(profile, source_placement="random")
@@ -169,6 +176,7 @@ def figure7(
         trials,
         workers,
         progress,
+        store,
     )
 
 
@@ -179,6 +187,7 @@ def figure8(
     trials: Optional[int] = None,
     workers: int = 0,
     progress=None,
+    store: StoreArg = None,
 ) -> FigureResult:
     """Fig 8: 1-5 sinks on the 350-node field (first at the corner, rest
     scattered)."""
@@ -194,6 +203,7 @@ def figure8(
         trials,
         workers,
         progress,
+        store,
     )
 
 
@@ -204,6 +214,7 @@ def figure9(
     trials: Optional[int] = None,
     workers: int = 0,
     progress=None,
+    store: StoreArg = None,
 ) -> FigureResult:
     """Fig 9: 2-14 corner sources on the 350-node field."""
     base = _base(profile, n_nodes=n_nodes)
@@ -218,6 +229,7 @@ def figure9(
         trials,
         workers,
         progress,
+        store,
     )
 
 
@@ -228,6 +240,7 @@ def figure10(
     trials: Optional[int] = None,
     workers: int = 0,
     progress=None,
+    store: StoreArg = None,
 ) -> FigureResult:
     """Fig 10: fig 9's sweep under *linear* aggregation (header savings
     only) — the inefficient-aggregation sensitivity study."""
@@ -243,6 +256,7 @@ def figure10(
         trials,
         workers,
         progress,
+        store,
     )
 
 

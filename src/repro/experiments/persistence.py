@@ -1,11 +1,19 @@
 """Result persistence: save and reload figure results as JSON/CSV,
 plus run/figure provenance manifests.
 
-Long sweeps are expensive; the harness can checkpoint a
-:class:`~repro.experiments.figures.FigureResult` to disk and reload it
-for later reporting or cross-profile comparison (EXPERIMENTS.md's tables
-are generated this way).  JSON is the lossless round-trip format; CSV is
-a convenience export with one row per (scheme, sweep value).
+Two complementary mechanisms persist sweep work:
+
+* **Figure checkpoints** (this module): a finished
+  :class:`~repro.experiments.figures.FigureResult` round-trips through
+  JSON for later reporting or cross-profile comparison (EXPERIMENTS.md's
+  tables are generated this way); CSV is a convenience export with one
+  row per (scheme, sweep value).
+* **The run store** (:mod:`repro.experiments.store`, re-exported here):
+  per-run, content-addressed persistence that makes long sweeps
+  crash-safe and incremental — each completed
+  :class:`~repro.experiments.metrics.RunMetrics` is written atomically
+  under its config's content hash, and ``run_configs(..., store=...)``
+  skips runs already stored.
 
 Provenance: every saved artifact can carry a ``manifest.json`` tying it
 to the exact config/seed/version/host that produced it — the builders
@@ -27,6 +35,7 @@ from ..obs.manifest import (
     save_manifest,
 )
 from .figures import FigureResult
+from .store import RunStore, StoreStats, open_store, run_key
 from .sweeps import CellSummary
 
 __all__ = [
@@ -38,6 +47,10 @@ __all__ = [
     "build_run_manifest",
     "build_figure_manifest",
     "manifest_path_for",
+    "RunStore",
+    "StoreStats",
+    "open_store",
+    "run_key",
 ]
 
 

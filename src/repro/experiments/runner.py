@@ -247,9 +247,26 @@ def run_experiment(
     cfg: ExperimentConfig,
     obs: Optional[ObsOptions] = None,
     field_cache: Optional[FieldCache] = None,
+    store=None,
 ) -> RunMetrics:
-    """Run one experiment end to end and reduce it to metrics."""
-    return run_observed(cfg, obs, field_cache=field_cache).metrics
+    """Run one experiment end to end and reduce it to metrics.
+
+    ``store`` (a :class:`~repro.experiments.store.RunStore` or a
+    directory path) short-circuits the run when the config's content
+    hash is already stored, and persists a fresh result otherwise —
+    the single-run counterpart of ``run_configs(..., store=...)``.
+    """
+    if store is not None:
+        from .store import open_store
+
+        store = open_store(store)
+        cached = store.get(cfg)
+        if cached is not None:
+            return cached
+    metrics = run_observed(cfg, obs, field_cache=field_cache).metrics
+    if store is not None:
+        store.put(cfg, metrics)
+    return metrics
 
 
 def run_observed(

@@ -1,0 +1,346 @@
+"""Resumable, content-addressed run store.
+
+A long sweep is a grid of expensive, fully deterministic simulations
+(densities x schemes x seeds).  Figure-level JSON checkpoints
+(:mod:`repro.experiments.persistence`) only help once *every* run of a
+figure finished; a crash, Ctrl-C, or :class:`~repro.experiments.sweeps.RunFailure`
+partway through discards hours of completed work.  The store closes that
+gap at run granularity:
+
+* every completed :class:`~repro.experiments.metrics.RunMetrics` is
+  written to ``<root>/runs/<key>.json``, where ``key`` is a canonical
+  **content hash** of everything that determines the run — the full
+  :class:`~repro.experiments.config.ExperimentConfig` (scheme, field and
+  workload parameters, seed, failure model), the wire-format constants
+  snapshot, and the package code version (the same identity block the
+  provenance manifests record);
+* writes are **atomic** (unique temp file in the same directory +
+  ``os.replace``), so a killed process can never leave a half-written
+  entry that a resume would trust;
+* :func:`~repro.experiments.sweeps.run_configs` consults the store
+  before dispatching to the pool, skips hits, and persists each miss as
+  soon as its future resolves — re-running a crashed 200-run sweep
+  executes only the unfinished tail and is bit-identical to an
+  uninterrupted run (cached metrics round-trip exactly: JSON preserves
+  int/float kinds and ``repr``-exact float values).
+
+Invalidation is by construction: any change to a config field or to the
+package version changes the key, so stale entries are never *read* —
+they merely occupy disk until ``repro-wsn store gc`` prunes them.
+
+The ``<root>/index.json`` file is a human-oriented cache of the entry
+summaries (what ``store ls`` prints).  It is rewritten on every put/rm
+but the payload files are authoritative: lookups never trust the index,
+and :meth:`RunStore.reindex` (or ``store gc``) rebuilds it from the
+directory scan.
+
+Hit/miss/persist/skip counts are recorded as counters in an
+:class:`~repro.obs.registry.MetricsRegistry` owned by (or passed to) the
+store, and surface in figure manifests via :meth:`RunStore.stats`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterable, Optional, Union
+
+from ..obs.registry import MetricsRegistry
+from .config import ExperimentConfig
+from .metrics import RunMetrics
+
+__all__ = [
+    "STORE_VERSION",
+    "canonical_json",
+    "config_payload",
+    "run_key",
+    "RunStore",
+    "StoreStats",
+    "open_store",
+]
+
+#: bump to invalidate every existing store entry (schema change)
+STORE_VERSION = 1
+
+
+def canonical_json(obj: Any) -> str:
+    """Render ``obj`` as canonical JSON: sorted keys, minimal separators.
+
+    Two dicts that differ only in key insertion order render identically,
+    which is what makes the content hash insensitive to how the payload
+    was assembled.
+    """
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"), allow_nan=False)
+
+
+def _constants_snapshot() -> dict[str, Any]:
+    from .. import constants
+
+    return {name: getattr(constants, name) for name in constants.__all__}
+
+
+def _code_version() -> str:
+    import repro
+
+    return getattr(repro, "__version__", "unknown")
+
+
+def config_payload(cfg: ExperimentConfig) -> dict[str, Any]:
+    """The full identity of one run, as a JSON-friendly dict.
+
+    Everything that can change the run's result is in here; nothing else
+    is (host, wall time, and observability options do not affect
+    :class:`RunMetrics` and are deliberately excluded).
+    """
+    return {
+        "store_version": STORE_VERSION,
+        "code_version": _code_version(),
+        "constants": _constants_snapshot(),
+        "config": dataclasses.asdict(cfg),
+    }
+
+
+def run_key(cfg: ExperimentConfig) -> str:
+    """Canonical content hash (hex sha256) identifying one run."""
+    return hashlib.sha256(canonical_json(config_payload(cfg)).encode("utf-8")).hexdigest()
+
+
+@dataclass
+class StoreStats:
+    """Lookup/persist accounting for one store handle (not persisted)."""
+
+    hits: int = 0
+    misses: int = 0
+    persisted: int = 0
+    #: completed-but-not-persisted outcomes (``RunFailure`` placeholders)
+    skipped: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return dataclasses.asdict(self)
+
+
+class RunStore:
+    """Directory of content-addressed run results.
+
+    Layout::
+
+        <root>/runs/<sha256>.json   one entry per completed run (atomic)
+        <root>/index.json           cached entry summaries (rebuildable)
+
+    A store can be shared by concurrent sweeps: entries are immutable
+    functions of their key, temp files are uniquely named, and
+    ``os.replace`` makes the final rename atomic, so the worst race is
+    two processes writing the same bytes twice.
+    """
+
+    def __init__(
+        self, root: Union[str, Path], registry: Optional[MetricsRegistry] = None
+    ) -> None:
+        self.root = Path(root)
+        self.runs_dir = self.root / "runs"
+        self.index_path = self.root / "index.json"
+        self.runs_dir.mkdir(parents=True, exist_ok=True)
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.stats = StoreStats()
+
+    # ------------------------------------------------------------------
+    # lookup / persist
+    # ------------------------------------------------------------------
+    def path_for(self, key: str) -> Path:
+        return self.runs_dir / f"{key}.json"
+
+    def contains(self, cfg: ExperimentConfig) -> bool:
+        return self.path_for(run_key(cfg)).exists()
+
+    def get(self, cfg: ExperimentConfig) -> Optional[RunMetrics]:
+        """Return the stored metrics for ``cfg``, or None on a miss.
+
+        A corrupt or unreadable entry counts as a miss (the next put
+        overwrites it); only the payload file is consulted, never the
+        index.
+        """
+        key = run_key(cfg)
+        entry = self._read_entry(self.path_for(key))
+        if entry is None:
+            self.stats.misses += 1
+            self.registry.counter("store.miss").inc()
+            return None
+        self.stats.hits += 1
+        self.registry.counter("store.hit").inc()
+        return _metrics_from_dict(entry["metrics"])
+
+    def put(self, cfg: ExperimentConfig, metrics: RunMetrics) -> Path:
+        """Persist one completed run atomically; returns the entry path."""
+        key = run_key(cfg)
+        entry = {
+            "store_version": STORE_VERSION,
+            "key": key,
+            "created_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+            "identity": config_payload(cfg),
+            "metrics": dataclasses.asdict(metrics),
+        }
+        path = self.path_for(key)
+        self._atomic_write(path, json.dumps(entry, indent=2, sort_keys=True))
+        self.stats.persisted += 1
+        self.registry.counter("store.persist").inc()
+        self._index_add(key, entry)
+        return path
+
+    def note_skipped(self) -> None:
+        """Record an outcome that completed without metrics (a failure)."""
+        self.stats.skipped += 1
+        self.registry.counter("store.skip").inc()
+
+    # ------------------------------------------------------------------
+    # maintenance: ls / gc / rm
+    # ------------------------------------------------------------------
+    def ls(self) -> list[dict[str, Any]]:
+        """Entry summaries from a directory scan (authoritative)."""
+        rows = []
+        for path in sorted(self.runs_dir.glob("*.json")):
+            entry = self._read_entry(path)
+            if entry is not None:
+                rows.append(self._summary(entry))
+        return rows
+
+    def rm(self, keys: Iterable[str]) -> int:
+        """Delete entries by key; returns how many existed."""
+        removed = 0
+        for key in keys:
+            path = self.path_for(key)
+            if path.exists():
+                path.unlink()
+                removed += 1
+        self._write_index(self.ls())
+        return removed
+
+    def gc(self, prune_stale_versions: bool = True) -> dict[str, int]:
+        """Collect garbage and rebuild the index.
+
+        Removes temp-file litter from killed writers, corrupt entries,
+        and (by default) entries written by a different package or store
+        version — those keys can never be looked up again, so they are
+        unreachable by construction.
+        """
+        stats = {"tmp_removed": 0, "corrupt_removed": 0, "stale_removed": 0, "kept": 0}
+        for tmp in self.runs_dir.glob("*.tmp*"):
+            tmp.unlink()
+            stats["tmp_removed"] += 1
+        current = (STORE_VERSION, _code_version())
+        rows = []
+        for path in sorted(self.runs_dir.glob("*.json")):
+            entry = self._read_entry(path)
+            if entry is None:
+                path.unlink()
+                stats["corrupt_removed"] += 1
+                continue
+            written_by = (
+                entry.get("store_version"),
+                entry.get("identity", {}).get("code_version"),
+            )
+            if prune_stale_versions and written_by != current:
+                path.unlink()
+                stats["stale_removed"] += 1
+                continue
+            rows.append(self._summary(entry))
+            stats["kept"] += 1
+        self._write_index(rows)
+        return stats
+
+    def reindex(self) -> int:
+        """Rebuild ``index.json`` from the payload files; returns entry count."""
+        rows = self.ls()
+        self._write_index(rows)
+        return len(rows)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _summary(entry: dict[str, Any]) -> dict[str, Any]:
+        cfg = entry.get("identity", {}).get("config", {})
+        metrics = entry.get("metrics", {})
+        return {
+            "key": entry.get("key"),
+            "scheme": cfg.get("scheme"),
+            "n_nodes": cfg.get("n_nodes"),
+            "seed": cfg.get("seed"),
+            "created_at": entry.get("created_at"),
+            "code_version": entry.get("identity", {}).get("code_version"),
+            "delivery_ratio": metrics.get("delivery_ratio"),
+        }
+
+    @staticmethod
+    def _read_entry(path: Path) -> Optional[dict[str, Any]]:
+        try:
+            entry = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        if not isinstance(entry, dict) or entry.get("store_version") != STORE_VERSION:
+            return None
+        if "metrics" not in entry:
+            return None
+        return entry
+
+    @staticmethod
+    def _atomic_write(path: Path, text: str) -> None:
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=path.stem + ".", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(text)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def _index_add(self, key: str, entry: dict[str, Any]) -> None:
+        index = self._read_index()
+        index[key] = self._summary(entry)
+        self._write_index(list(index.values()))
+
+    def _read_index(self) -> dict[str, dict[str, Any]]:
+        try:
+            rows = json.loads(self.index_path.read_text()).get("entries", [])
+        except (OSError, json.JSONDecodeError):
+            return {}
+        return {row["key"]: row for row in rows if isinstance(row, dict) and "key" in row}
+
+    def _write_index(self, rows: list[dict[str, Any]]) -> None:
+        payload = {"store_version": STORE_VERSION, "entries": rows}
+        self._atomic_write(self.index_path, json.dumps(payload, indent=2, sort_keys=True))
+
+
+def _metrics_from_dict(data: dict[str, Any]) -> RunMetrics:
+    return RunMetrics(
+        scheme=data["scheme"],
+        n_nodes=int(data["n_nodes"]),
+        seed=int(data["seed"]),
+        avg_dissipated_energy=float(data["avg_dissipated_energy"]),
+        avg_delay=float(data["avg_delay"]),
+        delivery_ratio=float(data["delivery_ratio"]),
+        total_energy_j=float(data["total_energy_j"]),
+        distinct_delivered=int(data["distinct_delivered"]),
+        events_sent=int(data["events_sent"]),
+        mean_degree=float(data["mean_degree"]),
+        counters=dict(data.get("counters", {})),
+    )
+
+
+def open_store(
+    store: Union["RunStore", str, Path, None],
+) -> Optional["RunStore"]:
+    """Coerce a ``store=`` argument (path or handle) to a RunStore."""
+    if store is None or isinstance(store, RunStore):
+        return store
+    return RunStore(store)

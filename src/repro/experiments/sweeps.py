@@ -22,6 +22,12 @@ hardened for long sweeps:
   owned — they also become placeholders;
 * ``max_tasks_per_child`` recycles worker processes (Python 3.11+) and
   ``progress`` reports completion without touching results.
+
+Sweeps are also **resumable**: with ``store=`` pointing at a
+:class:`~repro.experiments.store.RunStore`, completed runs are looked up
+by content hash before dispatch and every fresh result is persisted the
+moment its future resolves, so re-running an interrupted sweep executes
+only the missing tail (see :mod:`repro.experiments.store`).
 """
 
 from __future__ import annotations
@@ -33,12 +39,17 @@ import warnings
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Callable, Iterable, Optional, Sequence, Union
 
 from ..sim.rng import derive_seed
 from .config import ExperimentConfig, Profile
 from .metrics import RunMetrics
 from .runner import run_experiment
+from .store import RunStore, open_store
+
+#: a ``store=`` argument: an open handle, a directory path, or disabled
+StoreArg = Union[RunStore, str, Path, None]
 
 #: the two schemes the paper's figures compare (ablation variants are
 #: swept explicitly by the ablation benchmarks)
@@ -147,15 +158,23 @@ def _default_chunksize(n_configs: int, workers: int) -> int:
 
 
 def _run_parallel(
-    configs: Sequence[ExperimentConfig],
+    indexed: Sequence[tuple[int, ExperimentConfig]],
     workers: int,
     chunksize: Optional[int],
     max_tasks_per_child: Optional[int],
     progress: Optional[Callable[[int, int], None]],
-) -> list:
-    total = len(configs)
+    on_result: Optional[Callable[[int, object], None]] = None,
+) -> dict[int, object]:
+    """Run ``(index, config)`` pairs across workers.
+
+    Returns ``{index: outcome}``; indices are whatever the caller chose
+    (positions in the full sweep plan, so :class:`RunFailure.index` stays
+    meaningful even when a store pre-filtered the plan).  ``on_result``
+    fires in the parent as each chunk resolves — this is the persistence
+    hook, so a kill between chunks loses at most the in-flight chunks.
+    """
+    total = len(indexed)
     chunksize = chunksize or _default_chunksize(total, workers)
-    indexed = list(enumerate(configs))
     chunks = [indexed[i : i + chunksize] for i in range(0, total, chunksize)]
 
     pool_kwargs: dict = {"max_workers": workers}
@@ -173,7 +192,7 @@ def _run_parallel(
                 stacklevel=3,
             )
 
-    results: list = [None] * total
+    results: dict[int, object] = {}
     done = 0
     with ProcessPoolExecutor(**pool_kwargs) as pool:
         future_chunks = {pool.submit(_run_chunk, chunk): chunk for chunk in chunks}
@@ -199,6 +218,8 @@ def _run_parallel(
                     ]
                 for index, outcome in pairs:
                     results[index] = outcome
+                    if on_result is not None:
+                        on_result(index, outcome)
                 done += len(pairs)
                 if progress is not None:
                     progress(done, total)
@@ -213,6 +234,7 @@ def run_configs(
     max_tasks_per_child: Optional[int] = None,
     progress: Optional[Callable[[int, int], None]] = None,
     return_failures: bool = False,
+    store: StoreArg = None,
 ) -> list:
     """Run many experiments, optionally in parallel processes.
 
@@ -223,20 +245,62 @@ def run_configs(
     the sweep finishes; with ``return_failures=True`` the mixed list is
     returned instead.
 
+    ``store`` (a :class:`~repro.experiments.store.RunStore` or a
+    directory path) makes the sweep resumable: configs whose content hash
+    is already stored are *not* re-run (their cached metrics fill their
+    positions), and every fresh result is persisted as soon as it
+    resolves, so an interrupted sweep re-run against the same store only
+    executes the missing tail.  Hits count toward ``progress`` up front.
+
     ``progress(done, total)`` is invoked as runs complete (per run when
     serial, per chunk when parallel).  ``max_tasks_per_child`` recycles
     worker processes after that many chunks (Python 3.11+).
     """
     configs = list(configs)
     total = len(configs)
-    if workers and workers > 1 and total > 1:
-        results = _run_parallel(configs, workers, chunksize, max_tasks_per_child, progress)
-    else:
-        results = []
+    store = open_store(store)
+    results: list = [None] * total
+    plan: list[tuple[int, ExperimentConfig]]
+    if store is not None:
+        plan = []
         for i, cfg in enumerate(configs):
-            results.append(_safe_run(i, cfg))
-            if progress is not None:
-                progress(i + 1, total)
+            cached = store.get(cfg)
+            if cached is not None:
+                results[i] = cached
+            else:
+                plan.append((i, cfg))
+        n_hits = total - len(plan)
+        if progress is not None and n_hits:
+            progress(n_hits, total)
+    else:
+        plan = list(enumerate(configs))
+        n_hits = 0
+
+    def on_result(index: int, outcome: object) -> None:
+        if store is None:
+            return
+        if isinstance(outcome, RunMetrics):
+            store.put(configs[index], outcome)
+        else:
+            store.note_skipped()
+
+    sub_progress = None
+    if progress is not None:
+        sub_progress = lambda done, _sub_total: progress(n_hits + done, total)  # noqa: E731
+
+    if workers and workers > 1 and len(plan) > 1:
+        outcomes = _run_parallel(
+            plan, workers, chunksize, max_tasks_per_child, sub_progress, on_result
+        )
+        for index, outcome in outcomes.items():
+            results[index] = outcome
+    else:
+        for done, (index, cfg) in enumerate(plan, start=1):
+            outcome = _safe_run(index, cfg)
+            results[index] = outcome
+            on_result(index, outcome)
+            if sub_progress is not None:
+                sub_progress(done, len(plan))
     failures = [r for r in results if isinstance(r, RunFailure)]
     if failures and not return_failures:
         raise SweepError(failures, results)
@@ -252,6 +316,7 @@ def paired_sweep(
     schemes: Sequence[str] = COMPARISON_SCHEMES,
     progress: Optional[Callable[[int, int], None]] = None,
     on_error: str = "raise",
+    store: StoreArg = None,
 ) -> list[CellSummary]:
     """Run both schemes over all sweep values with paired seeds.
 
@@ -263,6 +328,10 @@ def paired_sweep(
     summary carrying every completed result and failure placeholder;
     ``"skip"`` summarizes the surviving runs of each cell (cells with no
     survivors are dropped).
+
+    ``store`` makes the sweep resumable (see :func:`run_configs`): after
+    a partial failure, re-running the same sweep against the same store
+    executes only the runs that did not complete.
     """
     if on_error not in ("raise", "skip"):
         raise ValueError(f"on_error must be 'raise' or 'skip', got {on_error!r}")
@@ -280,6 +349,7 @@ def paired_sweep(
         workers=workers,
         progress=progress,
         return_failures=(on_error == "skip"),
+        store=store,
     )
 
     grouped: dict[tuple[str, object], list[RunMetrics]] = {}

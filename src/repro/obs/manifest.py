@@ -4,7 +4,11 @@ A manifest ties a result back to exactly what produced it: the full
 config (every knob, not just the swept ones), the seed, the package
 version, host/interpreter info, wall-clock cost, and the metrics summary.
 ``repro stats manifest.json`` pretty-prints one; sweeps write a
-``kind: "figure"`` variant next to their saved series.
+``kind: "figure"`` variant next to their saved series, which also
+records run-store hit/miss accounting when the sweep was resumable
+(``store=`` / ``--store``).  The config/version identity block captured
+here is the same information the run store hashes into its content keys
+(:mod:`repro.experiments.store`).
 
 The schema is versioned (:data:`MANIFEST_VERSION`); loaders reject
 versions they do not understand rather than misreading them.
@@ -110,9 +114,17 @@ def build_figure_manifest(
     trials: Optional[int] = None,
     workers: int = 0,
     result_path: Optional[Union[str, Path]] = None,
+    store: Optional[dict[str, Any]] = None,
 ) -> dict[str, Any]:
-    """Assemble the provenance manifest for one figure sweep."""
-    return {
+    """Assemble the provenance manifest for one figure sweep.
+
+    ``store`` records run-store accounting when the sweep consulted a
+    content-addressed :class:`~repro.experiments.store.RunStore`:
+    ``{"path": ..., "hits": ..., "misses": ..., "persisted": ...,
+    "skipped": ...}`` — so a resumed figure is distinguishable from one
+    computed in a single pass.
+    """
+    manifest: dict[str, Any] = {
         "manifest_version": MANIFEST_VERSION,
         "kind": "figure",
         "created_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
@@ -132,6 +144,9 @@ def build_figure_manifest(
         "cells": [dataclasses.asdict(c) for c in result.cells],
         "result_path": str(result_path) if result_path is not None else None,
     }
+    if store is not None:
+        manifest["store"] = dict(store)
+    return manifest
 
 
 def save_manifest(manifest: dict[str, Any], path: Union[str, Path]) -> Path:
@@ -210,6 +225,15 @@ def format_manifest(data: dict[str, Any], top_counters: int = 12) -> str:
             ("profile", f"{prof.get('name')} (trials={prof.get('trials')})"),
             ("cells", data.get("n_cells")),
         ]
+        st = data.get("store")
+        if st:
+            pairs.append(
+                (
+                    "run store",
+                    f"{st.get('hits', 0)} hits / {st.get('misses', 0)} misses "
+                    f"({st.get('path')})",
+                )
+            )
         lines += _fmt_kv(pairs)
     else:
         lines += _fmt_kv(pairs)

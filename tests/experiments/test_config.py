@@ -72,7 +72,33 @@ class TestFailureModel:
         with pytest.raises(ValueError):
             FailureModel(fraction=0.0)
         with pytest.raises(ValueError):
-            FailureModel(fraction=1.0)
+            FailureModel(fraction=1.0000001)
+        with pytest.raises(ValueError):
+            FailureModel(fraction=-0.2)
+
+    def test_fraction_one_is_valid(self):
+        # Regression: the docstring promises inclusive semantics (all
+        # non-exempt nodes down; sinks are exempt so the run still
+        # measures), but validation used to reject exactly 1.0.
+        m = FailureModel(fraction=1.0)
+        assert m.fraction == 1.0
+
+    def test_fraction_one_runs_end_to_end(self):
+        # The worst case must actually simulate: every relay down each
+        # epoch, sinks exempt, delivery (near-)zero but no crash.
+        from repro.experiments.runner import run_experiment
+
+        cfg = ExperimentConfig.from_profile(
+            smoke(),
+            "greedy",
+            50,
+            seed=3,
+            duration=8.0,
+            warmup=3.0,
+            failures=FailureModel(fraction=1.0, epoch=2.0),
+        )
+        metrics = run_experiment(cfg)
+        assert 0.0 <= metrics.delivery_ratio <= 1.0
 
     def test_invalid_epoch(self):
         with pytest.raises(ValueError):

@@ -1,0 +1,337 @@
+"""Tests for the resumable content-addressed run store: hashing,
+atomic round-trip persistence, ls/gc/rm maintenance, sweep integration,
+and the acceptance scenario — an interrupted sweep resumed against the
+same store completes only the missing runs and reproduces the
+uninterrupted result bit for bit."""
+
+import dataclasses
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig, FailureModel, smoke
+from repro.experiments.figures import figure5
+from repro.experiments.metrics import RunMetrics
+from repro.experiments.store import (
+    STORE_VERSION,
+    RunStore,
+    canonical_json,
+    config_payload,
+    open_store,
+    run_key,
+)
+from repro.experiments.sweeps import RunFailure, SweepError, run_configs
+
+
+def _tiny(scheme: str = "greedy", n: int = 50, seed: int = 1, **overrides):
+    return ExperimentConfig.from_profile(
+        smoke(), scheme, n, seed=seed, duration=8.0, warmup=3.0, **overrides
+    )
+
+
+def _metrics(cfg: ExperimentConfig, energy: float = 1e-4) -> RunMetrics:
+    return RunMetrics(
+        scheme=cfg.scheme,
+        n_nodes=cfg.n_nodes,
+        seed=cfg.seed,
+        avg_dissipated_energy=energy,
+        avg_delay=0.123456789,
+        delivery_ratio=0.875,
+        total_energy_j=0.5,
+        distinct_delivered=7,
+        events_sent=8,
+        mean_degree=4.2,
+        counters={"phy.tx": 100, "mac.collision": 3},
+    )
+
+
+class TestRunKey:
+    def test_stable_within_process(self):
+        cfg = _tiny()
+        assert run_key(cfg) == run_key(cfg)
+        assert run_key(cfg) == run_key(replace(cfg))
+
+    def test_hex_sha256_shape(self):
+        key = run_key(_tiny())
+        assert len(key) == 64
+        int(key, 16)  # raises if not hex
+
+    def test_includes_constants_and_code_version(self):
+        payload = config_payload(_tiny())
+        assert payload["store_version"] == STORE_VERSION
+        assert "code_version" in payload
+        assert payload["constants"]["EVENT_SIZE"] == 64
+        assert payload["constants"]["CONTROL_SIZE"] == 36
+
+    def test_failure_model_changes_key(self):
+        base = _tiny()
+        with_failures = replace(base, failures=FailureModel(fraction=0.2, epoch=6.0))
+        other_fraction = replace(base, failures=FailureModel(fraction=0.5, epoch=6.0))
+        keys = {run_key(base), run_key(with_failures), run_key(other_fraction)}
+        assert len(keys) == 3
+
+    def test_canonical_json_sorts_keys(self):
+        a = canonical_json({"b": 1, "a": {"y": 2, "x": 3}})
+        b = canonical_json({"a": {"x": 3, "y": 2}, "b": 1})
+        assert a == b
+
+
+class TestRunStoreRoundTrip:
+    def test_put_get_exact(self, tmp_path):
+        store = RunStore(tmp_path)
+        cfg = _tiny()
+        metrics = _metrics(cfg)
+        path = store.put(cfg, metrics)
+        assert path.exists()
+        assert store.contains(cfg)
+        loaded = RunStore(tmp_path).get(cfg)
+        assert loaded == metrics  # dataclass equality: every field, bit for bit
+
+    def test_miss_returns_none_and_counts(self, tmp_path):
+        store = RunStore(tmp_path)
+        assert store.get(_tiny()) is None
+        assert store.stats.misses == 1
+        assert store.registry.counter("store.miss").value == 1
+
+    def test_hit_counts(self, tmp_path):
+        store = RunStore(tmp_path)
+        cfg = _tiny()
+        store.put(cfg, _metrics(cfg))
+        store.get(cfg)
+        assert store.stats.hits == 1
+        assert store.stats.persisted == 1
+        assert store.registry.counter("store.hit").value == 1
+        assert store.registry.counter("store.persist").value == 1
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        store = RunStore(tmp_path)
+        cfg = _tiny()
+        store.put(cfg, _metrics(cfg))
+        store.path_for(run_key(cfg)).write_text("{ not json")
+        assert RunStore(tmp_path).get(cfg) is None
+
+    def test_open_store_coerces(self, tmp_path):
+        assert open_store(None) is None
+        handle = RunStore(tmp_path)
+        assert open_store(handle) is handle
+        opened = open_store(tmp_path / "sub")
+        assert isinstance(opened, RunStore)
+        assert opened.runs_dir.is_dir()
+
+
+class TestMaintenance:
+    def test_ls_lists_entries(self, tmp_path):
+        store = RunStore(tmp_path)
+        for seed in (1, 2, 3):
+            cfg = _tiny(seed=seed)
+            store.put(cfg, _metrics(cfg))
+        rows = store.ls()
+        assert len(rows) == 3
+        assert {row["seed"] for row in rows} == {1, 2, 3}
+        assert all(len(row["key"]) == 64 for row in rows)
+
+    def test_index_tracks_puts_and_is_rebuildable(self, tmp_path):
+        store = RunStore(tmp_path)
+        cfg = _tiny()
+        store.put(cfg, _metrics(cfg))
+        index = json.loads(store.index_path.read_text())
+        assert [row["key"] for row in index["entries"]] == [run_key(cfg)]
+        store.index_path.unlink()
+        assert RunStore(tmp_path).reindex() == 1
+
+    def test_rm_removes_keys(self, tmp_path):
+        store = RunStore(tmp_path)
+        cfg = _tiny()
+        store.put(cfg, _metrics(cfg))
+        assert store.rm([run_key(cfg), "deadbeef"]) == 1
+        assert not store.contains(cfg)
+
+    def test_gc_prunes_litter_corruption_and_stale_versions(self, tmp_path):
+        store = RunStore(tmp_path)
+        cfg = _tiny()
+        store.put(cfg, _metrics(cfg))
+        # temp litter from a killed writer
+        (store.runs_dir / "abc.tmpXYZ").write_text("partial")
+        # corrupt payload
+        (store.runs_dir / ("f" * 64 + ".json")).write_text("{ nope")
+        # stale code version: unreachable by construction (version is in the key)
+        stale_cfg = _tiny(seed=99)
+        stale_path = store.put(stale_cfg, _metrics(stale_cfg))
+        entry = json.loads(stale_path.read_text())
+        entry["identity"]["code_version"] = "0.0.1"
+        stale_path.write_text(json.dumps(entry))
+        stats = store.gc()
+        assert stats == {
+            "tmp_removed": 1,
+            "corrupt_removed": 1,
+            "stale_removed": 1,
+            "kept": 1,
+        }
+        assert store.contains(cfg)
+
+    def test_gc_keep_stale(self, tmp_path):
+        store = RunStore(tmp_path)
+        cfg = _tiny()
+        path = store.put(cfg, _metrics(cfg))
+        entry = json.loads(path.read_text())
+        entry["identity"]["code_version"] = "0.0.1"
+        path.write_text(json.dumps(entry))
+        stats = store.gc(prune_stale_versions=False)
+        assert stats["stale_removed"] == 0
+        assert stats["kept"] == 1
+
+
+class TestSweepIntegration:
+    def test_second_pass_all_hits_and_identical(self, tmp_path):
+        cfgs = [_tiny(scheme, 50, 1) for scheme in ("greedy", "opportunistic")]
+        store = RunStore(tmp_path)
+        first = run_configs(cfgs, store=store)
+        assert store.stats.misses == 2 and store.stats.persisted == 2
+        resumed = RunStore(tmp_path)
+        second = run_configs(cfgs, store=resumed)
+        assert resumed.stats.hits == 2 and resumed.stats.persisted == 0
+        assert second == first
+        assert second == run_configs(cfgs)  # and identical to store-less runs
+
+    def test_progress_counts_hits_up_front(self, tmp_path):
+        cfgs = [_tiny(seed=s) for s in (1, 2)]
+        store = RunStore(tmp_path)
+        run_configs([cfgs[0]], store=store)
+        seen = []
+        run_configs(cfgs, store=store, progress=lambda d, t: seen.append((d, t)))
+        assert seen == [(1, 2), (2, 2)]
+
+    def test_parallel_sweep_persists_and_resumes(self, tmp_path):
+        cfgs = [_tiny(seed=s) for s in (1, 2, 3)]
+        store = RunStore(tmp_path)
+        parallel = run_configs(cfgs, workers=2, chunksize=1, store=store)
+        assert store.stats.persisted == 3
+        # a fresh handle resumes without running anything
+        resumed = RunStore(tmp_path)
+        again = run_configs(cfgs, workers=2, store=resumed)
+        assert resumed.stats.hits == 3 and resumed.stats.misses == 0
+        assert again == parallel == run_configs(cfgs)
+
+    def test_failures_are_not_persisted(self, tmp_path, monkeypatch):
+        import repro.experiments.sweeps as sweeps_mod
+
+        real_run = sweeps_mod.run_experiment
+
+        def exploding(cfg):
+            if cfg.seed == 2:
+                raise RuntimeError("boom")
+            return real_run(cfg)
+
+        monkeypatch.setattr(sweeps_mod, "run_experiment", exploding)
+        store = RunStore(tmp_path)
+        cfgs = [_tiny(seed=s) for s in (1, 2)]
+        results = run_configs(cfgs, store=store, return_failures=True)
+        assert isinstance(results[1], RunFailure)
+        assert results[1].index == 1  # position in the original config list
+        assert store.stats.persisted == 1
+        assert store.stats.skipped == 1
+        assert not store.contains(cfgs[1])
+
+    def test_failure_index_is_global_after_store_prefilter(self, tmp_path, monkeypatch):
+        # With the first config already stored, a failure in the second
+        # must still report index 1, not its position in the miss subset.
+        import repro.experiments.sweeps as sweeps_mod
+
+        store = RunStore(tmp_path)
+        cfgs = [_tiny(seed=s) for s in (1, 2)]
+        run_configs([cfgs[0]], store=store)
+
+        def exploding(cfg):
+            raise RuntimeError("boom")
+
+        monkeypatch.setattr(sweeps_mod, "run_experiment", exploding)
+        results = run_configs(cfgs, store=store, return_failures=True)
+        assert isinstance(results[0], RunMetrics)  # the hit — never re-run
+        assert isinstance(results[1], RunFailure)
+        assert results[1].index == 1
+
+
+class TestInterruptedFigureResume:
+    """The acceptance scenario: kill a sweep partway (injected worker
+    exception), re-run with the same store, get a bit-identical figure."""
+
+    def test_resumed_figure_bit_identical_to_uninterrupted(self, tmp_path, monkeypatch):
+        import repro.experiments.sweeps as sweeps_mod
+
+        profile = smoke()
+        densities = [50, 60]
+        real_run = sweeps_mod.run_experiment
+
+        # Pass 1: every opportunistic run dies mid-sweep.
+        def dying(cfg):
+            if cfg.scheme == "opportunistic":
+                raise RuntimeError("simulated crash")
+            return real_run(cfg)
+
+        monkeypatch.setattr(sweeps_mod, "run_experiment", dying)
+        store = RunStore(tmp_path)
+        with pytest.raises(SweepError):
+            figure5(profile, densities=densities, trials=1, store=store)
+        completed_first_pass = store.stats.persisted
+        assert 0 < completed_first_pass < 2 * len(densities)
+
+        # Pass 2: healed code, same store — only the missing tail runs.
+        monkeypatch.setattr(sweeps_mod, "run_experiment", real_run)
+        resumed_store = RunStore(tmp_path)
+        resumed = figure5(profile, densities=densities, trials=1, store=resumed_store)
+        assert resumed_store.stats.hits == completed_first_pass
+        assert resumed_store.stats.misses == 2 * len(densities) - completed_first_pass
+
+        # Reference: one uninterrupted serial run, no store involved.
+        reference = figure5(profile, densities=densities, trials=1)
+        assert resumed == reference  # frozen dataclasses: bit-identical floats
+
+    def test_resume_runs_only_missing_tail(self, tmp_path, monkeypatch):
+        import repro.experiments.sweeps as sweeps_mod
+
+        real_run = sweeps_mod.run_experiment
+        executed: list[int] = []
+
+        def counting(cfg):
+            executed.append(cfg.seed)
+            return real_run(cfg)
+
+        monkeypatch.setattr(sweeps_mod, "run_experiment", counting)
+        cfgs = [_tiny(seed=s) for s in (1, 2, 3, 4)]
+        store = RunStore(tmp_path)
+        run_configs(cfgs[:2], store=store)
+        executed.clear()
+        run_configs(cfgs, store=store)
+        assert sorted(executed) == [3, 4]  # the stored prefix never re-ran
+
+
+class TestManifestStoreBlock:
+    def test_figure_manifest_records_store_accounting(self, tmp_path):
+        from repro.experiments.persistence import build_figure_manifest
+
+        profile = smoke()
+        store = RunStore(tmp_path)
+        result = figure5(profile, densities=[50], trials=1, store=store)
+        manifest = build_figure_manifest(
+            result,
+            profile,
+            wall_time_s=1.0,
+            trials=1,
+            store={"path": str(tmp_path), **store.stats.as_dict()},
+        )
+        block = manifest["store"]
+        assert block["misses"] == 2 and block["persisted"] == 2
+        assert block["hits"] == 0
+        assert block["path"] == str(tmp_path)
+
+    def test_metrics_survive_json_round_trip_via_manifest_format(self, tmp_path):
+        # The stored payload uses the same asdict serialization as run
+        # manifests; float fields must round-trip repr-exactly.
+        cfg = _tiny()
+        metrics = _metrics(cfg, energy=0.1 + 0.2)  # a float with ugly repr
+        store = RunStore(tmp_path)
+        store.put(cfg, metrics)
+        loaded = store.get(cfg)
+        assert loaded is not None
+        assert dataclasses.asdict(loaded) == dataclasses.asdict(metrics)

@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Documentation consistency checker (the CI docs job).
+
+Two classes of rot this catches:
+
+1. **Broken intra-repo links.**  Every relative markdown link or image
+   in README.md, DESIGN.md, EXPERIMENTS.md, and docs/*.md must resolve
+   to a file that exists (anchors and external URLs are ignored; an
+   ``#anchor`` suffix is stripped before the existence check).
+
+2. **API reference coverage.**  docs/API.md must contain a section for
+   every public package under ``src/repro`` — any directory with an
+   ``__init__.py`` that advertises an ``__all__`` — plus the documented
+   top-level modules.  Adding a package without documenting it fails CI.
+
+This is pure-filesystem (no imports of the package under test, no
+third-party deps), so it runs anywhere.  The tier-1 suite exercises the
+same checks in-process via tests/test_docs.py.
+
+Usage::
+
+    python tools/check_docs.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: markdown files whose relative links must resolve
+DOC_FILES = ["README.md", "DESIGN.md", "EXPERIMENTS.md", "ROADMAP.md"]
+
+#: top-level modules documented in docs/API.md alongside the packages
+EXTRA_API_MODULES = ["repro.cli", "repro.constants"]
+
+# [text](target) and ![alt](target) — target split off any title/anchor
+_LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+# inline code spans — links inside them are examples, not references
+_CODE_SPAN_RE = re.compile(r"`[^`]*`")
+
+
+def iter_doc_files() -> list[Path]:
+    files = [REPO_ROOT / name for name in DOC_FILES if (REPO_ROOT / name).exists()]
+    files += sorted((REPO_ROOT / "docs").glob("*.md"))
+    return files
+
+
+def check_links() -> list[str]:
+    """Return one error string per broken relative link."""
+    errors: list[str] = []
+    for doc in iter_doc_files():
+        text = doc.read_text()
+        in_fence = False
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            if line.lstrip().startswith("```"):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for match in _LINK_RE.finditer(_CODE_SPAN_RE.sub("", line)):
+                target = match.group(1)
+                if target.startswith(("http://", "https://", "mailto:", "#")):
+                    continue
+                path_part = target.split("#", 1)[0]
+                if not path_part:
+                    continue
+                resolved = (doc.parent / path_part).resolve()
+                if not resolved.exists():
+                    rel = doc.relative_to(REPO_ROOT)
+                    errors.append(f"{rel}:{lineno}: broken link -> {target}")
+    return errors
+
+
+def public_packages() -> list[str]:
+    """Every package under src/repro with a public ``__all__``."""
+    src = REPO_ROOT / "src" / "repro"
+    packages = []
+    for init in sorted(src.rglob("__init__.py")):
+        if "__all__" not in init.read_text():
+            continue
+        rel = init.parent.relative_to(src.parent)
+        packages.append(".".join(rel.parts))
+    return packages
+
+
+def check_api_coverage() -> list[str]:
+    """docs/API.md must have a ``## `pkg` `` section per public package."""
+    api_md = REPO_ROOT / "docs" / "API.md"
+    if not api_md.exists():
+        return ["docs/API.md is missing — run: PYTHONPATH=src python tools/gen_api_docs.py"]
+    text = api_md.read_text()
+    documented = set(re.findall(r"^## `([\w.]+)`$", text, flags=re.MULTILINE))
+    errors = []
+    for pkg in public_packages() + EXTRA_API_MODULES:
+        if pkg not in documented:
+            errors.append(
+                f"docs/API.md: public package `{pkg}` has no section — "
+                "regenerate with: PYTHONPATH=src python tools/gen_api_docs.py"
+            )
+    return errors
+
+
+def main() -> int:
+    errors = check_links() + check_api_coverage()
+    for err in errors:
+        print(err, file=sys.stderr)
+    if errors:
+        print(f"\n{len(errors)} documentation error(s)", file=sys.stderr)
+        return 1
+    n_docs = len(iter_doc_files())
+    n_pkgs = len(public_packages()) + len(EXTRA_API_MODULES)
+    print(f"docs OK: {n_docs} files link-clean, {n_pkgs} packages covered in docs/API.md")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

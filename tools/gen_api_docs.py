@@ -1,0 +1,160 @@
+#!/usr/bin/env python3
+"""Generate docs/API.md from the public ``__all__`` surface.
+
+Walks every ``repro`` package (and the top-level modules), resolves each
+name advertised in ``__all__``, and emits one reference section per
+package: the package docstring's first paragraph, then a table of
+``name — first docstring line``.  A hand-maintained routing table
+("which module do I touch for X") is prepended.
+
+Usage::
+
+    PYTHONPATH=src python tools/gen_api_docs.py            # rewrite docs/API.md
+    PYTHONPATH=src python tools/gen_api_docs.py --check    # fail if stale
+
+The output is committed; CI's docs job verifies every package is
+covered (tools/check_docs.py) and the tier-1 suite imports the same
+surface (tests/test_public_api.py), so the two can't drift silently.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import inspect
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: documented packages/modules, in reading order
+PACKAGES = [
+    "repro",
+    "repro.sim",
+    "repro.net",
+    "repro.diffusion",
+    "repro.aggregation",
+    "repro.core",
+    "repro.trees",
+    "repro.experiments",
+    "repro.obs",
+    "repro.cli",
+    "repro.constants",
+]
+
+ROUTING_TABLE = """\
+| I want to change... | Touch |
+|---|---|
+| event scheduling, timers, determinism/RNG streams | `repro.sim` |
+| radio propagation, MAC behavior, energy accounting, node failures | `repro.net` |
+| field generation, node/source/sink placement | `repro.net.topology` |
+| interests, gradients, exploratory floods, duplicate caches | `repro.diffusion` |
+| the opportunistic (baseline) scheme | `repro.diffusion.opportunistic` |
+| the greedy scheme: E attribute, incremental cost, truncation | `repro.core` |
+| aggregate size models, set-cover solvers, the T_a buffer | `repro.aggregation` |
+| centralized SPT/GIT/Steiner references | `repro.trees` |
+| run configs, profiles, metrics, the runner | `repro.experiments` (`config`/`metrics`/`runner`) |
+| sweeps, parallelism, resumable runs | `repro.experiments.sweeps` + `repro.experiments.store` |
+| paper figures and their workloads | `repro.experiments.figures` |
+| saving/loading results, manifests | `repro.experiments.persistence` |
+| profiling, tracing, metrics registry | `repro.obs` |
+| command-line verbs | `repro.cli` |
+| wire-format byte sizes | `repro.constants` |
+"""
+
+HEADER = """\
+# API reference
+
+Generated from each package's public `__all__` surface by
+[`tools/gen_api_docs.py`](../tools/gen_api_docs.py) — regenerate with
+`PYTHONPATH=src python tools/gen_api_docs.py` after changing any
+`__all__` or public docstring. Architecture rationale lives in
+[DESIGN.md](../DESIGN.md); workflow recipes in
+[PLAYBOOK.md](PLAYBOOK.md).
+
+## Which module do I touch for X?
+
+"""
+
+
+def _first_line(obj: object) -> str:
+    doc = inspect.getdoc(obj)
+    if not doc:
+        return ""
+    line = doc.strip().splitlines()[0].strip()
+    return line.replace("|", "\\|")
+
+
+def _first_paragraph(obj: object) -> str:
+    doc = inspect.getdoc(obj)
+    if not doc:
+        return ""
+    paragraph: list[str] = []
+    for line in doc.strip().splitlines():
+        if not line.strip():
+            break
+        paragraph.append(line.strip())
+    return " ".join(paragraph)
+
+
+def _kind(obj: object) -> str:
+    if inspect.isclass(obj):
+        return "class"
+    if inspect.isfunction(obj) or inspect.isbuiltin(obj):
+        return "function"
+    if isinstance(obj, dict):
+        return "dict"
+    if isinstance(obj, tuple):
+        return "tuple"
+    return type(obj).__name__
+
+
+def render() -> str:
+    lines = [HEADER + ROUTING_TABLE]
+    for package in PACKAGES:
+        mod = importlib.import_module(package)
+        names = list(getattr(mod, "__all__", []))
+        lines.append(f"\n## `{package}`\n")
+        summary = _first_paragraph(mod)
+        if summary:
+            lines.append(summary + "\n")
+        if not names:
+            lines.append("_(no public `__all__`)_\n")
+            continue
+        lines.append("| name | kind | summary |")
+        lines.append("|---|---|---|")
+        for name in names:
+            obj = getattr(mod, name)
+            # data values inherit their type's docstring, which is noise
+            summary = _first_line(obj) if inspect.isclass(obj) or callable(obj) else ""
+            lines.append(f"| `{name}` | {_kind(obj)} | {summary} |")
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--check", action="store_true", help="fail if docs/API.md is stale"
+    )
+    parser.add_argument(
+        "--out", default=str(REPO_ROOT / "docs" / "API.md"), help="output path"
+    )
+    args = parser.parse_args(argv)
+    out = Path(args.out)
+    text = render()
+    if args.check:
+        if not out.exists() or out.read_text() != text:
+            print(f"{out} is stale — regenerate with: "
+                  "PYTHONPATH=src python tools/gen_api_docs.py", file=sys.stderr)
+            return 1
+        print(f"{out} is up to date")
+        return 0
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(text)
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
