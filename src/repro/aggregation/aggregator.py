@@ -48,6 +48,9 @@ class FlushResult:
     aggregates: tuple[OutgoingAggregate, ...]
     #: tags of the contributions selected by the set cover (None = local)
     cover_tags: tuple[Hashable, ...]
+    #: how many buffered contributions (incoming aggregates + local items)
+    #: fed this flush — the merge fan-in the lineage records report
+    n_contributions: int = 0
 
     @property
     def item_count(self) -> int:
@@ -116,6 +119,7 @@ class AggregationBuffer:
         """Empty the buffer into outgoing aggregates with covered costs."""
         if not self._items:
             return FlushResult((), ())
+        n_contributions = len(self._contributions)
         universe = frozenset(self._items)
         family = [
             WeightedSubset(c.keys & universe, c.weight, tag=i)
@@ -130,7 +134,7 @@ class AggregationBuffer:
         aggregates = self._pack(items, cover)
         self._items.clear()
         self._contributions.clear()
-        return FlushResult(tuple(aggregates), cover_tags)
+        return FlushResult(tuple(aggregates), cover_tags, n_contributions)
 
     def _pack(self, items: list[DataItem], cover: CoverResult) -> list[OutgoingAggregate]:
         """Split items into packets under the function's max_items."""

@@ -11,6 +11,11 @@ Subcommands::
     repro-wsn bench --out BENCH_sweep.json                   # canonical perf run
     repro-wsn stats m.json                                   # inspect manifest
     repro-wsn stats t.jsonl                                  # inspect trace
+    repro-wsn stats --list-categories                        # trace categories
+    repro-wsn run --audit --trace-out t.jsonl                # audited run
+    repro-wsn audit t.jsonl                                  # replay invariants
+    repro-wsn audit m.json                                   # static invariants
+    repro-wsn diff a.json b.json                             # compare artifacts
     repro-wsn fig fig5 --store runs/                         # resumable sweep
     repro-wsn store ls runs/                                 # list stored runs
     repro-wsn store gc runs/                                 # prune stale entries
@@ -95,6 +100,11 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="consult/update a content-addressed run store at PATH",
     )
+    run_p.add_argument(
+        "--audit",
+        action="store_true",
+        help="run the online invariant auditor; exit 1 on any finding",
+    )
 
     fig_p = sub.add_parser("fig", help="reproduce one of figures 5-10")
     fig_p.add_argument("figure", choices=sorted(FIGURES))
@@ -171,9 +181,35 @@ def build_parser() -> argparse.ArgumentParser:
     stats_p = sub.add_parser(
         "stats", help="pretty-print a manifest.json or a JSONL trace file"
     )
-    stats_p.add_argument("file", help="path to a manifest or trace produced by this tool")
+    stats_p.add_argument(
+        "file", nargs="?", help="path to a manifest or trace produced by this tool"
+    )
     stats_p.add_argument(
         "--top", type=int, default=12, help="how many top counters/categories to show"
+    )
+    stats_p.add_argument(
+        "--list-categories",
+        action="store_true",
+        help="list every known trace category and exit",
+    )
+
+    audit_p = sub.add_parser(
+        "audit", help="verify run invariants on a trace, manifest, or store entry"
+    )
+    audit_p.add_argument(
+        "file", help="JSONL trace (stream checks) or JSON artifact (static checks)"
+    )
+    audit_p.add_argument(
+        "--json", action="store_true", help="machine-readable findings on stdout"
+    )
+
+    diff_p = sub.add_parser(
+        "diff", help="compare two run/figure artifacts (manifests, store entries, results)"
+    )
+    diff_p.add_argument("a", help="baseline artifact")
+    diff_p.add_argument("b", help="candidate artifact")
+    diff_p.add_argument(
+        "--json", action="store_true", help="machine-readable diff on stdout"
     )
 
     return parser
@@ -200,13 +236,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
         include_idle=args.include_idle,
     )
     obs = None
-    if args.profile or args.trace_out or args.manifest or args.detailed_metrics:
+    if args.profile or args.trace_out or args.manifest or args.detailed_metrics or args.audit:
         obs = ObsOptions(
             profile=args.profile,
             trace_path=args.trace_out,
             trace_categories=tuple(args.trace_categories),
             manifest_path=args.manifest,
             detailed_metrics=args.detailed_metrics,
+            audit=args.audit,
         )
     if args.store and obs is None:
         from .experiments.store import RunStore
@@ -238,6 +275,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
             print(f"\ntrace written: {observed.trace_path}")
         if observed.manifest_path is not None:
             print(f"manifest written: {observed.manifest_path}")
+        if observed.audit is not None:
+            from .obs.audit import AuditFinding, format_findings
+
+            findings = [
+                AuditFinding(**{**f, "context": f.get("context", {})})
+                for f in observed.audit["findings"]
+            ]
+            print()
+            print(format_findings(findings))
+            if not observed.audit["ok"]:
+                return 1
     return 0
 
 
@@ -307,6 +355,16 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
     from .obs import format_manifest, load_manifest, trace_summary
 
+    if args.list_categories:
+        from .obs import TRACE_CATEGORIES
+
+        width = max(len(name) for name in TRACE_CATEGORIES)
+        for name, description in sorted(TRACE_CATEGORIES.items()):
+            print(f"{name:<{width}}  {description}")
+        return 0
+    if not args.file:
+        print("stats: a manifest/trace path is required (or --list-categories)", file=sys.stderr)
+        return 2
     path = Path(args.file)
     if not path.exists():
         print(f"no such file: {path}", file=sys.stderr)
@@ -334,6 +392,79 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     for cat, n in list(summary["categories"].items())[: args.top]:
         print(f"  {cat:<32} {n}")
     return 0
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from .obs.audit import (
+        audit_figure_cells,
+        audit_static,
+        audit_trace,
+        format_findings,
+    )
+
+    path = Path(args.file)
+    if not path.exists():
+        print(f"no such file: {path}", file=sys.stderr)
+        return 2
+    try:
+        data = json.loads(path.read_text())
+        is_artifact = isinstance(data, dict)
+    except json.JSONDecodeError:
+        is_artifact = False  # JSONL traces land here
+    if is_artifact:
+        if "cells" in data:  # figure manifest or saved figure result
+            findings = audit_figure_cells(data["cells"])
+            mode = "static (figure cells)"
+        elif "metrics" in data:  # run manifest or store entry
+            findings = audit_static(data["metrics"])
+            mode = "static (run metrics)"
+        else:
+            print(f"not an auditable artifact: {path}", file=sys.stderr)
+            return 2
+    else:
+        try:
+            findings = audit_trace(path)
+        except (json.JSONDecodeError, ValueError) as exc:
+            print(f"not a manifest, store entry, or JSONL trace: {exc}", file=sys.stderr)
+            return 2
+        mode = "stream (trace replay)"
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "file": str(path),
+                    "mode": mode,
+                    "ok": not any(f.severity == "error" for f in findings),
+                    "findings": [f.as_dict() for f in findings],
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        print(f"{path} — {mode}")
+        print(format_findings(findings))
+    return 1 if any(f.severity == "error" for f in findings) else 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    import json
+
+    from .obs.diff import diff_artifacts, format_diff
+
+    try:
+        diff = diff_artifacts(args.a, args.b)
+    except (ValueError, OSError) as exc:
+        print(f"diff failed: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(diff, indent=2, sort_keys=True))
+    else:
+        print(format_diff(diff))
+    return 0 if diff["equal"] else 1
 
 
 def _cmd_inspect(args: argparse.Namespace) -> int:
@@ -460,6 +591,8 @@ _COMMANDS = {
     "inspect": _cmd_inspect,
     "stats": _cmd_stats,
     "store": _cmd_store,
+    "audit": _cmd_audit,
+    "diff": _cmd_diff,
 }
 
 

@@ -326,6 +326,14 @@ class DiffusionAgent:
         state.data_seq += 1
         item = DataItem(self.node.node_id, state.data_seq, self.sim.now)
         self.tracer.count("diffusion.item_generated")
+        if self.tracer.wants("data.gen"):
+            self.tracer.record(
+                "data.gen",
+                node=self.node.node_id,
+                interest=state.interest_id,
+                src=item.source_id,
+                seq=item.seq,
+            )
         if self.metrics is not None:
             self.metrics.on_generated(state.interest_id, item)
         self._mark_item_seen(state.interest_id, item)
@@ -480,10 +488,27 @@ class DiffusionAgent:
             cache = SeenCache(self.params.cache_capacity)
             self.item_seen[msg.interest_id] = cache
         accepted = [item for item in msg.items if cache.check_and_add(item.key)]
+        if self.tracer.wants("data.rx"):
+            self.tracer.record(
+                "data.rx",
+                node=self.node.node_id,
+                interest=msg.interest_id,
+                sender=from_id,
+                keys=[list(item.key) for item in msg.items],
+                accepted=[list(item.key) for item in accepted],
+            )
         self._note_window(msg, from_id, accepted)
         if msg.interest_id in self.own_interests:
+            deliver_wanted = self.tracer.wants("data.deliver")
             for item in accepted:
                 self.tracer.count("diffusion.item_delivered")
+                if deliver_wanted:
+                    self.tracer.record(
+                        "data.deliver",
+                        interest=msg.interest_id,
+                        sink=self.node.node_id,
+                        key=list(item.key),
+                    )
                 if self.metrics is not None:
                     self.metrics.on_delivered(
                         msg.interest_id, self.node.node_id, item, self.sim.now
@@ -593,6 +618,17 @@ class DiffusionAgent:
             return
         result = buf.flush()
         self.tracer.count("diffusion.flushes")
+        if self.tracer.wants("data.merge"):
+            self.tracer.record(
+                "data.merge",
+                node=self.node.node_id,
+                interest=interest_id,
+                n_contributions=result.n_contributions,
+                aggregates=[
+                    [list(item.key) for item in agg.items]
+                    for agg in result.aggregates
+                ],
+            )
         for agg in result.aggregates:
             self._merge_size.observe(len(agg.items))
             if len(agg.items) > 1:
@@ -607,6 +643,14 @@ class DiffusionAgent:
 
     def _send_data(self, msg: AggregateMsg, outlets: list[int]) -> None:
         """Unicast an aggregate along the given usable data gradients."""
+        if self.tracer.wants("data.tx"):
+            self.tracer.record(
+                "data.tx",
+                node=self.node.node_id,
+                interest=msg.interest_id,
+                keys=[list(item.key) for item in msg.items],
+                outlets=list(outlets),
+            )
         for neighbor in outlets:
             self.tracer.count("diffusion.data_sent")
             self.node.send(msg, neighbor, msg.size)
@@ -626,6 +670,13 @@ class DiffusionAgent:
     def _handle_reinforcement(self, msg: ReinforcementMsg, from_id: int) -> None:
         self.tracer.count("diffusion.reinforcement_received")
         self._gradient_table(msg.interest_id).reinforce(from_id, self.sim.now)
+        if self.tracer.wants("gradient.reinforce"):
+            self.tracer.record(
+                "gradient.reinforce",
+                node=self.node.node_id,
+                interest=msg.interest_id,
+                neighbor=from_id,
+            )
         _iid, source_id, _seq = msg.event_key
         if source_id == self.node.node_id:
             return  # reached the source that originated the round
@@ -657,6 +708,13 @@ class DiffusionAgent:
         degraded = table.degrade(from_id)
         if not degraded:
             return
+        if self.tracer.wants("gradient.degrade"):
+            self.tracer.record(
+                "gradient.degrade",
+                node=self.node.node_id,
+                interest=msg.interest_id,
+                neighbor=from_id,
+            )
         if self._usable_outlets(msg.interest_id):
             return
         # §4.3: with no usable data gradients left (loop edges toward our

@@ -159,9 +159,34 @@ def run_bench(quick: bool = False, workers: int = 0) -> dict:
 
 
 def save_bench(payload: dict, path: Union[str, Path]) -> Path:
+    """Append one bench result to the trajectory file at ``path``.
+
+    The file accumulates a ``bench-trajectory``: one entry per benchmark
+    run, so throughput history is a committed artifact and regressions
+    show up as diffs (``tools/check_bench.py`` gates on the last entry).
+    A legacy single-payload file is converted in place, keeping the old
+    result as the trajectory's first entry.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    entries: list[dict] = []
+    if path.exists():
+        try:
+            existing = json.loads(path.read_text())
+        except json.JSONDecodeError:
+            existing = None
+        if isinstance(existing, dict):
+            if existing.get("kind") == "bench-trajectory":
+                entries = list(existing.get("entries", []))
+            elif existing.get("kind") == "bench":  # legacy single payload
+                entries = [existing]
+    entries.append(payload)
+    wrapped = {
+        "kind": "bench-trajectory",
+        "bench_version": BENCH_VERSION,
+        "entries": entries,
+    }
+    path.write_text(json.dumps(wrapped, indent=2, sort_keys=True) + "\n")
     return path
 
 

@@ -104,6 +104,10 @@ class RunMetrics:
     events_sent: int
     mean_degree: float
     counters: dict = field(default_factory=dict)
+    #: post-warmup communication energy by message class (J); sums to
+    #: total_energy_j within 1e-9 (the "idle" bucket is included when the
+    #: run charged idle listening)
+    energy_by_class: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.delivery_ratio <= 1.0 + 1e-9:

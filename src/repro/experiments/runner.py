@@ -241,6 +241,9 @@ class ObservedRun:
     cancelled_skipped: int = 0
     #: whether the sensor field came from the per-process cache
     field_cache_hit: bool = False
+    #: :meth:`~repro.obs.audit.Auditor.report` dict when run with
+    #: ``obs.audit=True`` (None otherwise)
+    audit: Optional[dict] = None
 
 
 def run_experiment(
@@ -286,7 +289,16 @@ def run_observed(
 
     profiler: Optional[Profiler] = None
     writer: Optional[TraceWriter] = None
+    auditor = None
     if obs is not None:
+        if obs.audit:
+            from ..obs.audit import Auditor
+
+            d = cfg.diffusion
+            auditor = Auditor(
+                data_timeout=max(d.gradient_timeout, 2.2 * d.exploratory_interval)
+            )
+            auditor.attach(tracer)
         if obs.trace_path is not None:
             writer = TraceWriter(obs.trace_path, registry=tracer.registry)
             writer.attach(tracer, *obs.trace_categories)
@@ -306,9 +318,11 @@ def run_observed(
             profiler = Profiler(obs.profile_sample_interval).attach(sim)
 
     snapshots: list[tuple[float, float]] = []
+    class_snapshots: list[dict[str, tuple[float, float]]] = []
 
     def take_snapshot() -> None:
         snapshots.extend((n.energy.tx_time, n.energy.rx_time) for n in world.nodes)
+        class_snapshots.extend(n.energy.class_times() for n in world.nodes)
 
     sim.schedule(cfg.warmup, take_snapshot)
     t0 = time.perf_counter()
@@ -343,6 +357,31 @@ def run_observed(
             energy += meter.params.idle_power_w * max(0.0, window - dtx - drx)
         total_energy += energy
 
+    # Per-class breakdown over the same post-warmup window.  Kept as a
+    # second pass so the total_energy loop above — whose float summation
+    # order the reproducibility contract freezes — stays untouched; the
+    # class sums match it within 1e-9 (the auditor checks this).
+    energy_by_class: dict[str, float] = {}
+    for node, (tx0, rx0), cls0 in zip(world.nodes, snapshots, class_snapshots):
+        meter = node.energy
+        txp, rxp = meter.params.tx_power_w, meter.params.rx_power_w
+        for cls, (txt, rxt) in meter.class_times().items():
+            tx0c, rx0c = cls0.get(cls, (0.0, 0.0))
+            delta = txp * (txt - tx0c) + rxp * (rxt - rx0c)
+            if delta:
+                energy_by_class[cls] = energy_by_class.get(cls, 0.0) + delta
+        if cfg.include_idle:
+            dtx = meter.tx_time - tx0
+            drx = meter.rx_time - rx0
+            idle = meter.params.idle_power_w * max(0.0, window - dtx - drx)
+            energy_by_class["idle"] = energy_by_class.get("idle", 0.0) + idle
+    energy_by_class = {cls: energy_by_class[cls] for cls in sorted(energy_by_class)}
+
+    # Publish the channel's per-class frame counts as labeled registry
+    # counters so they appear in the counters snapshot below.
+    if world.nodes:
+        world.nodes[0].radio.channel.flush_class_counters()
+
     metrics = world.metrics
     distinct = metrics.total_distinct_delivered()
     sent = sum(metrics.sent.values())
@@ -367,7 +406,13 @@ def run_observed(
         events_sent=sent,
         mean_degree=world.field.mean_degree(),
         counters=dict(tracer.counters),
+        energy_by_class=energy_by_class,
     )
+
+    audit_report: Optional[dict] = None
+    if auditor is not None:
+        auditor.finalize(world.nodes)
+        audit_report = auditor.report()
 
     observed = ObservedRun(
         metrics=run_metrics,
@@ -377,6 +422,7 @@ def run_observed(
         events_processed=sim.events_processed,
         cancelled_skipped=sim.cancelled_skipped,
         field_cache_hit=world.field_cache_hit,
+        audit=audit_report,
     )
     if obs is not None and obs.manifest_path is not None:
         observed.manifest = build_run_manifest(
@@ -391,6 +437,7 @@ def run_observed(
                 "redraws": world.field.redraws,
                 "cache_hit": world.field_cache_hit,
             },
+            audit=audit_report,
         )
         observed.manifest_path = save_manifest(observed.manifest, obs.manifest_path)
     return observed

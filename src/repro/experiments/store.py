@@ -66,7 +66,8 @@ __all__ = [
 ]
 
 #: bump to invalidate every existing store entry (schema change)
-STORE_VERSION = 1
+#: v2: RunMetrics gained energy_by_class (per-message-class energy breakdown)
+STORE_VERSION = 2
 
 
 def canonical_json(obj: Any) -> str:
@@ -210,13 +211,22 @@ class RunStore:
         return rows
 
     def rm(self, keys: Iterable[str]) -> int:
-        """Delete entries by key; returns how many existed."""
+        """Delete entries by key or unambiguous key prefix.
+
+        ``ls`` (and the CLI table) shows truncated keys, so prefixes are
+        accepted; a prefix matching several entries deletes nothing for
+        that argument.  Returns how many entries were deleted.
+        """
         removed = 0
         for key in keys:
             path = self.path_for(key)
-            if path.exists():
-                path.unlink()
-                removed += 1
+            if not path.exists():
+                matches = list(self.runs_dir.glob(f"{key}*.json"))
+                if len(matches) != 1:
+                    continue
+                path = matches[0]
+            path.unlink()
+            removed += 1
         self._write_index(self.ls())
         return removed
 
@@ -334,6 +344,7 @@ def _metrics_from_dict(data: dict[str, Any]) -> RunMetrics:
         events_sent=int(data["events_sent"]),
         mean_degree=float(data["mean_degree"]),
         counters=dict(data.get("counters", {})),
+        energy_by_class=dict(data.get("energy_by_class", {})),
     )
 
 

@@ -109,7 +109,17 @@ class CsmaMac:
         if len(self._queue) >= self.params.queue_limit:
             self.tracer.count("mac.drop_queue")
             return False
-        self._queue.append(Frame(src=self.radio.node_id, dst=dst, size=size, payload=payload))
+        self._queue.append(
+            Frame(
+                src=self.radio.node_id,
+                dst=dst,
+                size=size,
+                payload=payload,
+                # duck-typed: diffusion messages declare a wire_class; the
+                # net layer stays payload-agnostic and just carries it.
+                msg_class=getattr(payload, "wire_class", "other"),
+            )
+        )
         self._queue_depth.observe(len(self._queue))
         self._kick()
         return True

@@ -50,7 +50,7 @@ class Node:
         self.tracer = tracer
         self._up = True
         self.energy = EnergyMeter(energy_params or EnergyParams())
-        self.radio = Radio(node_id, x, y, channel, self.energy, lambda: self._up)
+        self.radio = Radio(node_id, x, y, channel, self.energy)
         self.mac = CsmaMac(
             sim,
             self.radio,
@@ -76,6 +76,7 @@ class Node:
         if not self._up:
             return
         self._up = False
+        self.radio.up = False
         self.fail_count += 1
         self._down_since = self.sim.now
         self.mac.fail()
@@ -89,6 +90,7 @@ class Node:
         if self._up:
             return
         self._up = True
+        self.radio.up = True
         if self._down_since is not None:
             self.downtime += self.sim.now - self._down_since
             self._down_since = None

@@ -45,6 +45,11 @@ class Frame:
         Opaque upper-layer message (a diffusion message in practice).
     kind:
         :class:`FrameKind` tag; ACK frames never leave the MAC.
+    msg_class:
+        Message class for energy attribution ("interest", "data",
+        "aggregate", "ack", ...); see
+        :data:`repro.net.energy.MESSAGE_CLASSES`.  Derived from the
+        payload's ``wire_class`` by the MAC.
     frame_id:
         Unique id, assigned automatically (used for tracing and for
         matching ACKs to transmissions).
@@ -55,6 +60,7 @@ class Frame:
     size: int
     payload: Any = None
     kind: str = FrameKind.DATA
+    msg_class: str = "other"
     frame_id: int = field(default_factory=lambda: next(_frame_ids))
 
     def __post_init__(self) -> None:
@@ -75,6 +81,7 @@ class Frame:
             size=ack_size,
             payload=self.frame_id,
             kind=FrameKind.ACK,
+            msg_class="ack",
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

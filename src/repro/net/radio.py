@@ -56,10 +56,12 @@ class RadioParams:
 class _Arrival:
     """One in-flight frame at one receiver."""
 
-    __slots__ = ("frame", "start", "end", "corrupted")
+    __slots__ = ("frame", "cls", "start", "end", "corrupted")
 
-    def __init__(self, frame: Frame, start: float, end: float) -> None:
+    def __init__(self, frame: Frame, cls: str, start: float, end: float) -> None:
         self.frame = frame
+        #: frame.msg_class, stashed once per fan-out (hot-path alias)
+        self.cls = cls
         self.start = start
         self.end = end
         self.corrupted = False
@@ -89,6 +91,32 @@ class Channel:
         self._frame_bytes = tracer.registry.histogram(
             "radio.frame_bytes", buckets=(10, 36, 64, 128, 256, 512)
         )
+        # Per-message-class tx/rx frame counts.  Cardinality is bounded by
+        # MESSAGE_CLASSES (~9).  The hot path pays a plain dict increment
+        # per frame; flush_class_counters() materializes the totals into
+        # labeled registry counters at end of run (a labeled-counter inc
+        # per frame is measurable at PHY fan-out rates).
+        self._tx_class_counts: dict[str, int] = {}
+        self._rx_class_counts: dict[str, int] = {}
+
+    def flush_class_counters(self) -> None:
+        """Publish per-class frame counts as labeled registry counters.
+
+        Creates/updates ``radio.tx_class{cls=...}`` and
+        ``radio.rx_class{cls=...}``.  Idempotent: each call tops the
+        counters up to the accumulated totals, so calling it again after
+        more traffic (or twice at end of run) never double-counts.
+        """
+        counter = self.tracer.registry.counter
+        for name, counts in (
+            ("radio.tx_class", self._tx_class_counts),
+            ("radio.rx_class", self._rx_class_counts),
+        ):
+            for cls in sorted(counts):
+                c = counter(name, cls=cls)
+                n = counts[cls]
+                if n > c.value:
+                    c.inc(n - c.value)
 
     def register(self, radio: "Radio") -> None:
         if radio.node_id in self.radios:
@@ -160,6 +188,12 @@ class Channel:
         tracer.count("radio.tx")
         tracer.count("radio.tx_bytes", frame.size)
         self._frame_bytes.observe(frame.size)
+        cls = frame.msg_class
+        counts = self._tx_class_counts
+        try:
+            counts[cls] += 1
+        except KeyError:
+            counts[cls] = 1
         if tracer.wants("phy.tx"):
             tracer.record(
                 "phy.tx",
@@ -168,15 +202,16 @@ class Channel:
                 dst=frame.dst,
                 size=frame.size,
                 kind=frame.kind,
+                cls=cls,
             )
-        sender.energy.note_tx(duration)
+        sender.energy.note_tx(duration, cls)
         end_of_tx = now + duration
         if end_of_tx > sender.tx_until:
             sender.tx_until = end_of_tx
         start = now + prop
         end = start + duration
         arrivals = [
-            (receiver, _Arrival(frame, start, end))
+            (receiver, _Arrival(frame, cls, start, end))
             for receiver in self.neighbors(sender.node_id)
             if receiver.up
         ]
@@ -205,7 +240,8 @@ class Radio:
         "busy_until",
         "_active",
         "deliver",
-        "_up_fn",
+        "up",
+        "_rx_class_counts",
     )
 
     def __init__(
@@ -215,7 +251,6 @@ class Radio:
         y: float,
         channel: Channel,
         energy: EnergyMeter,
-        up_fn: Callable[[], bool],
     ) -> None:
         self.node_id = node_id
         self.x = x
@@ -231,14 +266,16 @@ class Radio:
         self._active: list[_Arrival] = []
         #: callback(frame) installed by the MAC for clean receptions
         self.deliver: Optional[Callable[[Frame], None]] = None
-        self._up_fn = up_fn
+        #: liveness flag, pushed by the owning node on fail/recover.
+        #: A plain attribute on purpose: it is read per receiver per
+        #: frame (the transmit fan-out and both arrival events), where a
+        #: property + callback indirection is measurable.
+        self.up = True
+        #: the channel's shared per-class rx count dict (hot-path alias)
+        self._rx_class_counts = channel._rx_class_counts
         channel.register(self)
 
     # ------------------------------------------------------------------
-    @property
-    def up(self) -> bool:
-        return self._up_fn()
-
     @property
     def transmitting(self) -> bool:
         return self.sim.now < self.tx_until
@@ -263,7 +300,7 @@ class Radio:
         end = arrival.end
         if end > self.busy_until:
             self.busy_until = end
-        self.energy.note_rx(arrival.start, end - arrival.start)
+        self.energy.note_rx(arrival.start, end - arrival.start, arrival.cls)
         if self.transmitting:
             # Half duplex: we miss frames that arrive while we transmit.
             arrival.corrupted = True
@@ -295,6 +332,12 @@ class Radio:
             return
         tracer = self.tracer
         tracer.count("radio.rx")
+        counts = self._rx_class_counts
+        cls = arrival.cls
+        try:
+            counts[cls] += 1
+        except KeyError:
+            counts[cls] = 1
         if tracer.wants("phy.rx"):
             tracer.record(
                 "phy.rx",

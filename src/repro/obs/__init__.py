@@ -8,7 +8,21 @@ here is opt-in beyond the always-on counter registry; a run with
 observability disabled pays one branch per simulator event.
 """
 
+from .audit import (
+    AuditFinding,
+    Auditor,
+    EnergyAttributionChecker,
+    GradientAcyclicityChecker,
+    InvariantChecker,
+    LineageTerminationChecker,
+    RxHasTxChecker,
+    audit_static,
+    audit_trace,
+    format_findings,
+)
+from .diff import diff_artifacts, format_diff, load_artifact
 from .export import TraceWriter, iter_trace_lines, read_trace, trace_summary
+from .lineage import DeliveryTree, Hop, LineageIndex, format_tree
 from .manifest import (
     MANIFEST_VERSION,
     build_figure_manifest,
@@ -17,7 +31,12 @@ from .manifest import (
     load_manifest,
     save_manifest,
 )
-from .options import DEFAULT_MAX_RECORDS, ObsOptions
+from .options import (
+    DEFAULT_MAX_RECORDS,
+    TRACE_CATEGORIES,
+    ObsOptions,
+    known_categories,
+)
 from .profiler import CallbackStats, ProfileReport, Profiler, format_profile
 from .registry import (
     DEFAULT_BUCKETS,
@@ -45,10 +64,29 @@ __all__ = [
     "trace_summary",
     "ObsOptions",
     "DEFAULT_MAX_RECORDS",
+    "TRACE_CATEGORIES",
+    "known_categories",
     "build_run_manifest",
     "build_figure_manifest",
     "save_manifest",
     "load_manifest",
     "format_manifest",
     "MANIFEST_VERSION",
+    "LineageIndex",
+    "DeliveryTree",
+    "Hop",
+    "format_tree",
+    "Auditor",
+    "AuditFinding",
+    "InvariantChecker",
+    "RxHasTxChecker",
+    "LineageTerminationChecker",
+    "GradientAcyclicityChecker",
+    "EnergyAttributionChecker",
+    "audit_trace",
+    "audit_static",
+    "format_findings",
+    "diff_artifacts",
+    "format_diff",
+    "load_artifact",
 ]

@@ -1,0 +1,259 @@
+"""Structured diffs between persisted run artifacts.
+
+``repro diff a b`` compares any two of the formats the toolchain writes —
+run manifests, content-addressed store entries, figure manifests, and
+saved figure results — without caring which combination it got: run-like
+artifacts all embed a ``RunMetrics`` asdict, figure-like artifacts all
+embed a ``CellSummary`` list, so the diff works on the shared views.
+
+The output is a plain JSON-ready dict (machine mode) with a table
+renderer on top (human mode).  ``equal`` is strict: any metric, counter,
+per-class energy bucket, or cell delta makes it False; environment and
+timestamps are deliberately ignored (two runs of the same config on
+different hosts should diff clean).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Optional, Union
+
+__all__ = [
+    "load_artifact",
+    "diff_run_metrics",
+    "diff_figure_cells",
+    "diff_artifacts",
+    "format_diff",
+]
+
+#: RunMetrics scalars compared between run-like artifacts
+_METRIC_FIELDS = (
+    "avg_dissipated_energy",
+    "avg_delay",
+    "delivery_ratio",
+    "total_energy_j",
+    "distinct_delivered",
+    "events_sent",
+    "mean_degree",
+)
+
+#: identity fields surfaced separately (a diff across these is a
+#: different experiment, not a regression)
+_IDENTITY_FIELDS = ("scheme", "n_nodes", "seed")
+
+#: CellSummary scalars compared between figure-like artifacts
+_CELL_FIELDS = ("energy", "energy_stdev", "delay", "ratio", "n_runs", "distinct_delivered")
+
+
+def load_artifact(path: Union[str, Path]) -> tuple[str, dict[str, Any]]:
+    """Load a JSON artifact and classify it.
+
+    Returns ``(kind, payload)`` with kind one of ``"run"`` (run manifest),
+    ``"figure"`` (figure manifest), ``"store-entry"``, or
+    ``"figure-result"``.  JSONL traces and unknown shapes raise
+    ``ValueError`` — traces are for ``repro audit``, not diff.
+    """
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ValueError(
+            f"{path}: not a JSON artifact (JSONL traces cannot be diffed — "
+            "use 'repro audit' on traces)"
+        ) from exc
+    if not isinstance(data, dict):
+        raise ValueError(f"{path}: not a JSON object")
+    if "manifest_version" in data:
+        kind = data.get("kind")
+        if kind in ("run", "figure"):
+            return kind, data
+        raise ValueError(f"{path}: unknown manifest kind {kind!r}")
+    if "store_version" in data and "metrics" in data:
+        return "store-entry", data
+    if "format_version" in data and "cells" in data:
+        return "figure-result", data
+    raise ValueError(f"{path}: unrecognized artifact shape")
+
+
+def _run_view(kind: str, data: dict[str, Any]) -> dict[str, Any]:
+    """The RunMetrics asdict embedded in a run-like artifact."""
+    return data.get("metrics", {})
+
+
+def _cells_view(kind: str, data: dict[str, Any]) -> list[dict[str, Any]]:
+    """The CellSummary dicts embedded in a figure-like artifact."""
+    return list(data.get("cells", []))
+
+
+def _num_delta(a: Any, b: Any) -> dict[str, Any]:
+    entry: dict[str, Any] = {"a": a, "b": b}
+    if isinstance(a, (int, float)) and isinstance(b, (int, float)):
+        entry["delta"] = b - a
+        if a:
+            entry["rel"] = (b - a) / a
+    return entry
+
+
+def diff_run_metrics(
+    metrics_a: dict[str, Any], metrics_b: dict[str, Any]
+) -> dict[str, Any]:
+    """Diff two RunMetrics asdicts (identity, scalars, classes, counters)."""
+    identity = {
+        name: {"a": metrics_a.get(name), "b": metrics_b.get(name)}
+        for name in _IDENTITY_FIELDS
+        if metrics_a.get(name) != metrics_b.get(name)
+    }
+    metrics = {
+        name: _num_delta(metrics_a.get(name), metrics_b.get(name))
+        for name in _METRIC_FIELDS
+        if metrics_a.get(name) != metrics_b.get(name)
+    }
+
+    cls_a = metrics_a.get("energy_by_class") or {}
+    cls_b = metrics_b.get("energy_by_class") or {}
+    energy_by_class = {
+        cls: _num_delta(cls_a.get(cls, 0.0), cls_b.get(cls, 0.0))
+        for cls in sorted(set(cls_a) | set(cls_b))
+        if cls_a.get(cls, 0.0) != cls_b.get(cls, 0.0)
+    }
+
+    cnt_a = metrics_a.get("counters") or {}
+    cnt_b = metrics_b.get("counters") or {}
+    counters = {
+        "added": {k: cnt_b[k] for k in sorted(set(cnt_b) - set(cnt_a))},
+        "removed": {k: cnt_a[k] for k in sorted(set(cnt_a) - set(cnt_b))},
+        "changed": {
+            k: _num_delta(cnt_a[k], cnt_b[k])
+            for k in sorted(set(cnt_a) & set(cnt_b))
+            if cnt_a[k] != cnt_b[k]
+        },
+    }
+    equal = not (
+        identity
+        or metrics
+        or energy_by_class
+        or counters["added"]
+        or counters["removed"]
+        or counters["changed"]
+    )
+    return {
+        "kind": "run",
+        "equal": equal,
+        "identity": identity,
+        "metrics": metrics,
+        "energy_by_class": energy_by_class,
+        "counters": counters,
+    }
+
+
+def diff_figure_cells(
+    cells_a: list[dict[str, Any]], cells_b: list[dict[str, Any]]
+) -> dict[str, Any]:
+    """Diff two figure cell lists, matched on ``(scheme, x)``."""
+    index_a = {(c["scheme"], c["x"]): c for c in cells_a}
+    index_b = {(c["scheme"], c["x"]): c for c in cells_b}
+    only_a = sorted(f"{s}@{x:g}" for (s, x) in set(index_a) - set(index_b))
+    only_b = sorted(f"{s}@{x:g}" for (s, x) in set(index_b) - set(index_a))
+    cells: dict[str, Any] = {}
+    for key in sorted(set(index_a) & set(index_b)):
+        ca, cb = index_a[key], index_b[key]
+        changed = {
+            name: _num_delta(ca.get(name), cb.get(name))
+            for name in _CELL_FIELDS
+            if ca.get(name) != cb.get(name)
+        }
+        if changed:
+            cells[f"{key[0]}@{key[1]:g}"] = changed
+    return {
+        "kind": "figure",
+        "equal": not (only_a or only_b or cells),
+        "only_a": only_a,
+        "only_b": only_b,
+        "cells": cells,
+    }
+
+
+def diff_artifacts(
+    path_a: Union[str, Path], path_b: Union[str, Path]
+) -> dict[str, Any]:
+    """Load, classify, and diff two artifacts of compatible families."""
+    kind_a, data_a = load_artifact(path_a)
+    kind_b, data_b = load_artifact(path_b)
+    run_like = {"run", "store-entry"}
+    figure_like = {"figure", "figure-result"}
+    if kind_a in run_like and kind_b in run_like:
+        out = diff_run_metrics(_run_view(kind_a, data_a), _run_view(kind_b, data_b))
+    elif kind_a in figure_like and kind_b in figure_like:
+        out = diff_figure_cells(_cells_view(kind_a, data_a), _cells_view(kind_b, data_b))
+    else:
+        raise ValueError(
+            f"cannot diff {kind_a} against {kind_b}: one is per-run, the other per-figure"
+        )
+    out["a"] = {"path": str(path_a), "kind": kind_a}
+    out["b"] = {"path": str(path_b), "kind": kind_b}
+    return out
+
+
+def _fmt_value(v: Any) -> str:
+    if isinstance(v, float):
+        return f"{v:.6g}"
+    return str(v)
+
+
+def _fmt_delta(entry: dict[str, Any]) -> str:
+    out = f"{_fmt_value(entry.get('a'))} -> {_fmt_value(entry.get('b'))}"
+    if "rel" in entry:
+        out += f"  ({entry['rel']:+.2%})"
+    elif "delta" in entry:
+        out += f"  ({entry['delta']:+g})"
+    return out
+
+
+def format_diff(diff: dict[str, Any], max_counters: int = 20) -> str:
+    """Human-readable rendering of a :func:`diff_artifacts` result."""
+    a, b = diff.get("a", {}), diff.get("b", {})
+    lines = [f"diff {a.get('path')} ({a.get('kind')})  vs  {b.get('path')} ({b.get('kind')})"]
+    if diff["equal"]:
+        lines.append("identical (ignoring environment/timestamps)")
+        return "\n".join(lines)
+    if diff["kind"] == "run":
+        if diff["identity"]:
+            lines.append("identity (different experiments!):")
+            for name, entry in diff["identity"].items():
+                lines.append(f"  {name:<24} {_fmt_value(entry['a'])} -> {_fmt_value(entry['b'])}")
+        if diff["metrics"]:
+            lines.append("metrics:")
+            for name, entry in diff["metrics"].items():
+                lines.append(f"  {name:<24} {_fmt_delta(entry)}")
+        if diff["energy_by_class"]:
+            lines.append("energy by class (J):")
+            for cls, entry in diff["energy_by_class"].items():
+                lines.append(f"  {cls:<24} {_fmt_delta(entry)}")
+        counters = diff["counters"]
+        shown = 0
+        if counters["changed"]:
+            lines.append("counters changed:")
+            for name, entry in counters["changed"].items():
+                if shown >= max_counters:
+                    lines.append(f"  ... {len(counters['changed']) - shown} more")
+                    break
+                lines.append(f"  {name:<40} {_fmt_delta(entry)}")
+                shown += 1
+        for label in ("added", "removed"):
+            if counters[label]:
+                names = ", ".join(list(counters[label])[:8])
+                more = len(counters[label]) - 8
+                lines.append(
+                    f"counters only in {'b' if label == 'added' else 'a'} "
+                    f"({len(counters[label])}): {names}{' ...' if more > 0 else ''}"
+                )
+    else:
+        for label, key in (("only in a", "only_a"), ("only in b", "only_b")):
+            if diff[key]:
+                lines.append(f"cells {label}: {', '.join(diff[key])}")
+        for cell, changed in diff["cells"].items():
+            lines.append(f"cell {cell}:")
+            for name, entry in changed.items():
+                lines.append(f"  {name:<20} {_fmt_delta(entry)}")
+    return "\n".join(lines)

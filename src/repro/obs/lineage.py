@@ -1,0 +1,231 @@
+"""Causal lineage: reconstruct delivery trees from the data-path trace.
+
+The diffusion kernel emits five lineage categories (``data.gen``,
+``data.rx``, ``data.tx``, ``data.merge``, ``data.deliver``; see
+:data:`~repro.obs.options.TRACE_CATEGORIES`).  Identity is **in-band** —
+every record carries the ``(source_id, seq)`` keys of the items it moved —
+while topology is **out-of-band** (which node handled which key, from
+whom, when).  A :class:`LineageIndex` ingests the records, from a live
+tracer or a JSONL trace file, and answers the causal questions the flat
+counters cannot: where was a delivered event generated, along which hops
+did it travel, what does the whole per-interest delivery tree look like,
+and how much merging happened on the way.
+
+The invariant the auditor leans on: each node accepts a given item key at
+most once (the duplicate cache), so a key's accepted-``data.rx`` records,
+in time order, *are* its path — no search required.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Optional, Union
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.trace import TraceRecord
+
+__all__ = [
+    "LINEAGE_CATEGORIES",
+    "Hop",
+    "DeliveryTree",
+    "LineageIndex",
+    "format_tree",
+]
+
+#: trace categories the lineage index consumes
+LINEAGE_CATEGORIES = ("data.gen", "data.rx", "data.tx", "data.merge", "data.deliver")
+
+
+def _key(raw) -> tuple[int, int]:
+    """Normalize a wire key (list from JSON, tuple in memory) to a tuple."""
+    return (raw[0], raw[1])
+
+
+@dataclass(frozen=True)
+class Hop:
+    """One accepted reception of one item key at one node."""
+
+    time: float
+    node: int
+    sender: int
+
+
+@dataclass(frozen=True)
+class DeliveryTree:
+    """Per-interest delivery topology reconstructed from lineage.
+
+    ``edges`` maps ``(upstream, downstream)`` to the number of distinct
+    delivered keys that crossed that hop — the live counterpart of the
+    GIT the greedy scheme tries to build.
+    """
+
+    interest: int
+    edges: dict[tuple[int, int], int]
+    sources: frozenset[int]
+    sinks: frozenset[int]
+    delivered_keys: int
+
+    @property
+    def n_edges(self) -> int:
+        return len(self.edges)
+
+    def junctions(self) -> list[int]:
+        """Nodes where >= 2 distinct upstream edges converge (merge points)."""
+        fan_in: dict[int, int] = {}
+        for (_up, down) in self.edges:
+            fan_in[down] = fan_in.get(down, 0) + 1
+        return sorted(n for n, k in fan_in.items() if k >= 2)
+
+
+class LineageIndex:
+    """Ingests lineage trace records and answers provenance queries."""
+
+    def __init__(self) -> None:
+        #: key -> (time, node, interest) of its data.gen record
+        self.generated: dict[tuple[int, int], tuple[float, int, int]] = {}
+        #: key -> accepted hops in arrival order
+        self.hops: dict[tuple[int, int], list[Hop]] = {}
+        #: (interest, sink, key) -> delivery time
+        self.delivered: dict[tuple[int, int, tuple[int, int]], float] = {}
+        #: (time, node, interest, n_contributions, n_items) per flush
+        self.merges: list[tuple[float, int, int, int, int]] = []
+        #: records consumed, by category
+        self.counts: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # ingestion
+    # ------------------------------------------------------------------
+    def add(self, rec: "TraceRecord") -> None:
+        """Consume one trace record (non-lineage categories are ignored)."""
+        cat = rec.category
+        if cat == "data.gen":
+            f = rec.as_dict()
+            key = (f["src"], f["seq"])
+            self.generated.setdefault(key, (rec.time, f["node"], f["interest"]))
+        elif cat == "data.rx":
+            f = rec.as_dict()
+            node, sender = f["node"], f["sender"]
+            for raw in f["accepted"]:
+                self.hops.setdefault(_key(raw), []).append(Hop(rec.time, node, sender))
+        elif cat == "data.deliver":
+            f = rec.as_dict()
+            self.delivered.setdefault(
+                (f["interest"], f["sink"], _key(f["key"])), rec.time
+            )
+        elif cat == "data.merge":
+            f = rec.as_dict()
+            n_items = sum(len(agg) for agg in f["aggregates"])
+            self.merges.append(
+                (rec.time, f["node"], f["interest"], f["n_contributions"], n_items)
+            )
+        elif cat != "data.tx":
+            return
+        self.counts[cat] = self.counts.get(cat, 0) + 1
+
+    @classmethod
+    def from_records(cls, records: Iterable["TraceRecord"]) -> "LineageIndex":
+        index = cls()
+        for rec in records:
+            index.add(rec)
+        return index
+
+    @classmethod
+    def from_trace(cls, path: Union[str, Path]) -> "LineageIndex":
+        """Build the index from a JSONL trace file."""
+        from .export import read_trace
+
+        return cls.from_records(read_trace(Path(path)))
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def source_events(self, interest: Optional[int] = None) -> frozenset[tuple[int, int]]:
+        """Keys of all generated items (optionally for one interest)."""
+        if interest is None:
+            return frozenset(self.generated)
+        return frozenset(
+            k for k, (_t, _n, iid) in self.generated.items() if iid == interest
+        )
+
+    def delivered_keys(self, interest: Optional[int] = None) -> frozenset[tuple[int, int]]:
+        """Keys counted by any sink (optionally for one interest)."""
+        return frozenset(
+            key
+            for (iid, _sink, key) in self.delivered
+            if interest is None or iid == interest
+        )
+
+    def interests(self) -> list[int]:
+        seen = {iid for (iid, _s, _k) in self.delivered}
+        seen.update(iid for (_t, _n, iid) in self.generated.values())
+        return sorted(seen)
+
+    def path(self, key: tuple[int, int]) -> list[int]:
+        """The node path this key travelled: source, relays, final holder.
+
+        Raises ``KeyError`` for a key with no generation record.
+        """
+        _t, gen_node, _iid = self.generated[key]
+        return [gen_node] + [hop.node for hop in self.hops.get(key, ())]
+
+    def terminates_in_generation(self, key: tuple[int, int]) -> bool:
+        """True if this key's lineage roots in a real ``data.gen`` event."""
+        return key in self.generated
+
+    def delivery_tree(self, interest: int) -> DeliveryTree:
+        """Reconstruct the delivery tree for one interest.
+
+        Edges are taken from the accepted hops of every *delivered* key,
+        so the tree is the part of the gradient field that did useful
+        work — exactly what the paper's GIT-vs-opportunistic comparison
+        is about.
+        """
+        edges: dict[tuple[int, int], int] = {}
+        sources: set[int] = set()
+        sinks = {sink for (iid, sink, _key) in self.delivered if iid == interest}
+        n_delivered = 0
+        for (iid, _sink, key) in self.delivered:
+            if iid != interest:
+                continue
+            n_delivered += 1
+            gen = self.generated.get(key)
+            if gen is not None:
+                sources.add(gen[1])
+            for hop in self.hops.get(key, ()):
+                edge = (hop.sender, hop.node)
+                edges[edge] = edges.get(edge, 0) + 1
+        return DeliveryTree(
+            interest=interest,
+            edges=edges,
+            sources=frozenset(sources),
+            sinks=frozenset(sinks),
+            delivered_keys=n_delivered,
+        )
+
+    def merge_stats(self) -> dict[str, float]:
+        """Aggregate merge behaviour: flushes, mean fan-in, items merged."""
+        if not self.merges:
+            return {"flushes": 0, "mean_fan_in": 0.0, "items": 0}
+        fan_ins = [m[3] for m in self.merges]
+        return {
+            "flushes": len(self.merges),
+            "mean_fan_in": sum(fan_ins) / len(fan_ins),
+            "items": sum(m[4] for m in self.merges),
+        }
+
+
+def format_tree(tree: DeliveryTree) -> str:
+    """Human-readable rendering of one delivery tree."""
+    lines = [
+        f"interest {tree.interest}: {tree.delivered_keys} delivered keys, "
+        f"{tree.n_edges} edges, sources {sorted(tree.sources) or '?'}, "
+        f"sinks {sorted(tree.sinks)}"
+    ]
+    junctions = set(tree.junctions())
+    for (up, down), n in sorted(tree.edges.items()):
+        mark = " *" if down in junctions else ""
+        lines.append(f"  {up:4d} -> {down:<4d} ({n} keys){mark}")
+    if junctions:
+        lines.append(f"  (* = merge junction: {sorted(junctions)})")
+    return "\n".join(lines)

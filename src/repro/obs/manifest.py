@@ -71,12 +71,15 @@ def build_run_manifest(
     profile_report: Optional["ProfileReport"] = None,
     trace_path: Optional[Union[str, Path]] = None,
     field_info: Optional[dict[str, Any]] = None,
+    audit: Optional[dict[str, Any]] = None,
 ) -> dict[str, Any]:
     """Assemble the provenance manifest for one experiment run.
 
     ``field_info`` records sensor-field provenance (connected-redraw
     count, whether the field came from the per-process cache) so cached
-    and fresh fields are distinguishable when comparing runs.
+    and fresh fields are distinguishable when comparing runs.  ``audit``
+    is an :meth:`~repro.obs.audit.Auditor.report` dict when the run was
+    audited online.
     """
     manifest: dict[str, Any] = {
         "manifest_version": MANIFEST_VERSION,
@@ -103,6 +106,8 @@ def build_run_manifest(
         manifest["profile"] = profile_report.as_dict()
     if trace_path is not None:
         manifest["trace_path"] = str(trace_path)
+    if audit is not None:
+        manifest["audit"] = dict(audit)
     return manifest
 
 
@@ -202,7 +207,25 @@ def format_manifest(data: dict[str, Any], top_counters: int = 12) -> str:
                 ("events", sim.get("events_processed")),
                 ("events/sec", f"{sim.get('events_per_sec', 0.0):,.0f}"),
             ]
+        audit = data.get("audit")
+        if audit:
+            pairs.append(
+                (
+                    "audit",
+                    ("ok" if audit.get("ok") else "FAILED")
+                    + f" ({audit.get('n_findings', 0)} findings, "
+                    f"{audit.get('records_seen', 0)} records)",
+                )
+            )
         lines += _fmt_kv(pairs)
+        by_class = m.get("energy_by_class") or {}
+        if by_class:
+            lines.append("")
+            lines.append("energy by message class (post-warmup):")
+            total = sum(by_class.values()) or 1.0
+            width = max(len(k) for k in by_class)
+            for k, v in sorted(by_class.items(), key=lambda kv: -kv[1]):
+                lines.append(f"  {k:<{width}}  {v:12.6f} J  ({100 * v / total:5.1f}%)")
         counters = m.get("counters") or {}
         if counters:
             lines.append("")

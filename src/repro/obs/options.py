@@ -1,11 +1,20 @@
-"""Per-run observability switches.
+"""Per-run observability switches and the trace-category registry.
 
 :class:`ObsOptions` is how callers (the CLI, notebooks, sweeps) opt a
 single :func:`~repro.experiments.runner.run_experiment` into profiling,
-trace export, and manifest emission without widening
+trace export, auditing, and manifest emission without widening
 :class:`~repro.experiments.config.ExperimentConfig` — the config stays a
 pure description of *what* to simulate; observability describes how
 closely to watch it.
+
+:data:`TRACE_CATEGORIES` is the single source of truth for structured
+trace category names.  Call sites used to be stringly-typed; now every
+category a kernel layer may emit is declared here with a one-line
+description, ``repro stats --list-categories`` prints the table, and
+:meth:`~repro.sim.trace.Tracer.enable` rejects names that are neither
+declared here nor registered on the tracer (so a typo'd
+``--trace-categories phy.txx`` fails loudly instead of silently
+recording nothing).
 """
 
 from __future__ import annotations
@@ -14,10 +23,43 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Optional, Union
 
-__all__ = ["ObsOptions", "DEFAULT_MAX_RECORDS"]
+__all__ = [
+    "ObsOptions",
+    "DEFAULT_MAX_RECORDS",
+    "TRACE_CATEGORIES",
+    "known_categories",
+]
 
 #: default in-memory record bound (see Tracer.max_records)
 DEFAULT_MAX_RECORDS = 262_144
+
+#: every trace category the kernel can emit, with what one record means.
+#: Grouped by layer; extend this table when adding a ``tracer.record``
+#: call site — ``Tracer.enable`` validates against it.
+TRACE_CATEGORIES: dict[str, str] = {
+    # PHY
+    "phy.tx": "one frame put on the air (frame id, src, dst, size, kind, class)",
+    "phy.rx": "one clean frame reception at one radio (frame id, node, src)",
+    # node lifecycle
+    "node.fail": "a node was turned off by the failure driver",
+    "node.recover": "a node came back up",
+    # data-path lineage (the causal record stream; see repro.obs.lineage)
+    "data.gen": "a source sensed one data item (node, interest, src, seq)",
+    "data.rx": "an aggregate arrived at a node (keys, accepted subset)",
+    "data.tx": "an aggregate left a node along usable gradients (keys, outlets)",
+    "data.merge": "an aggregation point flushed >=1 contributions into aggregates",
+    "data.deliver": "a sink counted one distinct item (interest, sink, key)",
+    # gradient / reinforcement causality
+    "gradient.reinforce": "positive reinforcement upgraded a gradient to data strength",
+    "gradient.degrade": "negative reinforcement degraded a data gradient",
+    # scheme-specific decisions
+    "greedy.decision": "a greedy sink's T_p timer chose the lowest-cost neighbor",
+}
+
+
+def known_categories() -> tuple[str, ...]:
+    """All declared trace category names, sorted."""
+    return tuple(sorted(TRACE_CATEGORIES))
 
 
 @dataclass
@@ -27,7 +69,8 @@ class ObsOptions:
     ``trace_path`` switches the tracer to pure streaming (records go to
     the JSONL file, not memory); ``detailed_metrics`` unlocks the
     per-node labelled series that are too high-cardinality to keep on by
-    default.
+    default; ``audit`` attaches the online invariant auditor
+    (:mod:`repro.obs.audit`) for the whole run.
     """
 
     #: attach a Profiler to the simulator and report on it
@@ -44,6 +87,8 @@ class ObsOptions:
     manifest_path: Optional[Union[str, Path]] = None
     #: enable per-node labelled metric series
     detailed_metrics: bool = False
+    #: attach the online invariant auditor (records findings, not silent corruption)
+    audit: bool = False
     #: in-memory record cap for the tracer (0 with trace_path set)
     max_records: Optional[int] = field(default=DEFAULT_MAX_RECORDS)
 

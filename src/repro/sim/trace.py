@@ -30,6 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Optional
 
+from ..obs.options import TRACE_CATEGORIES
 from ..obs.registry import MetricsRegistry
 
 __all__ = ["TraceRecord", "Tracer", "DEFAULT_MAX_RECORDS"]
@@ -74,6 +75,9 @@ class Tracer:
         self.max_records = max_records
         self.records_dropped = 0
         self._enabled: set[str] = set()
+        #: tracer-local categories beyond the central TRACE_CATEGORIES
+        #: table (tests and ad-hoc tooling register their own names here)
+        self._extra_categories: set[str] = set()
         self._records: list[TraceRecord] = []
         self._listeners: list[Callable[[TraceRecord], None]] = []
         #: per-tracer fast path: counter-name -> instrument handle
@@ -104,11 +108,39 @@ class Tracer:
     # ------------------------------------------------------------------
     # structured records
     # ------------------------------------------------------------------
+    def register_category(self, *categories: str) -> None:
+        """Declare tracer-local categories not in the central table.
+
+        The kernel's own categories live in
+        :data:`repro.obs.options.TRACE_CATEGORIES`; tests and ad-hoc
+        tooling that emit their own records register the names here so
+        :meth:`enable` can still reject typos.
+        """
+        self._extra_categories.update(categories)
+
+    def known_categories(self) -> frozenset[str]:
+        """Every category :meth:`enable` accepts on this tracer."""
+        return frozenset(TRACE_CATEGORIES) | frozenset(self._extra_categories)
+
     def enable(self, *categories: str) -> None:
         """Turn on record collection for the given categories.
 
-        ``enable("*")`` records everything.
+        ``enable("*")`` records everything.  Unknown names — not in
+        :data:`~repro.obs.options.TRACE_CATEGORIES` and not registered
+        via :meth:`register_category` — raise ``ValueError``, so a
+        typo'd category fails loudly instead of recording nothing.
         """
+        for category in categories:
+            if category == "*":
+                continue
+            if category not in TRACE_CATEGORIES and category not in self._extra_categories:
+                known = ", ".join(sorted(self.known_categories()))
+                raise ValueError(
+                    f"unknown trace category {category!r} — known categories: {known} "
+                    "(declare new kernel categories in repro.obs.options."
+                    "TRACE_CATEGORIES, or register tracer-local ones with "
+                    "Tracer.register_category)"
+                )
         self._enabled.update(categories)
 
     def disable(self, *categories: str) -> None:

@@ -59,7 +59,12 @@ class TestRunBench:
 
         out = save_bench(payload, tmp_path / "BENCH_sweep.json")
         reloaded = json.loads(out.read_text())
-        assert reloaded == payload
+        assert reloaded["kind"] == "bench-trajectory"
+        assert reloaded["entries"] == [payload]
+
+        # a second save appends rather than overwrites
+        save_bench(payload, out)
+        assert json.loads(out.read_text())["entries"] == [payload, payload]
 
         text = format_bench(payload)
         assert "field cache" in text

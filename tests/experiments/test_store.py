@@ -147,6 +147,23 @@ class TestMaintenance:
         assert store.rm([run_key(cfg), "deadbeef"]) == 1
         assert not store.contains(cfg)
 
+    def test_rm_accepts_unambiguous_prefix(self, tmp_path):
+        # `store ls` displays truncated keys; rm must accept them
+        store = RunStore(tmp_path)
+        cfg = _tiny()
+        store.put(cfg, _metrics(cfg))
+        assert store.rm([run_key(cfg)[:16]]) == 1
+        assert not store.contains(cfg)
+
+    def test_rm_skips_ambiguous_prefix(self, tmp_path):
+        store = RunStore(tmp_path)
+        cfg = _tiny()
+        path = store.put(cfg, _metrics(cfg))
+        # a second entry sharing the empty prefix makes "" ambiguous
+        (store.runs_dir / "0000fake.json").write_text(path.read_text())
+        assert store.rm([""]) == 0
+        assert store.contains(cfg)
+
     def test_gc_prunes_litter_corruption_and_stale_versions(self, tmp_path):
         store = RunStore(tmp_path)
         cfg = _tiny()

@@ -85,3 +85,81 @@ class TestEnergyMeter:
         m = EnergyMeter(EnergyParams())
         assert m.communication_energy_j() == 0.0
         assert m.total_energy_j(0.0) == 0.0
+
+
+class TestOutOfOrderRx:
+    """Regression: the old high-watermark meter mischarged receptions
+    reported out of time order (an early-starting frame arriving after a
+    later one was charged as if it began at the watermark)."""
+
+    def test_out_of_order_disjoint_fully_charged(self):
+        m = EnergyMeter(EnergyParams())
+        m.note_rx(10.0, 1.0)  # [10, 11]
+        m.note_rx(0.0, 1.0)   # [0, 1] — before the watermark
+        # watermark meter would charge 0 for the second frame
+        assert m.rx_time == pytest.approx(2.0)
+
+    def test_out_of_order_partial_overlap(self):
+        m = EnergyMeter(EnergyParams())
+        m.note_rx(5.0, 2.0)   # [5, 7]
+        m.note_rx(4.0, 2.0)   # [4, 6]: only [4, 5] is new
+        assert m.rx_time == pytest.approx(3.0)
+
+    def test_gap_filling_merges_neighbors(self):
+        m = EnergyMeter(EnergyParams())
+        m.note_rx(0.0, 1.0)   # [0, 1]
+        m.note_rx(2.0, 1.0)   # [2, 3]
+        m.note_rx(0.5, 2.0)   # [0.5, 2.5] bridges the gap
+        assert m.rx_time == pytest.approx(3.0)
+        m.note_rx(0.0, 3.0)   # everything already covered
+        assert m.rx_time == pytest.approx(3.0)
+
+    def test_out_of_order_contained_free(self):
+        m = EnergyMeter(EnergyParams())
+        m.note_rx(10.0, 5.0)
+        m.note_rx(11.0, 1.0)
+        m.note_rx(0.0, 20.0)  # covers both; only the uncovered 15 s bill
+        assert m.rx_time == pytest.approx(20.0)
+
+
+class TestClassAttribution:
+    def test_tx_classes_sum_to_total(self):
+        m = EnergyMeter(EnergyParams())
+        m.note_tx(1.0, "interest")
+        m.note_tx(2.0, "data")
+        m.note_tx(0.5, "data")
+        assert m.tx_time_by_class == {"interest": 1.0, "data": 2.5}
+        assert sum(m.tx_time_by_class.values()) == pytest.approx(m.tx_time)
+
+    def test_rx_overlap_charges_marginal_time_to_class(self):
+        m = EnergyMeter(EnergyParams())
+        m.note_rx(0.0, 1.0, "data")
+        m.note_rx(0.5, 1.0, "ack")  # only [1.0, 1.5] is new
+        assert m.rx_time_by_class["data"] == pytest.approx(1.0)
+        assert m.rx_time_by_class["ack"] == pytest.approx(0.5)
+        assert sum(m.rx_time_by_class.values()) == pytest.approx(m.rx_time)
+
+    def test_unclassified_default(self):
+        m = EnergyMeter(EnergyParams())
+        m.note_tx(1.0)
+        m.note_rx(0.0, 1.0)
+        assert m.tx_time_by_class == {"other": 1.0}
+        assert m.rx_time_by_class == {"other": 1.0}
+
+    def test_energy_by_class_j(self):
+        m = EnergyMeter(EnergyParams(tx_power_w=2.0, rx_power_w=1.0, idle_power_w=0.0))
+        m.note_tx(1.0, "data")
+        m.note_rx(0.0, 3.0, "data")
+        m.note_tx(0.5, "ack")
+        assert m.energy_by_class_j() == pytest.approx({"data": 5.0, "ack": 1.0})
+        assert sum(m.energy_by_class_j().values()) == pytest.approx(
+            m.communication_energy_j()
+        )
+
+    def test_class_times_snapshot_is_copy(self):
+        m = EnergyMeter(EnergyParams())
+        m.note_tx(1.0, "data")
+        snap = m.class_times()
+        m.note_tx(1.0, "data")
+        assert snap["data"] == (1.0, 0.0)
+        assert m.class_times()["data"] == (2.0, 0.0)

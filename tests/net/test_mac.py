@@ -17,12 +17,11 @@ def make_net(n_nodes, spacing=30.0, mac_params=None, range_m=40.0):
     rngs = RngRegistry(11)
     macs, states = [], []
     for i in range(n_nodes):
-        state = {"up": True}
         meter = EnergyMeter(EnergyParams())
-        radio = Radio(i, i * spacing, 0.0, channel, meter, lambda s=state: s["up"])
+        radio = Radio(i, i * spacing, 0.0, channel, meter)
         mac = CsmaMac(sim, radio, mac_params or MacParams(), rngs.stream(f"mac.{i}"), tracer)
         macs.append(mac)
-        states.append(state)
+        states.append(radio)
     return sim, tracer, macs, states
 
 
@@ -136,7 +135,7 @@ class TestCarrierSense:
 class TestFailure:
     def test_send_while_down_dropped(self):
         sim, tracer, macs, states = make_net(2)
-        states[0]["up"] = False
+        states[0].up = False
         assert macs[0].send("x", 1, 64) is False
         assert tracer.value("mac.drop_down") == 1
         sim.run()
@@ -146,7 +145,7 @@ class TestFailure:
         macs[0].send("a", BROADCAST, 64)
         macs[0].send("b", BROADCAST, 64)
         macs[0].fail()
-        states[0]["up"] = False
+        states[0].up = False
         got = []
         macs[1].receive_callback = lambda p, f: got.append(p)
         sim.run()
@@ -155,7 +154,7 @@ class TestFailure:
 
     def test_down_receiver_never_delivers_upward(self):
         sim, _tr, macs, states = make_net(2)
-        states[1]["up"] = False
+        states[1].up = False
         got = []
         macs[1].receive_callback = lambda p, f: got.append(p)
         macs[0].send("x", BROADCAST, 64)

@@ -16,9 +16,9 @@ def make_channel(range_m=40.0):
 
 def make_radio(channel, node_id, x, y, up=True):
     meter = EnergyMeter(EnergyParams())
-    state = {"up": up}
-    radio = Radio(node_id, x, y, channel, meter, lambda: state["up"])
-    return radio, meter, state
+    radio = Radio(node_id, x, y, channel, meter)
+    radio.up = up
+    return radio, meter, radio
 
 
 class TestRadioParams:
@@ -163,8 +163,8 @@ class TestLivenessAndEnergy:
     def test_down_receiver_gets_nothing_and_pays_nothing(self):
         sim, _tr, ch = make_channel()
         a, _, _ = make_radio(ch, 0, 0, 0)
-        b, meter, state = make_radio(ch, 1, 30, 0)
-        state["up"] = False
+        b, meter, _ = make_radio(ch, 1, 30, 0)
+        b.up = False
         got = []
         b.deliver = got.append
         a.start_tx(Frame(src=0, dst=BROADCAST, size=64))
@@ -174,8 +174,8 @@ class TestLivenessAndEnergy:
 
     def test_down_sender_cannot_transmit(self):
         _sim, _tr, ch = make_channel()
-        a, _, state = make_radio(ch, 0, 0, 0)
-        state["up"] = False
+        a, _, _ = make_radio(ch, 0, 0, 0)
+        a.up = False
         with pytest.raises(RuntimeError):
             a.start_tx(Frame(src=0, dst=BROADCAST, size=64))
 

@@ -13,11 +13,8 @@ def make_channel(range_m=40.0):
 
 
 def add_radio(ch, node_id, x, y):
-    state = {"up": True}
-    radio = Radio(
-        node_id, x, y, ch, EnergyMeter(EnergyParams()), lambda: state["up"]
-    )
-    return radio, state
+    radio = Radio(node_id, x, y, ch, EnergyMeter(EnergyParams()))
+    return radio, radio
 
 
 class TestNeighborCacheInvalidation:

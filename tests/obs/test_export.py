@@ -18,7 +18,10 @@ from repro.sim import Simulator, Tracer
 
 def make_tracer():
     sim = Simulator()
-    return sim, Tracer(lambda: sim.now)
+    tr = Tracer(lambda: sim.now)
+    # ad-hoc categories used by these tests (enable() validates names)
+    tr.register_category("a", "b", "x", "cat", "ignored")
+    return sim, tr
 
 
 class TestTraceWriter:

@@ -19,7 +19,7 @@ def clique(n_nodes, seed):
     macs = []
     for i in range(n_nodes):
         meter = EnergyMeter(EnergyParams())
-        radio = Radio(i, float(i), 0.0, channel, meter, lambda: True)
+        radio = Radio(i, float(i), 0.0, channel, meter)
         macs.append(CsmaMac(sim, radio, MacParams(), rngs.stream(f"m{i}"), tracer))
     return sim, tracer, macs
 

@@ -5,7 +5,11 @@ from repro.sim import Simulator, TraceRecord, Tracer
 
 def make_tracer():
     sim = Simulator()
-    return sim, Tracer(lambda: sim.now)
+    tr = Tracer(lambda: sim.now)
+    # ad-hoc categories used throughout these tests; enable() validates
+    # against the central table plus tracer-local registrations
+    tr.register_category("a", "b", "x", "cat", "mac.tx")
+    return sim, tr
 
 
 class TestCounters:
@@ -155,6 +159,7 @@ class TestRecordBounds:
     def test_bounded_store_drops_and_counts(self):
         sim = Simulator()
         tr = Tracer(lambda: sim.now, max_records=2)
+        tr.register_category("x")
         tr.enable("x")
         for i in range(5):
             tr.record("x", i=i)
@@ -165,6 +170,7 @@ class TestRecordBounds:
     def test_streaming_mode_stores_nothing_but_feeds_listeners(self):
         sim = Simulator()
         tr = Tracer(lambda: sim.now, max_records=0)
+        tr.register_category("x")
         tr.enable("x")
         seen = []
         tr.add_listener(seen.append)
@@ -178,6 +184,7 @@ class TestRecordBounds:
     def test_unbounded_when_explicitly_none(self):
         sim = Simulator()
         tr = Tracer(lambda: sim.now, max_records=None)
+        tr.register_category("x")
         tr.enable("x")
         for i in range(10):
             tr.record("x", i=i)
@@ -197,3 +204,60 @@ class TestRecordBounds:
         tracer.enable("*")
         assert tracer.wants("phy.rx")
         assert tracer.wants("anything.at.all")
+
+
+class TestCategoryValidation:
+    """enable() rejects names absent from the central table (typo guard)."""
+
+    def test_typo_raises(self):
+        import pytest
+
+        sim = Simulator()
+        tr = Tracer(lambda: sim.now)
+        with pytest.raises(ValueError, match="phy.txx"):
+            tr.enable("phy.txx")
+
+    def test_typo_does_not_partially_enable(self):
+        import pytest
+
+        sim = Simulator()
+        tr = Tracer(lambda: sim.now)
+        with pytest.raises(ValueError):
+            tr.enable("phy.tx", "nonsense")
+        assert not tr.wants("phy.tx")
+
+    def test_central_categories_accepted(self):
+        from repro.obs import TRACE_CATEGORIES
+
+        sim = Simulator()
+        tr = Tracer(lambda: sim.now)
+        tr.enable(*TRACE_CATEGORIES)
+        for cat in TRACE_CATEGORIES:
+            assert tr.wants(cat)
+
+    def test_register_category_is_tracer_local(self):
+        import pytest
+
+        sim = Simulator()
+        tr1 = Tracer(lambda: sim.now)
+        tr2 = Tracer(lambda: sim.now)
+        tr1.register_category("custom.thing")
+        tr1.enable("custom.thing")
+        with pytest.raises(ValueError):
+            tr2.enable("custom.thing")
+
+    def test_known_categories_union(self):
+        from repro.obs import TRACE_CATEGORIES
+
+        sim = Simulator()
+        tr = Tracer(lambda: sim.now)
+        tr.register_category("local.cat")
+        known = tr.known_categories()
+        assert "local.cat" in known
+        assert set(TRACE_CATEGORIES) <= known
+
+    def test_wildcard_always_allowed(self):
+        sim = Simulator()
+        tr = Tracer(lambda: sim.now)
+        tr.enable("*")
+        assert tr.wants("anything.at.all")
