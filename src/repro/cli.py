@@ -16,6 +16,10 @@ Subcommands::
     repro-wsn audit t.jsonl                                  # replay invariants
     repro-wsn audit m.json                                   # static invariants
     repro-wsn diff a.json b.json                             # compare artifacts
+    repro-wsn run --timeline                                 # sampled probe series
+    repro-wsn timeline tl.json                               # render a timeline
+    repro-wsn timeline runs/runs/KEY.json                    # ... from a store entry
+    repro-wsn timeline fig5.manifest.json --cell greedy@150  # ... one figure cell
     repro-wsn fig fig5 --store runs/                         # resumable sweep
     repro-wsn store ls runs/                                 # list stored runs
     repro-wsn store gc runs/                                 # prune stale entries
@@ -105,6 +109,23 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run the online invariant auditor; exit 1 on any finding",
     )
+    run_p.add_argument(
+        "--timeline",
+        action="store_true",
+        help="sample the standard probe timeline and print its sparkline summary",
+    )
+    run_p.add_argument(
+        "--timeline-interval",
+        type=float,
+        default=None,
+        metavar="SEC",
+        help="sim-seconds between timeline samples (default: duration/10)",
+    )
+    run_p.add_argument(
+        "--timeline-out",
+        metavar="PATH",
+        help="write the sampled timeline as JSON (implies --timeline)",
+    )
 
     fig_p = sub.add_parser("fig", help="reproduce one of figures 5-10")
     fig_p.add_argument("figure", choices=sorted(FIGURES))
@@ -177,6 +198,11 @@ def build_parser() -> argparse.ArgumentParser:
     bench_p.add_argument(
         "--out", metavar="PATH", default="BENCH_sweep.json", help="where to write the JSON"
     )
+    bench_p.add_argument(
+        "--timeline",
+        action="store_true",
+        help="run with the standard probe timeline attached (the probe-overhead gate)",
+    )
 
     stats_p = sub.add_parser(
         "stats", help="pretty-print a manifest.json or a JSONL trace file"
@@ -204,12 +230,57 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     diff_p = sub.add_parser(
-        "diff", help="compare two run/figure artifacts (manifests, store entries, results)"
+        "diff", help="compare two run/figure/timeline artifacts (manifests, store entries, results)"
     )
     diff_p.add_argument("a", help="baseline artifact")
     diff_p.add_argument("b", help="candidate artifact")
     diff_p.add_argument(
         "--json", action="store_true", help="machine-readable diff on stdout"
+    )
+
+    timeline_p = sub.add_parser(
+        "timeline",
+        help="render a probe timeline from a saved artifact, store entry, or figure cell",
+    )
+    timeline_p.add_argument(
+        "target",
+        help="timeline JSON, Chrome trace, JSONL trace, store entry, run manifest, "
+        "or figure manifest/result (the latter need --cell)",
+    )
+    timeline_p.add_argument(
+        "--cell",
+        metavar="SCHEME@X",
+        help="which figure cell to re-run (e.g. greedy@150)",
+    )
+    timeline_p.add_argument(
+        "--trial", type=int, default=0, help="trial index for figure-cell re-runs"
+    )
+    timeline_p.add_argument(
+        "--profile",
+        choices=sorted(PROFILES),
+        default="fast",
+        help="profile for figure-result re-runs (figure manifests embed theirs)",
+    )
+    timeline_p.add_argument(
+        "--interval",
+        type=float,
+        default=None,
+        metavar="SEC",
+        help="sampling interval for live re-runs (default: duration/10)",
+    )
+    timeline_p.add_argument(
+        "--probes", nargs="+", metavar="NAME", help="only render these probes"
+    )
+    timeline_p.add_argument(
+        "--width", type=int, default=40, help="sparkline width in characters"
+    )
+    timeline_p.add_argument(
+        "--json", action="store_true", help="machine-readable timeline on stdout"
+    )
+    timeline_p.add_argument(
+        "--chrome-trace",
+        metavar="OUT",
+        help="also export the timeline as Chrome-trace counter tracks",
     )
 
     return parser
@@ -236,7 +307,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
         include_idle=args.include_idle,
     )
     obs = None
-    if args.profile or args.trace_out or args.manifest or args.detailed_metrics or args.audit:
+    wants_obs = (
+        args.profile
+        or args.trace_out
+        or args.manifest
+        or args.detailed_metrics
+        or args.audit
+        or args.timeline
+        or args.timeline_out
+    )
+    if wants_obs:
         obs = ObsOptions(
             profile=args.profile,
             trace_path=args.trace_out,
@@ -244,6 +324,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
             manifest_path=args.manifest,
             detailed_metrics=args.detailed_metrics,
             audit=args.audit,
+            timeline=args.timeline,
+            timeline_interval=args.timeline_interval,
+            timeline_path=args.timeline_out,
         )
     if args.store and obs is None:
         from .experiments.store import RunStore
@@ -254,25 +337,42 @@ def _cmd_run(args: argparse.Namespace) -> int:
         if store.stats.hits:
             print(f"run store: hit ({args.store})")
     else:
-        if args.store:
-            print(
-                "note: --store is ignored for observed runs (profile/trace/manifest)",
-                file=sys.stderr,
-            )
         observed = run_observed(cfg, obs)
         result = observed.metrics
+        if args.store:
+            # An observed run is always executed fresh (the caller asked
+            # for artifacts); its result still lands in the store so later
+            # sweeps can reuse it.
+            from .experiments.store import RunStore
+
+            store = RunStore(args.store)
+            store.put(cfg, result)
+            if observed.timeline is not None:
+                store.put_timeline(cfg, observed.timeline)
+            print(f"run store: persisted ({args.store})")
     print(f"scheme                 {result.scheme}")
     print(f"nodes                  {result.n_nodes} (mean degree {result.mean_degree:.1f})")
     print(f"avg dissipated energy  {result.avg_dissipated_energy:.6f} J/node/event")
     print(f"avg delay              {result.avg_delay:.4f} s")
     print(f"delivery ratio         {result.delivery_ratio:.3f}")
     print(f"distinct delivered     {result.distinct_delivered} / {result.events_sent}")
+    if result.time_to_first_death is not None:
+        print(f"first node death       {result.time_to_first_death:.3f} s")
+    if result.time_to_half_delivery is not None:
+        print(f"half delivery at       {result.time_to_half_delivery:.3f} s")
     if observed is not None:
         if observed.profile is not None:
             print()
             print(format_profile(observed.profile))
+        if observed.timeline is not None:
+            from .obs import format_timeline
+
+            print()
+            print(format_timeline(observed.timeline))
         if observed.trace_path is not None:
             print(f"\ntrace written: {observed.trace_path}")
+        if observed.timeline_path is not None:
+            print(f"timeline written: {observed.timeline_path}")
         if observed.manifest_path is not None:
             print(f"manifest written: {observed.manifest_path}")
         if observed.audit is not None:
@@ -467,6 +567,112 @@ def _cmd_diff(args: argparse.Namespace) -> int:
     return 0 if diff["equal"] else 1
 
 
+def _timeline_from_live_run(cfg, interval) -> "object":
+    """Re-run one config with the standard probes attached."""
+    from .experiments.runner import run_observed
+    from .obs import ObsOptions
+
+    observed = run_observed(
+        cfg, ObsOptions(timeline=True, timeline_interval=interval)
+    )
+    return observed.timeline
+
+
+def _load_timeline_target(args: argparse.Namespace):
+    """Resolve the ``timeline`` verb's target to ``(Timeline, source)``.
+
+    Accepts, in classification order: a saved timeline JSON (standalone
+    or store-persisted), a Chrome trace, a store entry or run manifest
+    (stored timeline if present, else a live re-run from the embedded
+    config), a figure manifest/result (live re-run of one ``--cell``),
+    or a JSONL trace with gauge snapshots.
+    """
+    import json
+    from pathlib import Path
+
+    from .experiments import config_from_dict, figure_cell_config
+    from .obs import Timeline, chrome_trace_to_timeline, timeline_from_trace_jsonl
+
+    path = Path(args.target)
+    if not path.exists():
+        raise FileNotFoundError(f"no such file: {path}")
+    try:
+        data = json.loads(path.read_text())
+    except json.JSONDecodeError:
+        data = None
+    if data is None:
+        return timeline_from_trace_jsonl(path), "trace gauge snapshots"
+    if not isinstance(data, dict):
+        raise ValueError(f"{path}: not a JSON object")
+    if "timeline_version" in data:
+        return Timeline.from_dict(data), "timeline artifact"
+    if "traceEvents" in data:
+        return chrome_trace_to_timeline(path), "chrome trace"
+    if "store_version" in data and "identity" in data:
+        # store entry: prefer the persisted sibling timeline
+        root = path.parent.parent
+        key = data.get("key", path.stem)
+        sibling = root / "timelines" / f"{key}.json"
+        if sibling.exists():
+            return (
+                Timeline.from_dict(json.loads(sibling.read_text())),
+                f"store timeline ({sibling})",
+            )
+        cfg = config_from_dict(data["identity"]["config"])
+        return _timeline_from_live_run(cfg, args.interval), "live re-run (store entry)"
+    if data.get("manifest_version") is not None and data.get("kind") == "run":
+        tl_block = data.get("timeline") or {}
+        tl_path = tl_block.get("path")
+        if tl_path and Path(tl_path).exists():
+            return (
+                Timeline.from_dict(json.loads(Path(tl_path).read_text())),
+                f"run manifest -> {tl_path}",
+            )
+        cfg = config_from_dict(data["config"])
+        return _timeline_from_live_run(cfg, args.interval), "live re-run (run manifest)"
+    if "cells" in data and "figure_id" in data:
+        # figure manifest or saved figure result: re-run one cell
+        if not args.cell:
+            raise ValueError(
+                "figure artifacts need --cell SCHEME@X (e.g. --cell greedy@150)"
+            )
+        scheme, _, x_str = args.cell.partition("@")
+        if not x_str:
+            raise ValueError(f"--cell must look like SCHEME@X, got {args.cell!r}")
+        profile_name = (data.get("profile") or {}).get("name", args.profile)
+        profile = PROFILES[profile_name]()
+        cfg = figure_cell_config(
+            data["figure_id"], profile, scheme, float(x_str), trial=args.trial
+        )
+        return (
+            _timeline_from_live_run(cfg, args.interval),
+            f"live re-run ({data['figure_id']} {args.cell} trial {args.trial}, "
+            f"profile {profile_name})",
+        )
+    raise ValueError(f"{path}: no timeline in this artifact shape")
+
+
+def _cmd_timeline(args: argparse.Namespace) -> int:
+    import json
+
+    from .obs import format_timeline, timeline_to_chrome_trace
+
+    try:
+        timeline, source = _load_timeline_target(args)
+    except (FileNotFoundError, KeyError, ValueError) as exc:
+        print(f"timeline: {exc}", file=sys.stderr)
+        return 2
+    if args.chrome_trace:
+        out = timeline_to_chrome_trace(timeline, args.chrome_trace)
+        print(f"chrome trace written: {out}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(timeline.as_dict(), sort_keys=True))
+    else:
+        print(f"source: {source}")
+        print(format_timeline(timeline, probes=args.probes, width=args.width))
+    return 0
+
+
 def _cmd_inspect(args: argparse.Namespace) -> int:
     from .experiments.config import fast
     from .experiments.inspect import active_tree, compare_with_ideal, tree_stats
@@ -571,7 +777,7 @@ def _cmd_store(args: argparse.Namespace) -> int:
 def _cmd_bench(args: argparse.Namespace) -> int:
     from .experiments.bench import format_bench, run_bench, save_bench
 
-    payload = run_bench(quick=args.quick, workers=args.workers)
+    payload = run_bench(quick=args.quick, workers=args.workers, timeline=args.timeline)
     print(format_bench(payload))
     path = save_bench(payload, args.out)
     print(f"\nwritten: {path}")
@@ -593,6 +799,7 @@ _COMMANDS = {
     "store": _cmd_store,
     "audit": _cmd_audit,
     "diff": _cmd_diff,
+    "timeline": _cmd_timeline,
 }
 
 

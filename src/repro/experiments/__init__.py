@@ -19,6 +19,7 @@ from .config import (
     ExperimentConfig,
     FailureModel,
     Profile,
+    config_from_dict,
     fast,
     paper,
     smoke,
@@ -26,6 +27,7 @@ from .config import (
 from .figures import (
     FIGURES,
     FigureResult,
+    figure_cell_config,
     figure5,
     figure6,
     figure7,
@@ -76,6 +78,7 @@ __all__ = [
     "ExperimentConfig",
     "FailureModel",
     "Profile",
+    "config_from_dict",
     "paper",
     "fast",
     "smoke",
@@ -110,6 +113,7 @@ __all__ = [
     "figure9",
     "figure10",
     "git_vs_spt_table",
+    "figure_cell_config",
     "FIGURES",
     "format_figure",
     "format_table",

@@ -89,22 +89,27 @@ def bench_configs(quick: bool = False) -> list[ExperimentConfig]:
     return configs
 
 
-def run_bench(quick: bool = False, workers: int = 0) -> dict:
+def run_bench(quick: bool = False, workers: int = 0, timeline: bool = False) -> dict:
     """Run the bench workload and assemble the perf payload.
 
     The serial pass is the timed headline (it is what the cache and the
     kernel fast paths speed up); the optional parallel pass measures the
-    executor and proves parallel == serial bit-for-bit.
+    executor and proves parallel == serial bit-for-bit.  ``timeline``
+    runs the same workload with the standard probe timeline attached —
+    the probe-overhead gate: ``tools/check_bench.py`` compares
+    timeline-on entries only against timeline-on baselines.
     """
+    from ..obs import ObsOptions
     from ..obs.manifest import _environment
 
     cache = default_field_cache()
     cache.clear()
     configs = bench_configs(quick)
+    obs = ObsOptions(timeline=True) if timeline else None
 
     per_run = []
     t0 = time.perf_counter()
-    observed = [run_observed(cfg) for cfg in configs]
+    observed = [run_observed(cfg, obs) for cfg in configs]
     wall = time.perf_counter() - t0
 
     total_events = sum(o.events_processed for o in observed)
@@ -130,6 +135,7 @@ def run_bench(quick: bool = False, workers: int = 0) -> dict:
         "kind": "bench",
         "created_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "quick": quick,
+        "timeline": timeline,
         "workload": {k: list(v) if isinstance(v, tuple) else v for k, v in w.items()},
         "n_runs": len(configs),
         "wall_time_s": round(wall, 3),
@@ -141,6 +147,10 @@ def run_bench(quick: bool = False, workers: int = 0) -> dict:
         "field_cache": cache.stats(),
         "environment": _environment(),
     }
+    if timeline:
+        payload["timeline_samples"] = sum(
+            o.timeline.n_samples for o in observed if o.timeline is not None
+        )
 
     if workers and workers > 1:
         t1 = time.perf_counter()
@@ -193,8 +203,9 @@ def save_bench(payload: dict, path: Union[str, Path]) -> Path:
 def format_bench(payload: dict) -> str:
     """Human-readable bench summary (the CLI's output)."""
     cache = payload["field_cache"]
+    tl = ", timelines on" if payload.get("timeline") else ""
     lines = [
-        f"repro bench ({'quick' if payload['quick'] else 'canonical'} workload, "
+        f"repro bench ({'quick' if payload['quick'] else 'canonical'} workload{tl}, "
         f"{payload['n_runs']} runs)",
         f"wall time        {payload['wall_time_s']:.3f} s "
         f"({payload['runs_per_sec']:.2f} runs/s)",

@@ -24,6 +24,7 @@ __all__ = [
     "FailureModel",
     "Profile",
     "ExperimentConfig",
+    "config_from_dict",
     "paper",
     "fast",
     "smoke",
@@ -159,6 +160,11 @@ class ExperimentConfig:
             raise ValueError("warmup must end before the run does")
 
     @staticmethod
+    def from_dict(data: dict) -> "ExperimentConfig":
+        """See :func:`config_from_dict`."""
+        return config_from_dict(data)
+
+    @staticmethod
     def from_profile(
         profile: Profile, scheme: str, n_nodes: int, seed: int, **overrides
     ) -> "ExperimentConfig":
@@ -171,3 +177,24 @@ class ExperimentConfig:
             diffusion=profile.diffusion,
         )
         return replace(cfg, **overrides) if overrides else cfg
+
+
+def config_from_dict(data: dict) -> ExperimentConfig:
+    """Rebuild an :class:`ExperimentConfig` from its ``asdict()`` image.
+
+    This is the inverse of ``dataclasses.asdict`` for the config shapes
+    the artifacts persist (run manifests, store-entry identity blocks):
+    the nested ``diffusion`` and ``failures`` dicts are reconstructed as
+    their dataclasses, so a run can be re-executed from its provenance
+    alone (``repro timeline <store-entry>`` does exactly that).
+    Unknown keys fail loudly rather than silently reproducing a
+    different experiment.
+    """
+    payload = dict(data)
+    diffusion = payload.get("diffusion")
+    if isinstance(diffusion, dict):
+        payload["diffusion"] = DiffusionParams(**diffusion)
+    failures = payload.get("failures")
+    if isinstance(failures, dict):
+        payload["failures"] = FailureModel(**failures)
+    return ExperimentConfig(**payload)

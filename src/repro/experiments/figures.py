@@ -22,10 +22,11 @@ from .config import (
     FailureModel,
     Profile,
 )
-from .sweeps import CellSummary, StoreArg, paired_sweep
+from .sweeps import CellSummary, StoreArg, cell_seed, paired_sweep
 
 __all__ = [
     "FigureResult",
+    "figure_cell_config",
     "figure5",
     "figure6",
     "figure7",
@@ -258,6 +259,45 @@ def figure10(
         progress,
         store,
     )
+
+
+def figure_cell_config(
+    figure_id: str,
+    profile: Profile,
+    scheme: str,
+    x,
+    trial: int = 0,
+) -> ExperimentConfig:
+    """Rebuild the exact config of one ``(scheme, x, trial)`` figure cell.
+
+    Mirrors how each ``figureN`` harness derives its base config and how
+    :func:`~repro.experiments.sweeps.paired_sweep` seeds each trial, so
+    ``repro timeline <figure-manifest> --cell greedy@150`` can re-run one
+    cell bit-identically.  Figure manifests persist cell ``x`` as a
+    float; integral values are coerced back to int before seeding because
+    ``cell_seed`` hashes the *formatted* x (``"cell:150:0"`` and
+    ``"cell:150.0:0"`` are different streams).
+    """
+    if figure_id not in FIGURES:
+        raise KeyError(f"unknown figure {figure_id!r} (have {sorted(FIGURES)})")
+    if isinstance(x, float) and x.is_integer():
+        x = int(x)
+    bases = {
+        "fig5": (lambda: _base(profile), "n_nodes"),
+        "fig6": (
+            lambda: _base(
+                profile, failures=FailureModel(fraction=0.2, epoch=profile.failure_epoch)
+            ),
+            "n_nodes",
+        ),
+        "fig7": (lambda: _base(profile, source_placement="random"), "n_nodes"),
+        "fig8": (lambda: _base(profile, n_nodes=350), "n_sinks"),
+        "fig9": (lambda: _base(profile, n_nodes=350), "n_sources"),
+        "fig10": (lambda: _base(profile, n_nodes=350, aggregation="linear"), "n_sources"),
+    }
+    base_fn, sweep_field = bases[figure_id]
+    seed = cell_seed(0, x, trial)
+    return replace(base_fn(), scheme=scheme, seed=seed, **{sweep_field: x})
 
 
 def git_vs_spt_table(

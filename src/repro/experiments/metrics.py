@@ -84,6 +84,19 @@ class MetricsCollector:
             return None
         return sum(self.delays) / len(self.delays)
 
+    def time_to_half_delivery(self) -> Optional[float]:
+        """Sim time by which half of all counted deliveries had arrived.
+
+        ``delivery_times`` is append-ordered (arrival order), so this is
+        the ceil(n/2)-th arrival — an event-exact quantile, independent of
+        any sampling cadence, hence bit-identical across serial/parallel
+        sweeps and observability settings.
+        """
+        times = self.delivery_times
+        if not times:
+            return None
+        return times[(len(times) + 1) // 2 - 1]
+
 
 @dataclass(frozen=True)
 class RunMetrics:
@@ -108,9 +121,19 @@ class RunMetrics:
     #: total_energy_j within 1e-9 (the "idle" bucket is included when the
     #: run charged idle listening)
     energy_by_class: dict = field(default_factory=dict)
+    #: sim time of the first node death (failure-driver epoch), or None if
+    #: every node stayed up; event-exact, not sampled
+    time_to_first_death: Optional[float] = None
+    #: sim time of the ceil(n/2)-th counted delivery, or None if nothing
+    #: was delivered; event-exact, not sampled
+    time_to_half_delivery: Optional[float] = None
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.delivery_ratio <= 1.0 + 1e-9:
             raise ValueError(f"delivery ratio out of range: {self.delivery_ratio}")
         if self.avg_dissipated_energy < 0 or self.total_energy_j < 0:
             raise ValueError("negative energy")
+        for name in ("time_to_first_death", "time_to_half_delivery"):
+            value = getattr(self, name)
+            if value is not None and value < 0:
+                raise ValueError(f"negative {name}: {value}")

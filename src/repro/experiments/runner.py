@@ -44,9 +44,13 @@ from ..obs import (
     ObsOptions,
     ProfileReport,
     Profiler,
+    Timeline,
     TraceWriter,
     build_run_manifest,
+    install_standard_probes,
+    publish_sim_gauges,
     save_manifest,
+    save_timeline,
 )
 from ..sim import RngRegistry, Simulator, Tracer
 from .config import ExperimentConfig, FailureModel
@@ -244,6 +248,11 @@ class ObservedRun:
     #: :meth:`~repro.obs.audit.Auditor.report` dict when run with
     #: ``obs.audit=True`` (None otherwise)
     audit: Optional[dict] = None
+    #: the sampled probe :class:`~repro.obs.timeline.Timeline` when run
+    #: with ``obs.timeline``/``obs.timeline_path`` (None otherwise)
+    timeline: Optional[Timeline] = None
+    #: where the timeline JSON artifact was written (``obs.timeline_path``)
+    timeline_path: Optional[Path] = None
 
 
 def run_experiment(
@@ -258,6 +267,9 @@ def run_experiment(
     directory path) short-circuits the run when the config's content
     hash is already stored, and persists a fresh result otherwise —
     the single-run counterpart of ``run_configs(..., store=...)``.
+    When the run sampled a timeline (``obs.timeline``), the timeline is
+    persisted beside the run entry (``<store>/timelines/<key>.json``);
+    a store hit returns the cached metrics without re-sampling one.
     """
     if store is not None:
         from .store import open_store
@@ -266,10 +278,12 @@ def run_experiment(
         cached = store.get(cfg)
         if cached is not None:
             return cached
-    metrics = run_observed(cfg, obs, field_cache=field_cache).metrics
+    observed = run_observed(cfg, obs, field_cache=field_cache)
     if store is not None:
-        store.put(cfg, metrics)
-    return metrics
+        store.put(cfg, observed.metrics)
+        if observed.timeline is not None:
+            store.put_timeline(cfg, observed.timeline)
+    return observed.metrics
 
 
 def run_observed(
@@ -290,6 +304,7 @@ def run_observed(
     profiler: Optional[Profiler] = None
     writer: Optional[TraceWriter] = None
     auditor = None
+    timeline: Optional[Timeline] = None
     if obs is not None:
         if obs.audit:
             from ..obs.audit import Auditor
@@ -305,15 +320,36 @@ def run_observed(
             interval = obs.snapshot_interval or cfg.duration / 10.0
 
             def snap() -> None:
-                g = tracer.registry.gauge
-                g("sim.pending_events").set(world.sim.pending_count())
-                g("sim.events_processed").set(world.sim.events_processed)
-                g("sim.cancelled_skipped").set(world.sim.cancelled_skipped)
+                publish_sim_gauges(tracer.registry, world.sim)
                 assert writer is not None
                 writer.write_snapshot(sim.now)
-                sim.schedule(interval, snap)
+                # Close out the final partial interval with a snapshot at
+                # exactly cfg.duration, and never schedule past the horizon
+                # (events at t == duration still fire under run(until=...)).
+                nxt = sim.now + interval
+                if nxt < cfg.duration:
+                    sim.schedule(interval, snap)
+                elif sim.now < cfg.duration:
+                    sim.schedule(cfg.duration - sim.now, snap)
 
-            sim.schedule(interval, snap)
+            sim.schedule(min(interval, cfg.duration), snap)
+        if obs.timeline_enabled():
+            timeline = Timeline(obs.effective_timeline_interval(cfg.duration))
+            install_standard_probes(
+                timeline,
+                sim=sim,
+                nodes=world.nodes,
+                agents=world.agents,
+                collector=world.metrics,
+                tracer=tracer,
+            )
+            # publish_sim_gauges before each sample: timeline-only runs
+            # get the same sim health gauges the trace snapshots publish
+            timeline.attach(
+                sim,
+                cfg.duration,
+                before_sample=lambda: publish_sim_gauges(tracer.registry, sim),
+            )
         if obs.profile:
             profiler = Profiler(obs.profile_sample_interval).attach(sim)
 
@@ -331,6 +367,9 @@ def run_observed(
     finally:
         if profiler is not None:
             profiler.detach()
+        if timeline is not None:
+            # guaranteed closing sample at the horizon (sim.now == duration)
+            timeline.finalize(sim.now)
         if writer is not None:
             writer.close()
     wall_time = time.perf_counter() - t0
@@ -394,6 +433,12 @@ def run_observed(
         avg_energy = total_energy / cfg.n_nodes
         avg_delay = window
 
+    # Lifetime scalars are computed from event-level state (never from
+    # sampled timelines), so they are bit-identical whether or not a
+    # timeline was attached, and across serial/parallel sweeps.
+    first_deaths = [
+        n.first_down_at for n in world.nodes if n.first_down_at is not None
+    ]
     run_metrics = RunMetrics(
         scheme=cfg.scheme,
         n_nodes=cfg.n_nodes,
@@ -407,6 +452,8 @@ def run_observed(
         mean_degree=world.field.mean_degree(),
         counters=dict(tracer.counters),
         energy_by_class=energy_by_class,
+        time_to_first_death=min(first_deaths) if first_deaths else None,
+        time_to_half_delivery=metrics.time_to_half_delivery(),
     )
 
     audit_report: Optional[dict] = None
@@ -423,7 +470,10 @@ def run_observed(
         cancelled_skipped=sim.cancelled_skipped,
         field_cache_hit=world.field_cache_hit,
         audit=audit_report,
+        timeline=timeline,
     )
+    if timeline is not None and obs is not None and obs.timeline_path is not None:
+        observed.timeline_path = save_timeline(timeline, obs.timeline_path)
     if obs is not None and obs.manifest_path is not None:
         observed.manifest = build_run_manifest(
             cfg,
@@ -438,6 +488,11 @@ def run_observed(
                 "cache_hit": world.field_cache_hit,
             },
             audit=audit_report,
+            timeline=(
+                timeline.accounting(observed.timeline_path)
+                if timeline is not None
+                else None
+            ),
         )
         observed.manifest_path = save_manifest(observed.manifest, obs.manifest_path)
     return observed

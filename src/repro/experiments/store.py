@@ -67,7 +67,9 @@ __all__ = [
 
 #: bump to invalidate every existing store entry (schema change)
 #: v2: RunMetrics gained energy_by_class (per-message-class energy breakdown)
-STORE_VERSION = 2
+#: v3: RunMetrics gained lifetime scalars (time_to_first_death,
+#:     time_to_half_delivery); timelines persist beside entries
+STORE_VERSION = 3
 
 
 def canonical_json(obj: Any) -> str:
@@ -131,8 +133,9 @@ class RunStore:
 
     Layout::
 
-        <root>/runs/<sha256>.json   one entry per completed run (atomic)
-        <root>/index.json           cached entry summaries (rebuildable)
+        <root>/runs/<sha256>.json        one entry per completed run (atomic)
+        <root>/timelines/<sha256>.json   optional probe timeline per run
+        <root>/index.json                cached entry summaries (rebuildable)
 
     A store can be shared by concurrent sweeps: entries are immutable
     functions of their key, temp files are uniquely named, and
@@ -145,6 +148,7 @@ class RunStore:
     ) -> None:
         self.root = Path(root)
         self.runs_dir = self.root / "runs"
+        self.timelines_dir = self.root / "timelines"
         self.index_path = self.root / "index.json"
         self.runs_dir.mkdir(parents=True, exist_ok=True)
         self.registry = registry if registry is not None else MetricsRegistry()
@@ -199,6 +203,45 @@ class RunStore:
         self.registry.counter("store.skip").inc()
 
     # ------------------------------------------------------------------
+    # timelines (sampled probe series, persisted beside the run entry)
+    # ------------------------------------------------------------------
+    def timeline_path_for(self, key_or_cfg: Union[str, ExperimentConfig]) -> Path:
+        key = key_or_cfg if isinstance(key_or_cfg, str) else run_key(key_or_cfg)
+        return self.timelines_dir / f"{key}.json"
+
+    def put_timeline(
+        self, key_or_cfg: Union[str, ExperimentConfig], timeline
+    ) -> Path:
+        """Persist one run's probe timeline atomically.
+
+        ``timeline`` is a :class:`~repro.obs.timeline.Timeline` or its
+        ``as_dict()`` image.  The file is the timeline dict itself (so
+        ``repro timeline``/``repro diff`` load it directly) annotated
+        with the store version and key.
+        """
+        key = key_or_cfg if isinstance(key_or_cfg, str) else run_key(key_or_cfg)
+        data = timeline.as_dict() if hasattr(timeline, "as_dict") else dict(timeline)
+        data = {**data, "store_version": STORE_VERSION, "key": key}
+        self.timelines_dir.mkdir(parents=True, exist_ok=True)
+        path = self.timeline_path_for(key)
+        self._atomic_write(path, json.dumps(data, sort_keys=True))
+        self.registry.counter("store.timeline_persist").inc()
+        return path
+
+    def get_timeline(
+        self, key_or_cfg: Union[str, ExperimentConfig]
+    ) -> Optional[dict[str, Any]]:
+        """The stored timeline dict for a run, or None (corrupt = miss)."""
+        path = self.timeline_path_for(key_or_cfg)
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        if not isinstance(data, dict) or data.get("store_version") != STORE_VERSION:
+            return None
+        return data
+
+    # ------------------------------------------------------------------
     # maintenance: ls / gc / rm
     # ------------------------------------------------------------------
     def ls(self) -> list[dict[str, Any]]:
@@ -226,6 +269,9 @@ class RunStore:
                     continue
                 path = matches[0]
             path.unlink()
+            sibling = self.timelines_dir / path.name
+            if sibling.exists():
+                sibling.unlink()
             removed += 1
         self._write_index(self.ls())
         return removed
@@ -236,14 +282,23 @@ class RunStore:
         Removes temp-file litter from killed writers, corrupt entries,
         and (by default) entries written by a different package or store
         version — those keys can never be looked up again, so they are
-        unreachable by construction.
+        unreachable by construction.  Timelines are garbage too when
+        corrupt, stale, or orphaned (their run entry is gone).
         """
-        stats = {"tmp_removed": 0, "corrupt_removed": 0, "stale_removed": 0, "kept": 0}
+        stats = {
+            "tmp_removed": 0,
+            "corrupt_removed": 0,
+            "stale_removed": 0,
+            "kept": 0,
+            "timelines_removed": 0,
+            "timelines_kept": 0,
+        }
         for tmp in self.runs_dir.glob("*.tmp*"):
             tmp.unlink()
             stats["tmp_removed"] += 1
         current = (STORE_VERSION, _code_version())
         rows = []
+        kept_keys: set[str] = set()
         for path in sorted(self.runs_dir.glob("*.json")):
             entry = self._read_entry(path)
             if entry is None:
@@ -259,7 +314,18 @@ class RunStore:
                 stats["stale_removed"] += 1
                 continue
             rows.append(self._summary(entry))
+            kept_keys.add(entry.get("key", path.stem))
             stats["kept"] += 1
+        if self.timelines_dir.exists():
+            for tmp in self.timelines_dir.glob("*.tmp*"):
+                tmp.unlink()
+                stats["tmp_removed"] += 1
+            for path in sorted(self.timelines_dir.glob("*.json")):
+                if path.stem in kept_keys and self.get_timeline(path.stem) is not None:
+                    stats["timelines_kept"] += 1
+                else:
+                    path.unlink()
+                    stats["timelines_removed"] += 1
         self._write_index(rows)
         return stats
 
@@ -345,7 +411,13 @@ def _metrics_from_dict(data: dict[str, Any]) -> RunMetrics:
         mean_degree=float(data["mean_degree"]),
         counters=dict(data.get("counters", {})),
         energy_by_class=dict(data.get("energy_by_class", {})),
+        time_to_first_death=_opt_float(data.get("time_to_first_death")),
+        time_to_half_delivery=_opt_float(data.get("time_to_half_delivery")),
     )
+
+
+def _opt_float(value: Any) -> Optional[float]:
+    return None if value is None else float(value)
 
 
 def open_store(

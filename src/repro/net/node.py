@@ -63,6 +63,9 @@ class Node:
         self.fail_count = 0
         self.downtime = 0.0
         self._down_since: Optional[float] = None
+        #: sim time of this node's first failure (None if it never failed);
+        #: feeds the lifetime metric time_to_first_death
+        self.first_down_at: Optional[float] = None
 
     # ------------------------------------------------------------------
     # liveness
@@ -79,6 +82,8 @@ class Node:
         self.radio.up = False
         self.fail_count += 1
         self._down_since = self.sim.now
+        if self.first_down_at is None:
+            self.first_down_at = self.sim.now
         self.mac.fail()
         self.tracer.count("node.fail")
         if self.tracer.registry.detailed:

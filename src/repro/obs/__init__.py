@@ -20,8 +20,16 @@ from .audit import (
     audit_trace,
     format_findings,
 )
-from .diff import diff_artifacts, format_diff, load_artifact
-from .export import TraceWriter, iter_trace_lines, read_trace, trace_summary
+from .diff import diff_artifacts, diff_timelines, format_diff, load_artifact
+from .export import (
+    TraceWriter,
+    chrome_trace_to_timeline,
+    iter_trace_lines,
+    read_trace,
+    timeline_from_trace_jsonl,
+    timeline_to_chrome_trace,
+    trace_summary,
+)
 from .lineage import DeliveryTree, Hop, LineageIndex, format_tree
 from .manifest import (
     MANIFEST_VERSION,
@@ -38,6 +46,17 @@ from .options import (
     known_categories,
 )
 from .profiler import CallbackStats, ProfileReport, Profiler, format_profile
+from .timeline import (
+    TIMELINE_VERSION,
+    Timeline,
+    TimelineProbe,
+    format_timeline,
+    install_standard_probes,
+    load_timeline,
+    publish_sim_gauges,
+    save_timeline,
+    sparkline,
+)
 from .registry import (
     DEFAULT_BUCKETS,
     CardinalityError,
@@ -87,6 +106,19 @@ __all__ = [
     "audit_static",
     "format_findings",
     "diff_artifacts",
+    "diff_timelines",
     "format_diff",
     "load_artifact",
+    "TIMELINE_VERSION",
+    "Timeline",
+    "TimelineProbe",
+    "install_standard_probes",
+    "publish_sim_gauges",
+    "save_timeline",
+    "load_timeline",
+    "sparkline",
+    "format_timeline",
+    "timeline_to_chrome_trace",
+    "chrome_trace_to_timeline",
+    "timeline_from_trace_jsonl",
 ]

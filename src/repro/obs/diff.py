@@ -23,6 +23,7 @@ __all__ = [
     "load_artifact",
     "diff_run_metrics",
     "diff_figure_cells",
+    "diff_timelines",
     "diff_artifacts",
     "format_diff",
 ]
@@ -36,6 +37,8 @@ _METRIC_FIELDS = (
     "distinct_delivered",
     "events_sent",
     "mean_degree",
+    "time_to_first_death",
+    "time_to_half_delivery",
 )
 
 #: identity fields surfaced separately (a diff across these is a
@@ -50,9 +53,10 @@ def load_artifact(path: Union[str, Path]) -> tuple[str, dict[str, Any]]:
     """Load a JSON artifact and classify it.
 
     Returns ``(kind, payload)`` with kind one of ``"run"`` (run manifest),
-    ``"figure"`` (figure manifest), ``"store-entry"``, or
-    ``"figure-result"``.  JSONL traces and unknown shapes raise
-    ``ValueError`` — traces are for ``repro audit``, not diff.
+    ``"figure"`` (figure manifest), ``"store-entry"``,
+    ``"figure-result"``, or ``"timeline"`` (a saved probe timeline).
+    JSONL traces and unknown shapes raise ``ValueError`` — traces are for
+    ``repro audit``, not diff.
     """
     path = Path(path)
     try:
@@ -64,6 +68,8 @@ def load_artifact(path: Union[str, Path]) -> tuple[str, dict[str, Any]]:
         ) from exc
     if not isinstance(data, dict):
         raise ValueError(f"{path}: not a JSON object")
+    if "timeline_version" in data:
+        return "timeline", data
     if "manifest_version" in data:
         kind = data.get("kind")
         if kind in ("run", "figure"):
@@ -174,6 +180,61 @@ def diff_figure_cells(
     }
 
 
+def diff_timelines(
+    timeline_a: dict[str, Any], timeline_b: dict[str, Any]
+) -> dict[str, Any]:
+    """Diff two serialized timelines (cadence, probe sets, sampled series).
+
+    ``equal`` means bit-identical: same sample times and, per probe, the
+    exact same value column.  Per-probe deltas report how many samples
+    differ, the largest absolute delta, and the final-value change —
+    enough to see *when* two runs diverged without dumping every row.
+    """
+    times_a = list(timeline_a.get("times", []))
+    times_b = list(timeline_b.get("times", []))
+    probes_a = {p["name"]: p for p in timeline_a.get("probes", ())}
+    probes_b = {p["name"]: p for p in timeline_b.get("probes", ())}
+    shape: dict[str, Any] = {}
+    for name, va, vb in (
+        ("interval", timeline_a.get("interval"), timeline_b.get("interval")),
+        ("duration", timeline_a.get("duration"), timeline_b.get("duration")),
+        ("samples", len(times_a), len(times_b)),
+    ):
+        if va != vb:
+            shape[name] = _num_delta(va, vb)
+    if times_a != times_b and "samples" not in shape:
+        shape["times"] = {"a": "differ", "b": "differ"}
+    only_a = sorted(set(probes_a) - set(probes_b))
+    only_b = sorted(set(probes_b) - set(probes_a))
+    probes: dict[str, Any] = {}
+    for name in sorted(set(probes_a) & set(probes_b)):
+        va = list(probes_a[name].get("values", []))
+        vb = list(probes_b[name].get("values", []))
+        if va == vb:
+            continue
+        paired = list(zip(va, vb))
+        n_diffs = sum(1 for a, b in paired if a != b) + abs(len(va) - len(vb))
+        entry = {
+            "n_diffs": n_diffs,
+            "final": _num_delta(va[-1] if va else None, vb[-1] if vb else None),
+        }
+        numeric = [abs(b - a) for a, b in paired if a != b]
+        if numeric:
+            entry["max_abs_delta"] = max(numeric)
+            first = next(i for i, (a, b) in enumerate(paired) if a != b)
+            if first < min(len(times_a), len(times_b)):
+                entry["first_diff_t"] = times_a[first]
+        probes[name] = entry
+    return {
+        "kind": "timeline",
+        "equal": not (shape or only_a or only_b or probes),
+        "shape": shape,
+        "only_a": only_a,
+        "only_b": only_b,
+        "probes": probes,
+    }
+
+
 def diff_artifacts(
     path_a: Union[str, Path], path_b: Union[str, Path]
 ) -> dict[str, Any]:
@@ -182,13 +243,16 @@ def diff_artifacts(
     kind_b, data_b = load_artifact(path_b)
     run_like = {"run", "store-entry"}
     figure_like = {"figure", "figure-result"}
-    if kind_a in run_like and kind_b in run_like:
+    if kind_a == "timeline" and kind_b == "timeline":
+        out = diff_timelines(data_a, data_b)
+    elif kind_a in run_like and kind_b in run_like:
         out = diff_run_metrics(_run_view(kind_a, data_a), _run_view(kind_b, data_b))
     elif kind_a in figure_like and kind_b in figure_like:
         out = diff_figure_cells(_cells_view(kind_a, data_a), _cells_view(kind_b, data_b))
     else:
         raise ValueError(
-            f"cannot diff {kind_a} against {kind_b}: one is per-run, the other per-figure"
+            f"cannot diff {kind_a} against {kind_b}: artifact families do not match "
+            "(per-run, per-figure, and timeline artifacts only diff within their family)"
         )
     out["a"] = {"path": str(path_a), "kind": kind_a}
     out["b"] = {"path": str(path_b), "kind": kind_b}
@@ -248,6 +312,22 @@ def format_diff(diff: dict[str, Any], max_counters: int = 20) -> str:
                     f"counters only in {'b' if label == 'added' else 'a'} "
                     f"({len(counters[label])}): {names}{' ...' if more > 0 else ''}"
                 )
+    elif diff["kind"] == "timeline":
+        if diff["shape"]:
+            lines.append("shape:")
+            for name, entry in diff["shape"].items():
+                lines.append(f"  {name:<12} {_fmt_value(entry.get('a'))} -> {_fmt_value(entry.get('b'))}")
+        for label, key in (("only in a", "only_a"), ("only in b", "only_b")):
+            if diff[key]:
+                lines.append(f"probes {label}: {', '.join(diff[key])}")
+        for name, entry in diff["probes"].items():
+            detail = f"{entry['n_diffs']} samples differ"
+            if "first_diff_t" in entry:
+                detail += f", first at t={_fmt_value(entry['first_diff_t'])}"
+            if "max_abs_delta" in entry:
+                detail += f", max |delta| {_fmt_value(entry['max_abs_delta'])}"
+            lines.append(f"probe {name}: {detail}")
+            lines.append(f"  {'final':<20} {_fmt_delta(entry['final'])}")
     else:
         for label, key in (("only in a", "only_a"), ("only in b", "only_b")):
             if diff[key]:

@@ -27,7 +27,16 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..sim.trace import TraceRecord, Tracer
     from .registry import MetricsRegistry
 
-__all__ = ["TraceWriter", "read_trace", "iter_trace_lines", "trace_summary", "TRACE_VERSION"]
+__all__ = [
+    "TraceWriter",
+    "read_trace",
+    "iter_trace_lines",
+    "trace_summary",
+    "TRACE_VERSION",
+    "timeline_to_chrome_trace",
+    "chrome_trace_to_timeline",
+    "timeline_from_trace_jsonl",
+]
 
 TRACE_VERSION = 1
 
@@ -114,6 +123,158 @@ def read_trace(
         if category is not None and obj["cat"] != category:
             continue
         yield TraceRecord(obj["t"], obj["cat"], tuple(obj["fields"].items()))
+
+
+def timeline_to_chrome_trace(timeline, path: Union[str, Path]) -> Path:
+    """Export a timeline as Chrome-trace counter tracks (Perfetto-loadable).
+
+    Each probe becomes one ``"ph": "C"`` counter series (timestamps in
+    microseconds, as the format requires).  The exact sample times and
+    probe metadata ride along under ``otherData.timeline`` so
+    :func:`chrome_trace_to_timeline` round-trips losslessly — the counter
+    events themselves are for the viewers.
+    """
+    from .timeline import TIMELINE_VERSION  # local: avoids import cycles at package init
+
+    data = timeline.as_dict() if hasattr(timeline, "as_dict") else dict(timeline)
+    times = data.get("times", [])
+    events: list[dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 1,
+            "args": {"name": "repro-wsn run"},
+        }
+    ]
+    for probe in data.get("probes", ()):
+        name = probe["name"]
+        for t, v in zip(times, probe["values"]):
+            events.append(
+                {
+                    "ph": "C",
+                    "name": name,
+                    "pid": 1,
+                    "tid": 0,
+                    "ts": t * 1e6,
+                    "args": {"value": v},
+                }
+            )
+    payload = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "timeline": {
+                "timeline_version": data.get("timeline_version", TIMELINE_VERSION),
+                "interval": data.get("interval"),
+                "duration": data.get("duration"),
+                "times": list(times),
+                "probes": [
+                    {
+                        "name": p["name"],
+                        "kind": p.get("kind", "float"),
+                        "description": p.get("description", ""),
+                    }
+                    for p in data.get("probes", ())
+                ],
+            }
+        },
+    }
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, sort_keys=True))
+    return path
+
+
+def chrome_trace_to_timeline(path: Union[str, Path]):
+    """Rebuild a :class:`~repro.obs.timeline.Timeline` from a Chrome trace.
+
+    Prefers the lossless ``otherData.timeline`` block our exporter writes;
+    counter events supply the values either way, so traces trimmed by
+    other tools still load (with float-microsecond time precision).
+    """
+    from .timeline import TIMELINE_VERSION, Timeline
+
+    data = json.loads(Path(path).read_text())
+    if not isinstance(data, dict) or "traceEvents" not in data:
+        raise ValueError(f"{path}: not a Chrome trace (no traceEvents)")
+    meta = (data.get("otherData") or {}).get("timeline") or {}
+
+    series: dict[str, list] = {}
+    times_seen: list[float] = []
+    for ev in data["traceEvents"]:
+        if ev.get("ph") != "C":
+            continue
+        name = ev.get("name")
+        values = series.setdefault(name, [])
+        values.append(ev.get("args", {}).get("value"))
+        if len(times_seen) < len(values):
+            times_seen.append(ev.get("ts", 0.0) / 1e6)
+
+    kinds = {p["name"]: p.get("kind", "float") for p in meta.get("probes", ())}
+    descriptions = {p["name"]: p.get("description", "") for p in meta.get("probes", ())}
+    ordered = [p["name"] for p in meta.get("probes", ())] or list(series)
+    return Timeline.from_dict(
+        {
+            "timeline_version": meta.get("timeline_version", TIMELINE_VERSION),
+            "interval": meta.get("interval"),
+            "duration": meta.get("duration"),
+            "times": meta.get("times") or times_seen,
+            "probes": [
+                {
+                    "name": name,
+                    "kind": kinds.get(name, "float"),
+                    "description": descriptions.get(name, ""),
+                    "values": series.get(name, []),
+                }
+                for name in ordered
+            ],
+        }
+    )
+
+
+def timeline_from_trace_jsonl(path: Union[str, Path]):
+    """Build a timeline from the periodic gauge snapshots of a JSONL trace.
+
+    Every ``type: "gauges"`` line becomes one sample; the probe set is the
+    union of gauge names (a gauge missing from an early snapshot reads as
+    0.0 there).  All series are float — the trace does not record kinds.
+    """
+    from .timeline import TIMELINE_VERSION, Timeline
+
+    times: list[float] = []
+    rows: list[dict[str, Any]] = []
+    names: list[str] = []
+    seen: set[str] = set()
+    for obj in iter_trace_lines(path):
+        if obj.get("type") != "gauges":
+            continue
+        gauges = obj.get("gauges", {})
+        times.append(obj.get("t", 0.0))
+        rows.append(gauges)
+        for name in gauges:
+            if name not in seen:
+                seen.add(name)
+                names.append(name)
+    if not times:
+        raise ValueError(f"{path}: no gauge snapshots (run with --trace-out and snapshots)")
+    interval = times[1] - times[0] if len(times) > 1 else None
+    return Timeline.from_dict(
+        {
+            "timeline_version": TIMELINE_VERSION,
+            "interval": interval,
+            "duration": times[-1],
+            "times": times,
+            "probes": [
+                {
+                    "name": name,
+                    "kind": "float",
+                    "description": "registry gauge (from trace snapshots)",
+                    "values": [float(row.get(name, 0.0)) for row in rows],
+                }
+                for name in names
+            ],
+        }
+    )
 
 
 def trace_summary(path: Union[str, Path]) -> dict[str, Any]:

@@ -72,6 +72,7 @@ def build_run_manifest(
     trace_path: Optional[Union[str, Path]] = None,
     field_info: Optional[dict[str, Any]] = None,
     audit: Optional[dict[str, Any]] = None,
+    timeline: Optional[dict[str, Any]] = None,
 ) -> dict[str, Any]:
     """Assemble the provenance manifest for one experiment run.
 
@@ -79,7 +80,10 @@ def build_run_manifest(
     count, whether the field came from the per-process cache) so cached
     and fresh fields are distinguishable when comparing runs.  ``audit``
     is an :meth:`~repro.obs.audit.Auditor.report` dict when the run was
-    audited online.
+    audited online.  ``timeline`` is a
+    :meth:`~repro.obs.timeline.Timeline.accounting` block (probe list,
+    cadence, sample count, bytes, artifact path) when the run sampled a
+    probe timeline — mirroring the ``field``/``store`` blocks.
     """
     manifest: dict[str, Any] = {
         "manifest_version": MANIFEST_VERSION,
@@ -108,6 +112,8 @@ def build_run_manifest(
         manifest["trace_path"] = str(trace_path)
     if audit is not None:
         manifest["audit"] = dict(audit)
+    if timeline is not None:
+        manifest["timeline"] = dict(timeline)
     return manifest
 
 
@@ -201,6 +207,21 @@ def format_manifest(data: dict[str, Any], top_counters: int = 12) -> str:
             ("delivery ratio", f"{m.get('delivery_ratio', 0.0):.3f}"),
             ("delivered/sent", f"{m.get('distinct_delivered')} / {m.get('events_sent')}"),
         ]
+        ttfd = m.get("time_to_first_death")
+        if ttfd is not None:
+            pairs.append(("first death", f"{ttfd:.3f} s"))
+        tthd = m.get("time_to_half_delivery")
+        if tthd is not None:
+            pairs.append(("half delivery", f"{tthd:.3f} s"))
+        tl = data.get("timeline")
+        if tl:
+            pairs.append(
+                (
+                    "timeline",
+                    f"{tl.get('samples')} samples @ {tl.get('interval')} s, "
+                    f"{len(tl.get('probes', []))} probes, {tl.get('bytes', 0)} bytes",
+                )
+            )
         sim = data.get("simulator")
         if sim:
             pairs += [

@@ -91,7 +91,21 @@ class ObsOptions:
     audit: bool = False
     #: in-memory record cap for the tracer (0 with trace_path set)
     max_records: Optional[int] = field(default=DEFAULT_MAX_RECORDS)
+    #: sample a periodic probe timeline (see :mod:`repro.obs.timeline`)
+    timeline: bool = False
+    #: sim-seconds between timeline samples (None = duration/10)
+    timeline_interval: Optional[float] = None
+    #: write the sampled timeline as a JSON artifact here (implies ``timeline``)
+    timeline_path: Optional[Union[str, Path]] = None
 
     def effective_max_records(self) -> Optional[int]:
         """Streaming runs keep nothing in memory."""
         return 0 if self.trace_path is not None else self.max_records
+
+    def timeline_enabled(self) -> bool:
+        """Whether this run samples a timeline (flag or output path)."""
+        return self.timeline or self.timeline_path is not None
+
+    def effective_timeline_interval(self, duration: float) -> float:
+        """The sampling cadence for a run of ``duration`` sim-seconds."""
+        return self.timeline_interval if self.timeline_interval else duration / 10.0

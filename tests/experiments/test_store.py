@@ -184,6 +184,8 @@ class TestMaintenance:
             "corrupt_removed": 1,
             "stale_removed": 1,
             "kept": 1,
+            "timelines_removed": 0,
+            "timelines_kept": 0,
         }
         assert store.contains(cfg)
 

@@ -1,0 +1,287 @@
+"""Runner/store/CLI integration of the probe timeline, plus the
+determinism contract: attaching a timeline never perturbs the run, and
+the same seed yields byte-identical timelines everywhere."""
+
+import json
+import multiprocessing as mp
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.config import ExperimentConfig, FailureModel, smoke
+from repro.experiments.runner import run_observed
+from repro.experiments.store import RunStore
+from repro.obs import ObsOptions, iter_trace_lines
+
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
+
+def cfg(**overrides):
+    scheme = overrides.pop("scheme", "greedy")
+    return ExperimentConfig.from_profile(
+        smoke(), scheme, 50, seed=4, duration=20.0, warmup=8.0, **overrides
+    )
+
+
+def timeline_dict(config, interval=None) -> dict:
+    obs = ObsOptions(timeline=True, timeline_interval=interval)
+    return run_observed(config, obs).timeline.as_dict()
+
+
+class TestRunnerIntegration:
+    def test_observed_run_carries_a_populated_timeline(self):
+        observed = run_observed(cfg(), ObsOptions(timeline=True))
+        tl = observed.timeline
+        assert tl is not None
+        # default cadence duration/10 plus the closing sample
+        assert list(tl.times) == [0.0, 2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 14.0, 16.0, 18.0, 20.0]
+        names = tl.names()
+        for expected in (
+            "sim.pending_events",
+            "nodes.alive",
+            "data.delivered",
+            "gradients.entries",
+            "mac.collisions",
+            "energy.total",
+            "energy.data",
+        ):
+            assert expected in names
+        # cumulative counters are nondecreasing
+        for probe in ("sim.events_processed", "data.delivered", "energy.total"):
+            _, vals = tl.series(probe)
+            assert vals == sorted(vals)
+        # the closing sample reflects the finished run
+        _, delivered = tl.series("data.delivered")
+        assert delivered[-1] > 0
+
+    def test_no_timeline_by_default(self):
+        observed = run_observed(cfg(), ObsOptions(profile=True))
+        assert observed.timeline is None
+
+    def test_custom_interval_and_persistence(self, tmp_path):
+        out = tmp_path / "tl.json"
+        obs = ObsOptions(timeline_interval=5.0, timeline_path=out)
+        observed = run_observed(cfg(), obs)  # timeline_path implies timeline
+        assert list(observed.timeline.times) == [0.0, 5.0, 10.0, 15.0, 20.0]
+        assert observed.timeline_path == out
+        saved = json.loads(out.read_text())
+        assert saved == observed.timeline.as_dict()
+
+    def test_manifest_carries_timeline_block(self, tmp_path):
+        obs = ObsOptions(timeline=True, manifest_path=tmp_path / "m.json")
+        observed = run_observed(cfg(), obs)
+        manifest = json.loads(observed.manifest_path.read_text())
+        block = manifest["timeline"]
+        assert block["samples"] == observed.timeline.n_samples
+        assert block["probes"] == observed.timeline.names()
+        assert block["bytes"] == observed.timeline.nbytes()
+
+    def test_first_death_scalar_matches_failure_schedule(self):
+        config = cfg(failures=FailureModel(fraction=0.3, epoch=6.0))
+        observed = run_observed(config, ObsOptions(timeline=True))
+        m = observed.metrics
+        # the failure driver flips its first batch at t=0 (no settling time)
+        assert m.time_to_first_death == 0.0
+        n_total = config.n_nodes
+        _, dead = observed.timeline.series("nodes.dead")
+        assert max(dead) > 0
+        _, alive = observed.timeline.series("nodes.alive")
+        assert all(a + d == n_total for a, d in zip(alive, dead))
+
+    def test_no_failures_means_no_first_death(self):
+        observed = run_observed(cfg(), ObsOptions(timeline=True))
+        assert observed.metrics.time_to_first_death is None
+        assert observed.timeline.derived()["time_to_first_death"] is None
+        assert observed.timeline.derived()["min_alive"] == 50.0
+
+    def test_half_delivery_scalar_present_without_timeline(self):
+        m = run_observed(cfg()).metrics
+        assert m.time_to_half_delivery is not None
+        assert 0 < m.time_to_half_delivery <= 20.0
+
+
+class TestTraceSnapshotCloseout:
+    def test_gauge_snapshots_cover_the_final_partial_interval(self, tmp_path):
+        # duration 20, snapshot interval 8: the old loop sampled at 8 and
+        # 16 then silently dropped [16, 20); now a close-out snapshot
+        # lands at exactly t=20 and nothing is scheduled past the horizon.
+        path = tmp_path / "t.jsonl"
+        obs = ObsOptions(trace_path=path, snapshot_interval=8.0)
+        run_observed(cfg(), obs)
+        times = [
+            line["t"]
+            for line in iter_trace_lines(path)
+            if line.get("type") == "gauges"
+        ]
+        assert times == [8.0, 16.0, 20.0]
+
+    def test_exact_division_has_no_duplicate_horizon_snapshot(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        obs = ObsOptions(trace_path=path, snapshot_interval=5.0)
+        run_observed(cfg(), obs)
+        times = [
+            line["t"]
+            for line in iter_trace_lines(path)
+            if line.get("type") == "gauges"
+        ]
+        assert times == [5.0, 10.0, 15.0, 20.0]
+
+
+class TestDeterminism:
+    def test_metrics_bit_identical_with_and_without_timeline(self):
+        plain = run_observed(cfg()).metrics
+        timed = run_observed(cfg(), ObsOptions(timeline=True)).metrics
+        assert timed == plain
+
+    def test_timeline_identical_across_audit_toggle(self):
+        base = run_observed(cfg(), ObsOptions(timeline=True)).timeline
+        audited = run_observed(cfg(), ObsOptions(timeline=True, audit=True)).timeline
+        assert audited.as_dict() == base.as_dict()
+
+    def test_timeline_identical_serial_vs_subprocess(self):
+        if "fork" not in mp.get_all_start_methods():
+            pytest.skip("fork start method unavailable")
+        serial = timeline_dict(cfg())
+        with ProcessPoolExecutor(
+            max_workers=1, mp_context=mp.get_context("fork")
+        ) as pool:
+            parallel = pool.submit(timeline_dict, cfg()).result()
+        assert parallel == serial
+
+    def test_same_seed_same_timeline(self):
+        assert timeline_dict(cfg()) == timeline_dict(cfg())
+
+
+class TestStoreTimelines:
+    def test_put_get_round_trip(self, tmp_path):
+        store = RunStore(tmp_path)
+        config = cfg()
+        observed = run_observed(config, ObsOptions(timeline=True))
+        store.put(config, observed.metrics)
+        store.put_timeline(config, observed.timeline)
+        back = store.get_timeline(config)
+        assert back is not None
+        for key in ("times", "probes", "interval", "duration"):
+            assert back[key] == observed.timeline.as_dict()[key]
+
+    def test_missing_timeline_is_a_miss(self, tmp_path):
+        store = RunStore(tmp_path)
+        assert store.get_timeline(cfg()) is None
+
+    def test_rm_removes_the_sibling_timeline(self, tmp_path):
+        from repro.experiments.store import run_key
+
+        store = RunStore(tmp_path)
+        config = cfg()
+        observed = run_observed(config, ObsOptions(timeline=True))
+        store.put(config, observed.metrics)
+        store.put_timeline(config, observed.timeline)
+        assert store.rm([run_key(config)]) == 1
+        assert store.get_timeline(config) is None
+        assert not any(store.timelines_dir.glob("*.json"))
+
+    def test_gc_prunes_orphan_timelines(self, tmp_path):
+        store = RunStore(tmp_path)
+        config = cfg()
+        observed = run_observed(config, ObsOptions(timeline=True))
+        store.put(config, observed.metrics)
+        store.put_timeline(config, observed.timeline)
+        store.timelines_dir.joinpath("0" * 64 + ".json").write_text(
+            json.dumps(observed.timeline.as_dict())
+        )
+        stats = store.gc()
+        assert stats["timelines_kept"] == 1
+        assert stats["timelines_removed"] == 1
+        assert store.get_timeline(config) is not None
+
+
+class TestCli:
+    def test_run_timeline_prints_sparkline_summary(self, capsys):
+        rc = main(
+            ["run", "-n", "40", "--duration", "15", "--warmup", "6", "--timeline"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "timeline:" in out
+        assert "nodes.alive" in out
+
+    def test_timeline_verb_renders_saved_artifact(self, tmp_path, capsys):
+        out_path = tmp_path / "tl.json"
+        assert main(
+            [
+                "run", "-n", "40", "--duration", "15", "--warmup", "6",
+                "--timeline-out", str(out_path),
+            ]
+        ) == 0
+        capsys.readouterr()
+        assert main(["timeline", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "source: timeline artifact" in out
+        assert "energy.total" in out
+
+    def test_timeline_verb_json_and_chrome_trace(self, tmp_path, capsys):
+        tl_path = tmp_path / "tl.json"
+        main(
+            [
+                "run", "-n", "40", "--duration", "15", "--warmup", "6",
+                "--timeline-out", str(tl_path),
+            ]
+        )
+        capsys.readouterr()
+        trace_out = tmp_path / "chrome.json"
+        assert main(
+            ["timeline", str(tl_path), "--json", "--chrome-trace", str(trace_out)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert json.loads(out) == json.loads(tl_path.read_text())
+        # the exported chrome trace is itself a valid timeline target
+        assert main(["timeline", str(trace_out)]) == 0
+        assert "source: chrome trace" in capsys.readouterr().out
+
+    def test_timeline_verb_reads_store_entry(self, tmp_path, capsys):
+        from repro.experiments.store import run_key
+
+        store_dir = tmp_path / "runs"
+        assert main(
+            [
+                "run", "-n", "40", "--duration", "15", "--warmup", "6",
+                "--timeline", "--store", str(store_dir),
+            ]
+        ) == 0
+        capsys.readouterr()
+        from repro.experiments.config import fast
+
+        config = ExperimentConfig.from_profile(
+            fast(), "greedy", 40, seed=1, duration=15.0, warmup=6.0
+        )
+        entry = store_dir / "runs" / f"{run_key(config)}.json"
+        assert entry.exists()
+        assert main(["timeline", str(entry)]) == 0
+        out = capsys.readouterr().out
+        assert "source: store timeline" in out
+        assert "data.delivered" in out
+
+    def test_timeline_verb_rejects_figure_without_cell(self, tmp_path, capsys):
+        fig = tmp_path / "fig.json"
+        fig.write_text(json.dumps({"figure_id": "fig5", "cells": []}))
+        assert main(["timeline", str(fig)]) == 2
+        assert "--cell" in capsys.readouterr().err
+
+    def test_timeline_verb_unknown_file(self, capsys):
+        assert main(["timeline", "/nonexistent/tl.json"]) == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_diff_detects_timeline_divergence(self, tmp_path, capsys):
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        for path, n in ((a, "40"), (b, "45")):
+            main(
+                [
+                    "run", "-n", n, "--duration", "15", "--warmup", "6",
+                    "--timeline-out", str(path),
+                ]
+            )
+        capsys.readouterr()
+        assert main(["diff", str(a), str(a)]) == 0
+        assert main(["diff", str(a), str(b)]) == 1

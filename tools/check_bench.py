@@ -12,8 +12,9 @@ Usage::
         --baseline BENCH_sweep.json --threshold 0.25
 
 The baseline entry is the most recent committed result with the same
-``quick`` flag as the candidate (quick and canonical workloads have
-different event mixes, so they are never compared to each other).  A
+``quick`` and ``timeline`` flags as the candidate (quick and canonical
+workloads have different event mixes, and timeline-on runs pay probe
+overhead, so none of those are ever compared to each other).  A
 hostname mismatch is reported — cross-machine throughput comparisons are
 noisy, which is one reason the threshold is generous — but the gate is
 still enforced.
@@ -36,8 +37,14 @@ def load_entries(path: Path) -> list[dict]:
     raise SystemExit(f"{path}: not a bench payload or trajectory")
 
 
-def pick_baseline(entries: list[dict], quick: bool) -> dict | None:
-    matching = [e for e in entries if e.get("quick") is quick]
+def pick_baseline(
+    entries: list[dict], quick: bool, timeline: bool = False
+) -> dict | None:
+    matching = [
+        e
+        for e in entries
+        if e.get("quick") is quick and bool(e.get("timeline")) is timeline
+    ]
     return matching[-1] if matching else None
 
 
@@ -57,11 +64,14 @@ def main(argv: list[str] | None = None) -> int:
 
     current = load_entries(Path(args.current))[-1]
     baseline = pick_baseline(
-        load_entries(Path(args.baseline)), bool(current.get("quick"))
+        load_entries(Path(args.baseline)),
+        bool(current.get("quick")),
+        bool(current.get("timeline")),
     )
     if baseline is None:
         print(
-            f"check_bench: no baseline with quick={current.get('quick')} in "
+            f"check_bench: no baseline with quick={current.get('quick')} "
+            f"timeline={bool(current.get('timeline'))} in "
             f"{args.baseline}; nothing to gate against"
         )
         return 0
