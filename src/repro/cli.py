@@ -65,6 +65,20 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--duration", type=float, default=50.0)
     run_p.add_argument("--warmup", type=float, default=17.0)
     run_p.add_argument(
+        "--field-size",
+        type=float,
+        default=200.0,
+        metavar="M",
+        help="side of the square deployment field in meters",
+    )
+    run_p.add_argument(
+        "--kernel",
+        choices=("auto", "vector", "scalar"),
+        default="auto",
+        help="PHY kernel: auto (default; vectorized cohorts at >=1000 "
+        "nodes, scalar reference below), or force one",
+    )
+    run_p.add_argument(
         "--placement", choices=("corner", "random", "event-radius"), default="corner"
     )
     run_p.add_argument(
@@ -127,7 +141,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the sampled timeline as JSON (implies --timeline)",
     )
 
-    fig_p = sub.add_parser("fig", help="reproduce one of figures 5-10")
+    fig_p = sub.add_parser(
+        "fig",
+        help="reproduce one of figures 5-10, or the large-field density study",
+    )
     fig_p.add_argument("figure", choices=sorted(FIGURES))
     fig_p.add_argument("--profile", choices=sorted(PROFILES), default="fast")
     fig_p.add_argument("--trials", type=int, default=None)
@@ -188,6 +205,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_p.add_argument(
         "--quick", action="store_true", help="CI-smoke workload (~10x cheaper)"
+    )
+    bench_p.add_argument(
+        "--profile",
+        metavar="NAME",
+        default=None,
+        help="named workload profile (canonical, quick, large, large-quick); "
+        "overrides --quick",
     )
     bench_p.add_argument(
         "--workers",
@@ -300,6 +324,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         seed=args.seed,
         duration=args.duration,
         warmup=args.warmup,
+        field_size=args.field_size,
         diffusion=profile.diffusion,
         source_placement=args.placement,
         aggregation=args.aggregation,
@@ -332,12 +357,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
         from .experiments.store import RunStore
 
         store = RunStore(args.store)
-        result = run_experiment(cfg, store=store)
+        result = run_experiment(cfg, store=store, kernel=args.kernel)
         observed = None
         if store.stats.hits:
             print(f"run store: hit ({args.store})")
     else:
-        observed = run_observed(cfg, obs)
+        observed = run_observed(cfg, obs, kernel=args.kernel)
         result = observed.metrics
         if args.store:
             # An observed run is always executed fresh (the caller asked
@@ -726,6 +751,10 @@ def _cmd_all(args: argparse.Namespace) -> int:
 
         store = RunStore(args.store)
     for name in sorted(FIGURES):
+        if name == "large-density":
+            # Beyond-paper scale study — thousands of nodes; run it
+            # explicitly via `repro fig large-density`.
+            continue
         result = FIGURES[name](
             profile, trials=args.trials, workers=args.workers, progress=progress,
             store=store,
@@ -777,7 +806,12 @@ def _cmd_store(args: argparse.Namespace) -> int:
 def _cmd_bench(args: argparse.Namespace) -> int:
     from .experiments.bench import format_bench, run_bench, save_bench
 
-    payload = run_bench(quick=args.quick, workers=args.workers, timeline=args.timeline)
+    payload = run_bench(
+        quick=args.quick,
+        workers=args.workers,
+        timeline=args.timeline,
+        profile=args.profile,
+    )
     print(format_bench(payload))
     path = save_bench(payload, args.out)
     print(f"\nwritten: {path}")

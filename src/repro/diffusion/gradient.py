@@ -29,7 +29,7 @@ class GradientState:
     DATA = "data"
 
 
-@dataclass
+@dataclass(slots=True)
 class Gradient:
     """State of demand toward one neighbor for one interest.
 
@@ -54,7 +54,19 @@ class Gradient:
 
 
 class GradientTable:
-    """All gradients of one node for one interest."""
+    """All gradients of one node for one interest.
+
+    The table maintains at most one gradient in the *data* state (see
+    :meth:`reinforce`), and caches which neighbor holds it
+    (``_data_neighbor``) so the data-path queries the sender hits per
+    generated event (:meth:`data_neighbors`, :meth:`has_data_gradient`)
+    are O(1) pointer checks instead of full-table scans.  Only
+    :meth:`reinforce` puts a gradient into the data state, and only
+    :meth:`degrade` / :meth:`expire` (and reinforcement of a different
+    neighbor) take it out — each keeps the pointer exact.
+    """
+
+    __slots__ = ("gradient_timeout", "data_timeout", "_by_neighbor", "_data_neighbor")
 
     def __init__(self, gradient_timeout: float, data_timeout: Optional[float] = None) -> None:
         self.gradient_timeout = gradient_timeout
@@ -62,6 +74,8 @@ class GradientTable:
         #: (defaults to the plain gradient timeout)
         self.data_timeout = data_timeout if data_timeout is not None else gradient_timeout
         self._by_neighbor: dict[int, Gradient] = {}
+        #: neighbor whose gradient is in the data state, if any
+        self._data_neighbor: Optional[int] = None
 
     # ------------------------------------------------------------------
     # updates
@@ -94,11 +108,14 @@ class GradientTable:
         """
         data_until = now + self.data_timeout
         expires = max(now + self.gradient_timeout, data_until)
-        for other in self._by_neighbor.values():
-            if other.neighbor != neighbor and other.is_data():
+        prev = self._data_neighbor
+        if prev is not None and prev != neighbor:
+            other = self._by_neighbor.get(prev)
+            if other is not None and other.is_data():
                 other.state = GradientState.EXPLORATORY
                 other.reinforced_at = None
                 other.data_until = 0.0
+        self._data_neighbor = neighbor
         g = self._by_neighbor.get(neighbor)
         if g is None:
             g = Gradient(
@@ -124,6 +141,8 @@ class GradientTable:
         g.state = GradientState.EXPLORATORY
         g.reinforced_at = None
         g.data_until = 0.0
+        if self._data_neighbor == neighbor:
+            self._data_neighbor = None
         return True
 
     def expire(self, now: float) -> list[int]:
@@ -131,6 +150,8 @@ class GradientTable:
         dead = [n for n, g in self._by_neighbor.items() if g.expires_at <= now]
         for n in dead:
             del self._by_neighbor[n]
+            if self._data_neighbor == n:
+                self._data_neighbor = None
         return dead
 
     # ------------------------------------------------------------------
@@ -145,18 +166,28 @@ class GradientTable:
             return list(self._by_neighbor)
         return [n for n, g in self._by_neighbor.items() if g.expires_at > now]
 
+    def _live_data_gradient(self, now: float) -> Optional[Gradient]:
+        """The (unique) gradient that is in the data state and live at ``now``."""
+        n = self._data_neighbor
+        if n is None:
+            return None
+        g = self._by_neighbor.get(n)
+        if g is not None and g.is_data(now) and g.expires_at > now:
+            return g
+        return None
+
     def data_neighbors(self, now: float) -> list[int]:
-        """Neighbors with live data gradients (where high-rate data goes)."""
-        return [
-            n
-            for n, g in self._by_neighbor.items()
-            if g.is_data(now) and g.expires_at > now
-        ]
+        """Neighbors with live data gradients (where high-rate data goes).
+
+        At most one entry (see :meth:`reinforce`); resolved through the
+        cached data-neighbor pointer, not a table scan — the sender asks
+        this per generated event.
+        """
+        g = self._live_data_gradient(now)
+        return [g.neighbor] if g is not None else []
 
     def has_data_gradient(self, now: float) -> bool:
-        return any(
-            g.is_data(now) and g.expires_at > now for g in self._by_neighbor.values()
-        )
+        return self._live_data_gradient(now) is not None
 
     def all(self) -> Iterable[Gradient]:
         return self._by_neighbor.values()

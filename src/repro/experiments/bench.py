@@ -7,11 +7,13 @@ resulting ``BENCH_sweep.json`` so wall-time, event throughput, scheduler
 churn, and field-cache effectiveness accumulate per PR and regressions
 show up as diffs.
 
-The workload is fixed on purpose: comparability beats coverage here.  It
-exercises every layer the sweeps pay for — world building (with the
-field cache), the event kernel, the PHY fan-out, the MAC, both diffusion
-schemes — while staying under a minute on a laptop.  ``--quick`` is a
-smaller variant for CI smoke jobs.
+The workloads are fixed on purpose: comparability beats coverage here.
+Each :data:`WORKLOADS` profile exercises every layer the sweeps pay for —
+world building (with the field cache), the event kernel, the PHY
+fan-out, the MAC, the diffusion schemes — while staying bounded:
+``canonical`` (the headline) and its CI-smoke variant ``quick`` cover
+the paper's density band; ``large`` and ``large-quick`` run thousands of
+nodes on an 800 m field, the regime the vectorized PHY kernel targets.
 
 When ``workers`` is given, the same configs also run through the
 hardened parallel executor and the results are checked for exact
@@ -35,6 +37,7 @@ from .sweeps import cell_seed, run_configs
 
 __all__ = [
     "BENCH_VERSION",
+    "WORKLOADS",
     "CANONICAL_WORKLOAD",
     "QUICK_WORKLOAD",
     "bench_configs",
@@ -45,32 +48,81 @@ __all__ = [
 
 BENCH_VERSION = 1
 
-#: the canonical workload (do not change casually: it is the comparison
-#: axis across PRs; bump BENCH_VERSION if it must move)
-CANONICAL_WORKLOAD = {
-    "densities": (50, 150, 250),
-    "schemes": ("opportunistic", "greedy"),
-    "trials": 2,
-    "duration": 30.0,
-    "warmup": 12.0,
-    "exploratory_interval": 10.0,
+#: named bench workloads (do not change casually: each profile is a
+#: comparison axis across PRs; bump BENCH_VERSION if one must move).
+#:
+#: * ``canonical`` — the headline: the paper's density band, both
+#:   schemes, paired trials.
+#: * ``quick`` — CI-smoke variant of canonical (~10x cheaper).
+#: * ``large`` — the scale profile: 2 000–5 000 nodes on an 800 m field
+#:   (mean radio degree ~16..39), single scheme/trial, short runs.  This
+#:   is the regime the vectorized PHY kernel exists for; it also feeds
+#:   the large-field density figure.
+#: * ``large-quick`` — CI-smoke variant of large (one 2 000-node run).
+WORKLOADS: dict[str, dict] = {
+    "canonical": {
+        "densities": (50, 150, 250),
+        "schemes": ("opportunistic", "greedy"),
+        "trials": 2,
+        "duration": 30.0,
+        "warmup": 12.0,
+        "exploratory_interval": 10.0,
+    },
+    "quick": {
+        "densities": (50, 100),
+        "schemes": ("opportunistic", "greedy"),
+        "trials": 1,
+        "duration": 15.0,
+        "warmup": 6.0,
+        "exploratory_interval": 6.0,
+    },
+    "large": {
+        "densities": (2000, 3500, 5000),
+        "schemes": ("greedy",),
+        "trials": 1,
+        "duration": 10.0,
+        "warmup": 4.0,
+        "exploratory_interval": 6.0,
+        "field_size": 800.0,
+    },
+    "large-quick": {
+        "densities": (2000,),
+        "schemes": ("greedy",),
+        "trials": 1,
+        "duration": 6.0,
+        "warmup": 3.0,
+        "exploratory_interval": 6.0,
+        "field_size": 800.0,
+    },
 }
 
-#: CI-smoke variant (same shape, ~10x cheaper)
-QUICK_WORKLOAD = {
-    "densities": (50, 100),
-    "schemes": ("opportunistic", "greedy"),
-    "trials": 1,
-    "duration": 15.0,
-    "warmup": 6.0,
-    "exploratory_interval": 6.0,
-}
+#: legacy aliases (pre-profile API)
+CANONICAL_WORKLOAD = WORKLOADS["canonical"]
+QUICK_WORKLOAD = WORKLOADS["quick"]
 
 
-def bench_configs(quick: bool = False) -> list[ExperimentConfig]:
-    """The deterministic config list for the bench workload (paired seeds)."""
-    w = QUICK_WORKLOAD if quick else CANONICAL_WORKLOAD
+def _resolve_profile(quick: bool, profile: Optional[str]) -> str:
+    if profile is None:
+        return "quick" if quick else "canonical"
+    if profile not in WORKLOADS:
+        raise ValueError(
+            f"unknown bench profile {profile!r} (have {sorted(WORKLOADS)})"
+        )
+    return profile
+
+
+def bench_configs(
+    quick: bool = False, profile: Optional[str] = None
+) -> list[ExperimentConfig]:
+    """The deterministic config list for one bench workload (paired seeds).
+
+    ``profile`` names a :data:`WORKLOADS` entry; the legacy ``quick``
+    flag (profile ``"quick"`` vs ``"canonical"``) is honoured when no
+    profile is given.
+    """
+    w = WORKLOADS[_resolve_profile(quick, profile)]
     diffusion = DiffusionParams(exploratory_interval=w["exploratory_interval"])
+    field_size = w.get("field_size", 200.0)
     configs = []
     for n in w["densities"]:
         for trial in range(w["trials"]):
@@ -83,28 +135,35 @@ def bench_configs(quick: bool = False) -> list[ExperimentConfig]:
                         seed=seed,
                         duration=w["duration"],
                         warmup=w["warmup"],
+                        field_size=field_size,
                         diffusion=diffusion,
                     )
                 )
     return configs
 
 
-def run_bench(quick: bool = False, workers: int = 0, timeline: bool = False) -> dict:
-    """Run the bench workload and assemble the perf payload.
+def run_bench(
+    quick: bool = False,
+    workers: int = 0,
+    timeline: bool = False,
+    profile: Optional[str] = None,
+) -> dict:
+    """Run one bench workload and assemble the perf payload.
 
     The serial pass is the timed headline (it is what the cache and the
     kernel fast paths speed up); the optional parallel pass measures the
     executor and proves parallel == serial bit-for-bit.  ``timeline``
     runs the same workload with the standard probe timeline attached —
-    the probe-overhead gate: ``tools/check_bench.py`` compares
-    timeline-on entries only against timeline-on baselines.
+    the probe-overhead gate: ``tools/check_bench.py`` compares entries
+    only against baselines with the same ``(profile, timeline)`` pair.
     """
     from ..obs import ObsOptions
     from ..obs.manifest import _environment
 
+    profile = _resolve_profile(quick, profile)
     cache = default_field_cache()
     cache.clear()
-    configs = bench_configs(quick)
+    configs = bench_configs(profile=profile)
     obs = ObsOptions(timeline=True) if timeline else None
 
     per_run = []
@@ -129,12 +188,13 @@ def run_bench(quick: bool = False, workers: int = 0, timeline: bool = False) -> 
             }
         )
 
-    w = QUICK_WORKLOAD if quick else CANONICAL_WORKLOAD
+    w = WORKLOADS[profile]
     payload: dict = {
         "bench_version": BENCH_VERSION,
         "kind": "bench",
         "created_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
-        "quick": quick,
+        "profile": profile,
+        "quick": profile == "quick",  # legacy flag, kept for old tooling
         "timeline": timeline,
         "workload": {k: list(v) if isinstance(v, tuple) else v for k, v in w.items()},
         "n_runs": len(configs),
@@ -204,8 +264,9 @@ def format_bench(payload: dict) -> str:
     """Human-readable bench summary (the CLI's output)."""
     cache = payload["field_cache"]
     tl = ", timelines on" if payload.get("timeline") else ""
+    profile = payload.get("profile") or ("quick" if payload.get("quick") else "canonical")
     lines = [
-        f"repro bench ({'quick' if payload['quick'] else 'canonical'} workload{tl}, "
+        f"repro bench ({profile} workload{tl}, "
         f"{payload['n_runs']} runs)",
         f"wall time        {payload['wall_time_s']:.3f} s "
         f"({payload['runs_per_sec']:.2f} runs/s)",

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Optional, Sequence
 
+from ..diffusion.agent import DiffusionParams
 from ..trees.models import savings_study
 from .config import (
     DENSITY_SWEEP,
@@ -33,9 +34,14 @@ __all__ = [
     "figure8",
     "figure9",
     "figure10",
+    "figure_large_density",
+    "LARGE_DENSITY_SWEEP",
     "git_vs_spt_table",
     "FIGURES",
 ]
+
+#: the beyond-paper density sweep (large-field study; see WORKLOADS["large"])
+LARGE_DENSITY_SWEEP = (2000, 3500, 5000)
 
 
 @dataclass(frozen=True)
@@ -261,6 +267,59 @@ def figure10(
     )
 
 
+def _large_base(profile: Profile) -> ExperimentConfig:
+    """Base config of the large-field study.
+
+    Geometry and run length come from the ``large`` bench workload
+    (:data:`repro.experiments.bench.WORKLOADS`) rather than the figure
+    profile — thousands of nodes at the paper's 30-second durations would
+    take hours, and keeping the figure on the bench workload makes its
+    cells directly comparable to committed ``BENCH_sweep.json`` entries.
+    The profile still supplies the trial count.
+    """
+    from .bench import WORKLOADS
+
+    w = WORKLOADS["large"]
+    return _base(
+        profile,
+        n_nodes=w["densities"][0],
+        duration=w["duration"],
+        warmup=w["warmup"],
+        field_size=w["field_size"],
+        diffusion=DiffusionParams(exploratory_interval=w["exploratory_interval"]),
+    )
+
+
+def figure_large_density(
+    profile: Profile,
+    densities: Sequence[int] = LARGE_DENSITY_SWEEP,
+    trials: Optional[int] = None,
+    workers: int = 0,
+    progress=None,
+    store: StoreArg = None,
+) -> FigureResult:
+    """Beyond-paper scale study: density vs delivered data on an 800 m
+    field (2 000–5 000 nodes, mean radio degree ~16..39).
+
+    Extends the paper's fig-5 question — does aggregation keep paying as
+    the network densifies? — past the 350-node band the paper measured,
+    into the regime the vectorized PHY kernel makes tractable.
+    """
+    return _run(
+        "large-density",
+        "Density vs delivered data at scale (800 m field)",
+        "nodes",
+        profile,
+        densities,
+        _large_base(profile),
+        "n_nodes",
+        trials,
+        workers,
+        progress,
+        store,
+    )
+
+
 def figure_cell_config(
     figure_id: str,
     profile: Profile,
@@ -294,6 +353,7 @@ def figure_cell_config(
         "fig8": (lambda: _base(profile, n_nodes=350), "n_sinks"),
         "fig9": (lambda: _base(profile, n_nodes=350), "n_sources"),
         "fig10": (lambda: _base(profile, n_nodes=350, aggregation="linear"), "n_sources"),
+        "large-density": (lambda: _large_base(profile), "n_nodes"),
     }
     base_fn, sweep_field = bases[figure_id]
     seed = cell_seed(0, x, trial)
@@ -323,4 +383,5 @@ FIGURES = {
     "fig8": figure8,
     "fig9": figure9,
     "fig10": figure10,
+    "large-density": figure_large_density,
 }

@@ -61,6 +61,8 @@ __all__ = [
     "run_observed",
     "ObservedRun",
     "build_world",
+    "resolve_kernel",
+    "VECTOR_KERNEL_MIN_NODES",
     "World",
     "FailureDriver",
     "TRACKING_SPEC",
@@ -159,10 +161,24 @@ def _place_sources(
     return event_radius_sources(field, cfg.n_sources, radius=cfg.range_m, rng=rng, exclude=sinks)
 
 
+#: ``kernel="auto"`` switches to the vectorized PHY at this node count.
+#: Below it, numpy per-call overhead on small fan-outs makes the scalar
+#: path faster; above it, batched cohorts win (see DESIGN.md §13).
+VECTOR_KERNEL_MIN_NODES = 1000
+
+
+def resolve_kernel(kernel: str, n_nodes: int) -> str:
+    """Resolve ``"auto"`` to a concrete PHY kernel for a network size."""
+    if kernel == "auto":
+        return "vector" if n_nodes >= VECTOR_KERNEL_MIN_NODES else "scalar"
+    return kernel
+
+
 def build_world(
     cfg: ExperimentConfig,
     obs: Optional[ObsOptions] = None,
     field_cache: Optional[FieldCache] = None,
+    kernel: str = "auto",
 ) -> World:
     """Construct the full simulation for one config (without running it).
 
@@ -171,6 +187,13 @@ def build_world(
     ``(seed, n, field_size, range_m)`` geometry once per scheme, and the
     cache removes that duplicate work without touching any RNG stream.
     Pass ``field_cache=FieldCache(maxsize=0)`` to force a fresh build.
+
+    ``kernel`` selects the PHY fan-out implementation: ``"vector"``
+    batches each broadcast over numpy SoA state; ``"scalar"`` is the
+    per-object reference path; ``"auto"`` (the default everywhere)
+    picks vector at ``>= VECTOR_KERNEL_MIN_NODES`` nodes and scalar
+    below, where small fan-outs make per-call numpy overhead a net
+    loss.  RunMetrics and timelines are bit-identical between the two.
     """
     sim = Simulator()
     if obs is not None:
@@ -189,7 +212,12 @@ def build_world(
         range_m=cfg.range_m,
         cache=field_cache,
     )
-    channel = Channel(sim, tracer, RadioParams(range_m=cfg.range_m))
+    channel = Channel(
+        sim,
+        tracer,
+        RadioParams(range_m=cfg.range_m),
+        kernel=resolve_kernel(kernel, cfg.n_nodes),
+    )
     nodes = [
         Node(i, x, y, sim, channel, tracer, rngs)
         for i, (x, y) in enumerate(field.positions)
@@ -260,6 +288,7 @@ def run_experiment(
     obs: Optional[ObsOptions] = None,
     field_cache: Optional[FieldCache] = None,
     store=None,
+    kernel: str = "auto",
 ) -> RunMetrics:
     """Run one experiment end to end and reduce it to metrics.
 
@@ -278,7 +307,7 @@ def run_experiment(
         cached = store.get(cfg)
         if cached is not None:
             return cached
-    observed = run_observed(cfg, obs, field_cache=field_cache)
+    observed = run_observed(cfg, obs, field_cache=field_cache, kernel=kernel)
     if store is not None:
         store.put(cfg, observed.metrics)
         if observed.timeline is not None:
@@ -290,6 +319,7 @@ def run_observed(
     cfg: ExperimentConfig,
     obs: Optional[ObsOptions] = None,
     field_cache: Optional[FieldCache] = None,
+    kernel: str = "auto",
 ) -> ObservedRun:
     """Run one experiment with optional profiling/tracing/provenance.
 
@@ -298,7 +328,7 @@ def run_observed(
     artifacts (profile report, JSONL trace, ``manifest.json``) are
     collected afterwards.
     """
-    world = build_world(cfg, obs, field_cache=field_cache)
+    world = build_world(cfg, obs, field_cache=field_cache, kernel=kernel)
     sim, tracer = world.sim, world.tracer
 
     profiler: Optional[Profiler] = None

@@ -15,9 +15,23 @@ Model (matching the ns-2 setup the paper used):
 * **Promiscuous energy** — every in-range radio pays receive energy for
   every frame, corrupted or not, exactly like a real listening radio.
 
-The :class:`Channel` owns topology (positions, precomputed neighbor lists
-via a uniform grid) and the :class:`Radio` instances; radios are driven by
-the MAC layer above.
+The :class:`Channel` owns topology (positions, precomputed neighbor index
+arrays via a uniform grid) and the :class:`Radio` instances; radios are
+driven by the MAC layer above.
+
+Two kernels share these semantics (``Channel(kernel=...)``):
+
+* ``"scalar"`` (default for bare construction) — per-receiver
+  :class:`_Arrival` objects walked in Python, the reference
+  implementation.
+* ``"vector"`` (what :func:`~repro.experiments.runner.build_world`
+  uses) — per-node state lives in numpy columns
+  (:class:`~repro.net.state.NodeState`) and each broadcast services its
+  whole neighborhood with two *cohort* events whose bookkeeping (energy,
+  carrier sense, collisions) is fancy-indexed array math.  RunMetrics
+  and timelines are bit-identical between the kernels; the equivalence
+  property test (``tests/property/test_kernel_equivalence.py``) enforces
+  it.
 """
 
 from __future__ import annotations
@@ -26,14 +40,28 @@ import math
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Optional
 
+import numpy as np
+
 from ..sim import Simulator, Tracer
 from .energy import EnergyMeter
 from .packet import Frame
+from .state import (
+    C_ACTIVE,
+    C_BUSY_UNTIL,
+    C_CLEAN,
+    C_OVERLAP,
+    C_RX_COUNT,
+    C_RX_LAST,
+    C_RX_PREV,
+    C_RX_TIME,
+    C_TX_UNTIL,
+    NodeState,
+)
 
 if TYPE_CHECKING:  # pragma: no cover
     from .node import Node
 
-__all__ = ["RadioParams", "Channel", "Radio"]
+__all__ = ["RadioParams", "Channel", "Radio", "VectorRadio"]
 
 
 @dataclass(frozen=True)
@@ -79,15 +107,55 @@ def _fanout_end(arrivals: list) -> None:
         receiver.arrival_end(arrival)
 
 
+class _Cohort:
+    """One in-flight frame at a whole neighborhood (vector kernel).
+
+    ``rows`` are the receivers alive at transmit time; ``started`` and
+    ``corrupted_at_start`` are filled in by ``Channel._cohort_start``
+    (receivers still alive at arrival, and their halfduplex/overlap
+    corruption state) for ``_cohort_end`` to finish against.
+    """
+
+    __slots__ = ("frame", "cls", "start", "end", "rows", "started", "corrupted_at_start")
+
+    def __init__(
+        self, frame: Frame, cls: str, start: float, end: float, rows: np.ndarray
+    ) -> None:
+        self.frame = frame
+        self.cls = cls
+        self.start = start
+        self.end = end
+        self.rows = rows
+        self.started: Optional[np.ndarray] = None
+        self.corrupted_at_start: Optional[np.ndarray] = None
+
+
 class Channel:
     """The shared wireless medium: positions, neighborhoods, delivery."""
 
-    def __init__(self, sim: Simulator, tracer: Tracer, params: RadioParams) -> None:
+    def __init__(
+        self,
+        sim: Simulator,
+        tracer: Tracer,
+        params: RadioParams,
+        kernel: str = "scalar",
+    ) -> None:
+        if kernel not in ("scalar", "vector"):
+            raise ValueError(f"unknown channel kernel {kernel!r}")
         self.sim = sim
         self.tracer = tracer
         self.params = params
+        self.kernel = kernel
+        #: SoA node state (vector kernel only; rows assigned at register)
+        self.state: Optional[NodeState] = NodeState() if kernel == "vector" else None
         self.radios: dict[int, Radio] = {}
-        self._neighbors: Optional[dict[int, list["Radio"]]] = None
+        #: radios by row (row = registration order == NodeState row)
+        self._row_radio: list["Radio"] = []
+        self._row_of: dict[int, int] = {}
+        #: per-row neighbor rows, presorted by neighbor node id
+        self._nbr_rows: Optional[list[np.ndarray]] = None
+        #: lazily materialized Radio lists for the neighbors() API
+        self._nbr_radios: dict[int, list["Radio"]] = {}
         self._frame_bytes = tracer.registry.histogram(
             "radio.frame_bytes", buckets=(10, 36, 64, 128, 256, 512)
         )
@@ -121,41 +189,86 @@ class Channel:
     def register(self, radio: "Radio") -> None:
         if radio.node_id in self.radios:
             raise ValueError(f"duplicate node id {radio.node_id}")
+        row = getattr(radio, "_row", None)
+        if row is not None and row != len(self._row_radio):
+            raise ValueError(
+                f"radio row {row} out of registration order "
+                f"(expected {len(self._row_radio)})"
+            )
         self.radios[radio.node_id] = radio
-        self._neighbors = None  # invalidate cache
+        self._row_of[radio.node_id] = len(self._row_radio)
+        self._row_radio.append(radio)
+        self._nbr_rows = None  # invalidate cache
+        self._nbr_radios.clear()
 
     # ------------------------------------------------------------------
     # topology
     # ------------------------------------------------------------------
     def neighbors(self, node_id: int) -> list["Radio"]:
-        """Radios within range of ``node_id`` (excluding itself)."""
-        if self._neighbors is None:
+        """Radios within range of ``node_id`` (excluding itself).
+
+        Materialized lazily from the row-index cache, in ascending
+        neighbor node-id order, and memoized — the scalar transmit path
+        hits this per frame.
+        """
+        cached = self._nbr_radios.get(node_id)
+        if cached is None:
+            rows = self.neighbor_rows(node_id)
+            radios = self._row_radio
+            cached = [radios[r] for r in rows]
+            self._nbr_radios[node_id] = cached
+        return cached
+
+    def neighbor_rows(self, node_id: int) -> np.ndarray:
+        """Rows within range of ``node_id``, presorted by node id."""
+        if self._nbr_rows is None:
             self._build_neighbor_cache()
-        assert self._neighbors is not None
-        return self._neighbors[node_id]
+        assert self._nbr_rows is not None
+        return self._nbr_rows[self._row_of[node_id]]
 
     def _build_neighbor_cache(self) -> None:
-        """Grid-bucketed neighbor computation: O(N * degree)."""
+        """Grid-bucketed neighbor computation: O(N * degree).
+
+        The cache is a list of presorted ``np.intp`` row arrays (shared
+        with the SoA state in the vector kernel — reachability is then a
+        single fancy-index); distances are float64, bitwise the same
+        tests the per-object implementation applied.
+        """
+        n = len(self._row_radio)
+        st = self.state
+        if st is not None:
+            xs, ys = st.x[:n], st.y[:n]
+        else:
+            xs = np.array([r.x for r in self._row_radio])
+            ys = np.array([r.y for r in self._row_radio])
+        ids = np.array([r.node_id for r in self._row_radio], dtype=np.int64)
         cell = self.params.range_m
-        grid: dict[tuple[int, int], list[Radio]] = {}
-        for radio in self.radios.values():
-            key = (int(radio.x // cell), int(radio.y // cell))
-            grid.setdefault(key, []).append(radio)
+        cx = np.floor_divide(xs, cell).astype(np.int64)
+        cy = np.floor_divide(ys, cell).astype(np.int64)
+        grid: dict[tuple[int, int], list[int]] = {}
+        for row in range(n):
+            grid.setdefault((int(cx[row]), int(cy[row])), []).append(row)
         range_sq = self.params.range_m ** 2
-        result: dict[int, list[Radio]] = {}
-        for radio in self.radios.values():
-            cx, cy = int(radio.x // cell), int(radio.y // cell)
-            near: list[Radio] = []
-            for dx in (-1, 0, 1):
-                for dy in (-1, 0, 1):
-                    for other in grid.get((cx + dx, cy + dy), ()):
-                        if other is radio:
-                            continue
-                        d2 = (radio.x - other.x) ** 2 + (radio.y - other.y) ** 2
-                        if d2 <= range_sq:
-                            near.append(other)
-            result[radio.node_id] = near
-        self._neighbors = result
+        result: list[np.ndarray] = [None] * n  # type: ignore[list-item]
+        empty = np.empty(0, dtype=np.intp)
+        for (gx, gy), rows_here in grid.items():
+            cand_lists = [
+                got
+                for dx in (-1, 0, 1)
+                for dy in (-1, 0, 1)
+                if (got := grid.get((gx + dx, gy + dy))) is not None
+            ]
+            cand = np.concatenate([np.asarray(c, dtype=np.intp) for c in cand_lists])
+            # presort once per cell so every row's mask comes out id-ordered
+            cand = cand[np.argsort(ids[cand], kind="stable")]
+            candx, candy = xs[cand], ys[cand]
+            for row in rows_here:
+                ddx = candx - xs[row]
+                ddy = candy - ys[row]
+                near = cand[(ddx * ddx + ddy * ddy) <= range_sq]
+                near = near[near != row]
+                result[row] = near if near.size else empty
+        self._nbr_rows = result
 
     def distance(self, a: int, b: int) -> float:
         ra, rb = self.radios[a], self.radios[b]
@@ -173,11 +286,14 @@ class Channel:
 
         All receivers hear the frame at the same two instants (start and
         end of reception), so the whole neighborhood is serviced by *two*
-        scheduled events carrying one preallocated ``(receiver, arrival)``
-        list, not two events per receiver.  Receivers are visited in
-        neighbor order inside each fan-out, which is exactly the order the
-        per-receiver events used to fire in (same timestamps, consecutive
-        sequence numbers), so runs stay bit-identical.
+        scheduled cohort events — carrying one preallocated
+        ``(receiver, arrival)`` list in the scalar kernel, or a
+        :class:`_Cohort` over SoA rows in the vector kernel — not two
+        events per receiver.  Receivers are visited in ascending node-id
+        order inside each fan-out in both kernels (same timestamps, same
+        tie-order), so runs stay bit-identical across kernels.  Each
+        cohort entry counts one logical event per receiver toward
+        ``Simulator.events_processed``.
         """
         params = self.params
         duration = params.air_time(frame.size)
@@ -206,23 +322,275 @@ class Channel:
             )
         sender.energy.note_tx(duration, cls)
         end_of_tx = now + duration
-        if end_of_tx > sender.tx_until:
-            sender.tx_until = end_of_tx
         start = now + prop
         end = start + duration
+        st = self.state
+        if st is not None:
+            row = sender._row  # type: ignore[attr-defined]
+            hot = st.hot
+            if end_of_tx > hot[row, C_TX_UNTIL]:
+                hot[row, C_TX_UNTIL] = end_of_tx
+            if self._nbr_rows is None:
+                self._build_neighbor_cache()
+            nbr = self._nbr_rows[row]  # type: ignore[index]
+            if st.n_down:
+                up = st.up[nbr]
+                recv = nbr if up.all() else nbr[up]
+            else:
+                recv = nbr
+            if recv.size:
+                cohort = _Cohort(frame, cls, start, end, recv)
+                n = int(recv.size)
+                sim.schedule_cohort_at(start, n, self._cohort_start, cohort)
+                # NB: now + (prop + duration), not (now + prop) + duration —
+                # the end event's timestamp must match the historical float
+                # exactly (it differs from arrival.end by an ULP on some
+                # inputs, and event timestamps feed tie-breaking and MAC
+                # timing).
+                sim.schedule_cohort_at(
+                    now + (prop + duration), n, self._cohort_end, cohort
+                )
+            return duration
+        if end_of_tx > sender.tx_until:
+            sender.tx_until = end_of_tx
         arrivals = [
             (receiver, _Arrival(frame, cls, start, end))
             for receiver in self.neighbors(sender.node_id)
             if receiver.up
         ]
         if arrivals:
-            sim.schedule_at(start, _fanout_start, arrivals)
-            # NB: now + (prop + duration), not (now + prop) + duration — the
-            # end event's timestamp must match the historical float exactly
-            # (it differs from arrival.end by an ULP on some inputs, and
-            # event timestamps feed tie-breaking and MAC timing).
-            sim.schedule_at(now + (prop + duration), _fanout_end, arrivals)
+            n = len(arrivals)
+            sim.schedule_cohort_at(start, n, _fanout_start, arrivals)
+            # NB: see the vector branch — same ULP caveat.
+            sim.schedule_cohort_at(now + (prop + duration), n, _fanout_end, arrivals)
         return duration
+
+    # ------------------------------------------------------------------
+    # vectorized fan-out (kernel="vector")
+    # ------------------------------------------------------------------
+    def _cohort_start(self, c: _Cohort) -> None:
+        """Begin reception at every cohort receiver, in one array pass.
+
+        Per-receiver scalar semantics reproduced exactly: busy-until
+        extension, promiscuous energy charge, half-duplex loss while
+        transmitting, and pairwise collision corruption — a receiver with
+        other in-flight arrivals corrupts every still-clean one of them
+        (one collision count each) plus, unless already lost to half
+        duplex, this arrival (one more).  The ``C_CLEAN``/``C_OVERLAP``
+        columns carry exactly enough state to settle corruption at cohort
+        end without per-arrival objects.
+
+        numpy *call count* (not element count) dominates at realistic
+        neighborhood sizes, so the handler works on a single gathered
+        ``(k, 9)`` block and probes the rare conditions (any receiver
+        down / transmitting / mid-arrival / mid-charge) with cheap
+        ``max()`` reductions before building any boolean mask.  The
+        common cohort — everyone up, idle and quiet — costs about a
+        dozen numpy calls regardless of degree.
+        """
+        st = self.state
+        assert st is not None
+        rows = c.rows
+        if st.n_down:
+            alive = st.up[rows]
+            started = rows if alive.all() else rows[alive]
+            c.started = started
+            if started.size == 0:
+                return
+        else:
+            started = rows
+            c.started = started
+        g = st.hot[started]
+        now = self.sim.now  # == c.start
+        start = c.start
+        end = c.end
+        # carrier-sense horizon
+        bu = g[:, C_BUSY_UNTIL]
+        np.maximum(bu, end, out=bu)
+        # promiscuous energy charge
+        rl = g[:, C_RX_LAST]
+        if start >= rl.max():
+            # Every receiver is on the meter fast path (no rx overlap):
+            # identical per-node arithmetic, one scalar subtraction.
+            # Adjacent columns are written in fused slices (RX_LAST |
+            # RX_PREV, RX_TIME | RX_COUNT) to halve the ufunc dispatches.
+            charged = end - start
+            g[:, C_RX_LAST : C_RX_PREV + 1] = (end, start)
+            g[:, C_RX_TIME : C_RX_COUNT + 1] += (charged, 1.0)
+            st.class_col(st.rx_cls, c.cls)[started] += charged
+        else:
+            self._charge_overlapped(st, started, g, start, end, c.cls)
+        tracer = self.tracer
+        # half duplex: anyone still transmitting at arrival start?
+        txu = g[:, C_TX_UNTIL]
+        halfdup = None
+        if now < txu.max():
+            halfdup = now < txu
+            tracer.count("radio.halfduplex_loss", int(halfdup.sum()))
+        # collisions: anyone with another arrival in flight?
+        ac = g[:, C_ACTIVE]
+        ca = g[:, C_CLEAN]
+        if ac.max() > 0.0:
+            overlapping = ac > 0.0
+            n_coll = int(ca[overlapping].sum())
+            if halfdup is None:
+                n_coll += int(overlapping.sum())
+            else:
+                n_coll += int((overlapping & ~halfdup).sum())
+            if n_coll:
+                tracer.count("radio.collision", n_coll)
+            ca[overlapping] = 0.0
+            g[:, C_OVERLAP][overlapping] = now
+            if halfdup is None:
+                ca[~overlapping] += 1.0
+                c.corrupted_at_start = overlapping
+            else:
+                ca[~(overlapping | halfdup)] += 1.0
+                c.corrupted_at_start = overlapping | halfdup
+            ac += 1.0
+        elif halfdup is None:
+            # Common cohort: fused in-flight/clean increment.
+            g[:, C_ACTIVE : C_CLEAN + 1] += 1.0
+            c.corrupted_at_start = None  # nobody corrupted at start
+        else:
+            ca[~halfdup] += 1.0
+            c.corrupted_at_start = halfdup
+            ac += 1.0
+        st.hot[started] = g
+
+    @staticmethod
+    def _charge_overlapped(
+        st: NodeState,
+        started: np.ndarray,
+        g: np.ndarray,
+        start: float,
+        end: float,
+        cls: str,
+    ) -> None:
+        """Energy charge when some receiver has an overlapping rx charge.
+
+        Mirrors :meth:`repro.net.state.MeterView.note_rx` per row: *fast*
+        rows charge the whole interval, *mid* rows (arrival starts inside
+        the previously charged interval) charge only the extension beyond
+        the last charged edge.  Out-of-order charges raise — cohorts are
+        serviced in event-time order, so the meter's slow path is
+        unreachable.
+        """
+        rl = g[:, C_RX_LAST]
+        fast = start >= rl
+        charged = np.empty(rl.size)
+        charged[fast] = end - start
+        mid = ~fast
+        rp = g[:, C_RX_PREV]
+        if not (start >= rp[mid]).all():
+            raise RuntimeError(
+                "out-of-order rx charge in cohort "
+                "(start precedes a previously charged interval)"
+            )
+        charged[mid] = end - rl[mid]
+        rp[fast] = start
+        np.maximum(rl, end, out=rl)
+        pos = charged > 0.0
+        col = st.class_col(st.rx_cls, cls)
+        if pos.all():
+            g[:, C_RX_TIME] += charged
+            g[:, C_RX_COUNT] += 1.0
+            col[started] += charged
+        else:
+            g[:, C_RX_TIME][pos] += charged[pos]
+            g[:, C_RX_COUNT][pos] += 1.0
+            col[started[pos]] += charged[pos]
+
+    def _cohort_end(self, c: _Cohort) -> None:
+        """Finish reception: settle corruption, deliver clean frames.
+
+        An arrival was corrupted mid-flight iff some overlap happened at
+        this receiver at or after the arrival's start (events fire in
+        time order, so ``C_OVERLAP >= c.start`` can only come from an
+        overlap the arrival was active for — a same-instant overlap
+        before our start implies other arrivals were still active and we
+        were corrupted at start anyway).  The transmitting check uses the
+        event timestamp (``sim.now``), not ``c.end``: the end event is
+        scheduled at ``tx + (prop + duration)``, which can differ from
+        ``start + duration`` by one ULP, and the scalar path compares
+        against the event clock.
+
+        Same call-count discipline as ``_cohort_start``: one gather, one
+        scatter, ``max()`` probes before masks, and ``None`` standing for
+        all-clean / all-up / none-transmitting so the common cohort never
+        materializes a boolean array.  Deliveries run after the scatter,
+        in ascending node-id order (cohort rows are presorted), matching
+        the scalar fan-out's visit order.
+        """
+        started = c.started
+        if started is None or started.size == 0:
+            return
+        st = self.state
+        assert st is not None
+        g = st.hot[started]
+        start = c.start
+        cas = c.corrupted_at_start
+        lo = g[:, C_OVERLAP]
+        if cas is None and lo.max() < start:
+            clean = None  # every arrival survived
+        else:
+            corrupted = (lo >= start) if cas is None else cas | (lo >= start)
+            clean = ~corrupted
+        if clean is None:
+            # Common cohort: fused in-flight/clean decrement.
+            g[:, C_ACTIVE : C_CLEAN + 1] -= 1.0
+        else:
+            g[:, C_ACTIVE] -= 1.0
+            if not clean.any():
+                st.hot[started] = g
+                return
+            g[:, C_CLEAN][clean] -= 1.0
+        now = self.sim.now
+        txu = g[:, C_TX_UNTIL]
+        transmitting = (now < txu) if now < txu.max() else None
+        st.hot[started] = g
+        live = clean
+        if st.n_down:
+            up = st.up[started]
+            live = up if live is None else live & up
+        tracer = self.tracer
+        if transmitting is None:
+            ok = live
+        else:
+            half = transmitting if live is None else live & transmitting
+            n_half = int(half.sum())
+            if n_half:
+                # Started transmitting mid-reception (zero-backoff ACKs).
+                tracer.count("radio.halfduplex_loss", n_half)
+            ok = ~transmitting if live is None else live & ~transmitting
+        if ok is None:
+            ok_rows = started
+        else:
+            if not ok.any():
+                return
+            ok_rows = started[ok]
+        n_ok = int(ok_rows.size)
+        tracer.count("radio.rx", n_ok)
+        counts = self._rx_class_counts
+        cls = c.cls
+        try:
+            counts[cls] += n_ok
+        except KeyError:
+            counts[cls] = n_ok
+        frame = c.frame
+        radios = self._row_radio
+        if tracer.wants("phy.rx"):
+            fid, src = frame.frame_id, frame.src
+            for r in ok_rows.tolist():
+                radio = radios[r]
+                tracer.record("phy.rx", frame=fid, node=radio.node_id, src=src)
+                if radio.deliver is not None:
+                    radio.deliver(frame)
+        else:
+            for r in ok_rows.tolist():
+                deliver = radios[r].deliver
+                if deliver is not None:
+                    deliver(frame)
 
 
 class Radio:
@@ -350,3 +718,62 @@ class Radio:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Radio {self.node_id} at ({self.x:.1f},{self.y:.1f})>"
+
+
+class VectorRadio(Radio):
+    """Radio whose mutable state lives in the channel's SoA columns.
+
+    ``up`` / ``tx_until`` / ``busy_until`` become properties over
+    ``NodeState`` row ``_row`` (the class attributes shadow the parent's
+    slot descriptors), so the MAC and failure layers keep their exact
+    Radio API while cohort fan-outs read the same cells via fancy
+    indexing.  Getters convert to built-in ``bool``/``float`` — numpy
+    scalars must never reach simulator timestamps or JSON artifacts.
+
+    The row is allocated by the owning :class:`~repro.net.node.Node`
+    (meter view and radio share it) before ``Radio.__init__`` runs, so
+    the parent constructor's state writes already land in the arrays.
+    """
+
+    __slots__ = ("_st", "_row")
+
+    def __init__(
+        self,
+        node_id: int,
+        x: float,
+        y: float,
+        channel: Channel,
+        energy,
+        row: int,
+    ) -> None:
+        if channel.state is None:
+            raise ValueError("VectorRadio requires a vector-kernel channel")
+        self._st = channel.state
+        self._row = row
+        super().__init__(node_id, x, y, channel, energy)
+
+    @property
+    def up(self) -> bool:  # type: ignore[override]
+        return bool(self._st.up[self._row])
+
+    @up.setter
+    def up(self, value: bool) -> None:
+        # Routed through set_up so the channel's no-failures fast path
+        # (skip liveness masks while n_down == 0) stays exact.
+        self._st.set_up(self._row, bool(value))
+
+    @property
+    def tx_until(self) -> float:  # type: ignore[override]
+        return float(self._st.hot[self._row, C_TX_UNTIL])
+
+    @tx_until.setter
+    def tx_until(self, value: float) -> None:
+        self._st.hot[self._row, C_TX_UNTIL] = value
+
+    @property
+    def busy_until(self) -> float:  # type: ignore[override]
+        return float(self._st.hot[self._row, C_BUSY_UNTIL])
+
+    @busy_until.setter
+    def busy_until(self, value: float) -> None:
+        self._st.hot[self._row, C_BUSY_UNTIL] = value

@@ -1,0 +1,288 @@
+"""Structure-of-arrays node state for the vectorized kernel.
+
+The scalar kernel keeps per-node radio and energy state on Python
+objects (:class:`~repro.net.radio.Radio`,
+:class:`~repro.net.energy.EnergyMeter`) and walks them one receiver at a
+time.  The vectorized kernel (``Channel(kernel="vector")``) keeps the
+same state in numpy columns indexed by *row* — one row per registered
+radio — so a whole broadcast fan-out (energy charge, carrier sense,
+collision bookkeeping at every in-range receiver) is a handful of
+fancy-indexed array ops instead of a Python loop.
+
+Layout: the nine per-receiver fields the fan-out touches live in one
+``(capacity, 9)`` float64 matrix (``hot``, column indices ``C_*``), so a
+cohort is serviced by a single row gather, column arithmetic on the
+small ``(k, 9)`` block, and a single row scatter — numpy per-call
+overhead is what dominates at paper-scale neighborhood sizes (~6–15
+receivers), so call count matters more than element count.  Fields that
+only see per-sender scalar access (positions, liveness, tx accounting,
+per-class time columns) stay 1D.
+
+Two access layers share the columns:
+
+* :class:`NodeState` — the column store (``Channel._cohort_start`` /
+  ``_cohort_end`` do the batched math).
+* :class:`MeterView` — an :class:`~repro.net.energy.EnergyMeter`-shaped
+  view of one row, so the runner / auditor / timeline probes read energy
+  exactly as they do from a scalar meter.
+
+Bit-identity contract: every float cell is accumulated with the same
+per-node operation order and the same IEEE-754 arithmetic as the scalar
+path (numpy float64 ops are bitwise-identical to Python float ops), and
+every value handed back out is converted to a built-in ``float`` /
+``int`` / ``bool`` so numpy scalars never leak into simulator timestamps
+or JSON artifacts.  Counters (``active``, ``clean``, ``rx_count``) ride
+in float64 cells — exact far past any realistic event count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .energy import EnergyParams, UNCLASSIFIED
+
+__all__ = ["NodeState", "MeterView"]
+
+_NEG_INF = float("-inf")
+
+#: ``hot`` column indices (one row per node)
+C_TX_UNTIL = 0    #: end of the row's own current transmission (half duplex)
+C_BUSY_UNTIL = 1  #: carrier-sense horizon
+C_ACTIVE = 2      #: in-flight arrivals at this receiver
+C_CLEAN = 3       #: in-flight arrivals not yet corrupted
+C_OVERLAP = 4     #: sim time of the last arrival overlap at this receiver
+C_RX_LAST = 5     #: rightmost charged rx edge (EnergyMeter._rx_last)
+C_RX_PREV = 6     #: start of the rightmost charged rx interval (edges[-2])
+C_RX_TIME = 7     #: cumulative charged receive time
+C_RX_COUNT = 8    #: number of charged receptions
+HOT_COLS = 9
+
+
+class NodeState:
+    """Column store of per-node radio/energy state, indexed by row."""
+
+    __slots__ = (
+        "n",
+        "n_down",
+        "_cap",
+        "x",
+        "y",
+        "up",
+        "hot",
+        "tx_time",
+        "tx_count",
+        "tx_cls",
+        "rx_cls",
+    )
+
+    def __init__(self, capacity: int = 64) -> None:
+        cap = max(int(capacity), 1)
+        self.n = 0
+        #: rows currently down — lets fan-outs skip liveness masks when 0
+        self.n_down = 0
+        self._cap = cap
+        #: positions (immutable after registration)
+        self.x = np.zeros(cap)
+        self.y = np.zeros(cap)
+        #: liveness flag (VectorRadio.up pushes into this)
+        self.up = np.ones(cap, dtype=bool)
+        #: fused per-receiver state, see the C_* column constants
+        self.hot = self._fresh_hot(cap)
+        self.tx_time = np.zeros(cap)
+        self.tx_count = np.zeros(cap, dtype=np.int64)
+        #: per-message-class time-in-state columns, created on first charge
+        self.tx_cls: dict[str, np.ndarray] = {}
+        self.rx_cls: dict[str, np.ndarray] = {}
+
+    @staticmethod
+    def _fresh_hot(cap: int) -> np.ndarray:
+        hot = np.zeros((cap, HOT_COLS))
+        hot[:, C_OVERLAP] = _NEG_INF
+        hot[:, C_RX_LAST] = _NEG_INF
+        hot[:, C_RX_PREV] = _NEG_INF
+        return hot
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def add_node(self, x: float, y: float) -> int:
+        """Allocate one row; returns its index."""
+        row = self.n
+        if row == self._cap:
+            self._grow()
+        self.n = row + 1
+        self.x[row] = x
+        self.y[row] = y
+        return row
+
+    def _grow(self) -> None:
+        cap = self._cap
+        new_cap = cap * 2
+        for name in ("x", "y", "tx_time", "tx_count"):
+            old = getattr(self, name)
+            col = np.zeros(new_cap, dtype=old.dtype)
+            col[:cap] = old
+            setattr(self, name, col)
+        up = np.ones(new_cap, dtype=bool)
+        up[:cap] = self.up
+        self.up = up
+        hot = self._fresh_hot(new_cap)
+        hot[:cap] = self.hot
+        self.hot = hot
+        for cols in (self.tx_cls, self.rx_cls):
+            for cls, old in cols.items():
+                col = np.zeros(new_cap)
+                col[:cap] = old
+                cols[cls] = col
+        self._cap = new_cap
+
+    def class_col(self, cols: dict[str, np.ndarray], cls: str) -> np.ndarray:
+        """Get-or-create the per-class time column for ``cls``."""
+        col = cols.get(cls)
+        if col is None:
+            col = cols[cls] = np.zeros(self._cap)
+        return col
+
+    def set_up(self, row: int, value: bool) -> None:
+        """Flip liveness, maintaining the ``n_down`` fast-path counter."""
+        up = self.up
+        if bool(up[row]) != value:
+            self.n_down += -1 if value else 1
+            up[row] = value
+
+
+class MeterView:
+    """:class:`~repro.net.energy.EnergyMeter` API over one NodeState row.
+
+    Readouts return built-in ``float``/``int`` (never numpy scalars —
+    they would leak into simulator timestamps and JSON artifacts).  The
+    charge paths mirror the scalar meter's fast and overlap paths; the
+    out-of-order slow path raises, because the vector kernel only ever
+    charges in event-time order.
+    """
+
+    __slots__ = ("_st", "_row", "params")
+
+    def __init__(self, state: NodeState, row: int, params: EnergyParams) -> None:
+        self._st = state
+        self._row = row
+        self.params = params
+
+    # ------------------------------------------------------------------
+    # scalar-meter surface
+    # ------------------------------------------------------------------
+    @property
+    def tx_time(self) -> float:
+        return float(self._st.tx_time[self._row])
+
+    @property
+    def rx_time(self) -> float:
+        return float(self._st.hot[self._row, C_RX_TIME])
+
+    @property
+    def tx_count(self) -> int:
+        return int(self._st.tx_count[self._row])
+
+    @property
+    def rx_count(self) -> int:
+        return int(self._st.hot[self._row, C_RX_COUNT])
+
+    @property
+    def tx_time_by_class(self) -> dict[str, float]:
+        """Per-class tx time (charged classes only, like the scalar dict)."""
+        row = self._row
+        return {
+            cls: float(col[row])
+            for cls, col in self._st.tx_cls.items()
+            if col[row] != 0.0
+        }
+
+    @property
+    def rx_time_by_class(self) -> dict[str, float]:
+        row = self._row
+        return {
+            cls: float(col[row])
+            for cls, col in self._st.rx_cls.items()
+            if col[row] != 0.0
+        }
+
+    # ------------------------------------------------------------------
+    # charges
+    # ------------------------------------------------------------------
+    def note_tx(self, duration: float, cls: str = UNCLASSIFIED) -> None:
+        if duration < 0:
+            raise ValueError("negative duration")
+        st, row = self._st, self._row
+        st.tx_time[row] += duration
+        st.tx_count[row] += 1
+        st.class_col(st.tx_cls, cls)[row] += duration
+
+    def note_rx(self, start: float, duration: float, cls: str = UNCLASSIFIED) -> None:
+        if duration < 0:
+            raise ValueError("negative duration")
+        st, row = self._st, self._row
+        cell = st.hot[row]
+        end = start + duration
+        last = cell[C_RX_LAST]
+        if start >= last:
+            if end <= start:
+                return
+            cell[C_RX_PREV] = start
+            cell[C_RX_LAST] = end
+            charged = end - start
+        elif start >= cell[C_RX_PREV]:
+            if end <= last:
+                return
+            charged = end - last
+            cell[C_RX_LAST] = end
+        else:
+            raise RuntimeError(
+                "out-of-order rx charge on a vector-kernel meter "
+                "(start precedes the previous charged interval)"
+            )
+        cell[C_RX_TIME] += charged
+        cell[C_RX_COUNT] += 1.0
+        st.class_col(st.rx_cls, cls)[row] += charged
+
+    # ------------------------------------------------------------------
+    # readout (identical arithmetic to EnergyMeter)
+    # ------------------------------------------------------------------
+    def class_times(self) -> dict[str, tuple[float, float]]:
+        """Per-class ``(tx_time, rx_time)`` snapshot (copies, safe to keep)."""
+        tx = self.tx_time_by_class
+        rx = self.rx_time_by_class
+        return {
+            cls: (tx.get(cls, 0.0), rx.get(cls, 0.0)) for cls in set(tx) | set(rx)
+        }
+
+    def energy_by_class_j(self) -> dict[str, float]:
+        """Communication energy decomposed by message class (joules)."""
+        txp, rxp = self.params.tx_power_w, self.params.rx_power_w
+        out: dict[str, float] = {}
+        for cls, t in self.tx_time_by_class.items():
+            out[cls] = out.get(cls, 0.0) + txp * t
+        for cls, t in self.rx_time_by_class.items():
+            out[cls] = out.get(cls, 0.0) + rxp * t
+        return out
+
+    def idle_time(self, total_time: float) -> float:
+        busy = self.tx_time + self.rx_time
+        return max(0.0, total_time - busy)
+
+    def communication_energy_j(self) -> float:
+        return (
+            self.params.tx_power_w * self.tx_time
+            + self.params.rx_power_w * self.rx_time
+        )
+
+    def total_energy_j(self, total_time: float) -> float:
+        return (
+            self.communication_energy_j()
+            + self.params.idle_power_w * self.idle_time(total_time)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<MeterView row={self._row} tx={self.tx_time:.4f}s({self.tx_count}) "
+            f"rx={self.rx_time:.4f}s({self.rx_count})>"
+        )

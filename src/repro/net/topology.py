@@ -28,6 +28,7 @@ import random
 from dataclasses import dataclass, field
 
 import networkx as nx
+import numpy as np
 
 __all__ = [
     "SensorField",
@@ -68,6 +69,8 @@ class SensorField:
     range_m: float
     redraws: int = 0
     _graph: nx.Graph = field(default=None, repr=False, compare=False)  # type: ignore[assignment]
+    #: cached (n, 2) position matrix for vectorized geometry queries
+    _pos_arr: np.ndarray = field(default=None, repr=False, compare=False)  # type: ignore[assignment]
 
     @property
     def n(self) -> int:
@@ -120,13 +123,26 @@ class SensorField:
         (ax, ay), (bx, by) = self.positions[a], self.positions[b]
         return math.hypot(ax - bx, ay - by)
 
+    def position_array(self) -> np.ndarray:
+        """The positions as a cached ``(n, 2)`` float64 matrix.
+
+        Do not mutate — positions are fixed once the field is drawn.
+        """
+        if self._pos_arr is None:
+            self._pos_arr = np.asarray(self.positions, dtype=np.float64).reshape(-1, 2)
+        return self._pos_arr
+
     def nodes_in_square(self, x0: float, y0: float, side: float) -> list[int]:
-        """Node ids whose position lies inside [x0, x0+side] x [y0, y0+side]."""
-        return [
-            i
-            for i, (x, y) in enumerate(self.positions)
-            if x0 <= x <= x0 + side and y0 <= y <= y0 + side
-        ]
+        """Node ids whose position lies inside [x0, x0+side] x [y0, y0+side].
+
+        Vectorized over the cached position matrix; the result is in
+        ascending node-id order, exactly like the list-scan it replaced
+        (placement RNG draws depend on that order).
+        """
+        pos = self.position_array()
+        x, y = pos[:, 0], pos[:, 1]
+        inside = (x >= x0) & (x <= x0 + side) & (y >= y0) & (y <= y0 + side)
+        return [int(i) for i in np.nonzero(inside)[0]]
 
 
 def generate_field(

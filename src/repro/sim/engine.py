@@ -25,6 +25,22 @@ the air turns into heap traffic here):
 * :meth:`Simulator.pending_count` is O(1): cancellations are counted as
   they happen (see :meth:`ScheduledEvent.cancel`) instead of scanning the
   heap, because trace snapshots read it on every tick.
+* **Event cohorts** — a batch of homogeneous logical events that share a
+  timestamp (e.g. one frame's arrival at every in-range receiver) can be
+  scheduled as a *single* heap entry via :meth:`Simulator.schedule_cohort`
+  / :meth:`schedule_cohort_at` with an explicit member ``count``.  The
+  cohort occupies one ``(time, seq)`` slot — FIFO tie-order against every
+  other event is exactly that of the single event it replaces, so runs
+  stay bit-for-bit deterministic — while ``events_processed`` advances by
+  the full member count, keeping throughput accounting in units of
+  logical events rather than Python dispatches.
+* **Heap compaction** — cancelled entries normally leave the heap lazily
+  when they reach the front.  Cancellation-heavy workloads (the MAC
+  cancels an ACK timer per acknowledged unicast) can accumulate tens of
+  thousands of dead ``(time, seq, event)`` tuples; when more than half
+  the heap is dead (and past a small floor), the whole heap is swept and
+  re-heapified in one O(n) pass.  Live entries keep their ``(time, seq)``
+  keys, so ordering is unaffected.
 """
 
 from __future__ import annotations
@@ -47,16 +63,23 @@ class ScheduledEvent:
     ever cancels or inspects them.
     """
 
-    __slots__ = ("time", "fn", "args", "cancelled", "fired", "_sim")
+    __slots__ = ("time", "fn", "args", "cancelled", "fired", "count", "_sim")
 
     def __init__(
-        self, time: float, fn: Callable[..., Any], args: tuple, sim: "Optional[Simulator]" = None
+        self,
+        time: float,
+        fn: Callable[..., Any],
+        args: tuple,
+        sim: "Optional[Simulator]" = None,
+        count: int = 1,
     ):
         self.time = time
         self.fn = fn
         self.args = args
         self.cancelled = False
         self.fired = False
+        #: how many logical events this entry stands for (cohorts > 1)
+        self.count = count
         self._sim = sim
 
     def cancel(self) -> None:
@@ -70,6 +93,7 @@ class ScheduledEvent:
             # Keep the owning simulator's live-entry count exact so
             # pending_count() stays O(1).
             sim._cancelled_pending += 1
+            sim._maybe_compact()
 
     @property
     def pending(self) -> bool:
@@ -110,6 +134,9 @@ class Simulator:
         self.cancelled_skipped: int = 0
         #: cancelled entries still sitting in the heap (see pending_count)
         self._cancelled_pending: int = 0
+        #: dead entries removed by whole-heap sweeps (subset of
+        #: cancelled_skipped; diagnostic only)
+        self.compaction_swept: int = 0
         self._profiler: Optional[Any] = None
 
     # ------------------------------------------------------------------
@@ -154,6 +181,36 @@ class Simulator:
         heapq.heappush(self._heap, (time, self._seq, ev))
         return ev
 
+    def schedule_cohort(
+        self, delay: float, count: int, fn: Callable[..., Any], *args: Any
+    ) -> ScheduledEvent:
+        """Schedule one heap entry standing for ``count`` logical events.
+
+        The callback fires exactly once, ``delay`` seconds from now, but
+        ``events_processed`` advances by ``count`` — use this when a single
+        dispatch handles a whole batch of homogeneous events (e.g. one
+        frame arriving at every in-range receiver).  ``count`` must be
+        positive.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        return self.schedule_cohort_at(self._now + delay, count, fn, *args)
+
+    def schedule_cohort_at(
+        self, time: float, count: int, fn: Callable[..., Any], *args: Any
+    ) -> ScheduledEvent:
+        """Absolute-time variant of :meth:`schedule_cohort`."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time} before current time t={self._now}"
+            )
+        if count < 1:
+            raise SimulationError(f"cohort count must be >= 1 (got {count})")
+        ev = ScheduledEvent(time, fn, args, self, count=count)
+        self._seq += 1
+        heapq.heappush(self._heap, (time, self._seq, ev))
+        return ev
+
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
@@ -182,7 +239,7 @@ class Simulator:
                     continue
                 self._now = time
                 ev.fired = True
-                self.events_processed += 1
+                self.events_processed += ev.count
                 prof = self._profiler
                 if prof is None:
                     ev.fn(*ev.args)
@@ -206,7 +263,7 @@ class Simulator:
                 continue
             self._now = time
             ev.fired = True
-            self.events_processed += 1
+            self.events_processed += ev.count
             prof = self._profiler
             if prof is None:
                 ev.fn(*ev.args)
@@ -220,6 +277,34 @@ class Simulator:
     def stop(self) -> None:
         """Request that the current :meth:`run` return after the current event."""
         self._stopped = True
+
+    # ------------------------------------------------------------------
+    # heap maintenance
+    # ------------------------------------------------------------------
+    #: no compaction below this many cancelled entries — tiny heaps churn
+    #: faster through the lazy pop path than through a sweep
+    _COMPACT_FLOOR = 64
+
+    def _maybe_compact(self) -> None:
+        """Sweep dead entries when more than half the heap is cancelled.
+
+        Called from :meth:`ScheduledEvent.cancel`.  The sweep is O(n) and
+        only runs once at least ``_COMPACT_FLOOR`` entries are dead *and*
+        dead entries outnumber live ones, so total sweep work stays
+        amortized O(1) per cancellation.  Live entries keep their
+        ``(time, seq)`` keys, so FIFO tie-order is unaffected; ``run()``
+        mutates the same list object in place, so its local alias stays
+        valid.
+        """
+        dead = self._cancelled_pending
+        heap = self._heap
+        if dead < self._COMPACT_FLOOR or dead * 2 <= len(heap):
+            return
+        heap[:] = [entry for entry in heap if not entry[2].cancelled]
+        heapq.heapify(heap)
+        self.cancelled_skipped += dead
+        self.compaction_swept += dead
+        self._cancelled_pending = 0
 
     # ------------------------------------------------------------------
     # introspection

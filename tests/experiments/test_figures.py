@@ -9,7 +9,15 @@ from repro.experiments.figures import FIGURES, figure5, figure9, git_vs_spt_tabl
 
 class TestFigureHarness:
     def test_registry_covers_all_evaluation_figures(self):
-        assert set(FIGURES) == {"fig5", "fig6", "fig7", "fig8", "fig9", "fig10"}
+        assert set(FIGURES) == {
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+            "fig10",
+            "large-density",
+        }
 
     def test_figure5_tiny(self):
         result = figure5(smoke(), densities=(50,), trials=1)

@@ -1,0 +1,142 @@
+"""Unit tests for the SoA node state and the EnergyMeter-shaped view.
+
+The contract under test: a :class:`MeterView` over a
+:class:`NodeState` row behaves exactly like a scalar
+:class:`~repro.net.energy.EnergyMeter` — same charges, same per-class
+dicts, same derived energies — and hands back only built-in Python
+types (numpy scalars must never leak into timestamps or JSON).
+"""
+
+import pytest
+
+from repro.net.energy import EnergyMeter, EnergyParams
+from repro.net.state import MeterView, NodeState
+
+
+def _pair():
+    st = NodeState(capacity=2)
+    row = st.add_node(1.0, 2.0)
+    params = EnergyParams()
+    return EnergyMeter(params), MeterView(st, row, params), st
+
+
+class TestMeterViewMatchesScalarMeter:
+    def test_tx_accounting(self):
+        scalar, view, _ = _pair()
+        for dur, cls in ((0.01, "interest"), (0.02, "data"), (0.005, "interest")):
+            scalar.note_tx(dur, cls)
+            view.note_tx(dur, cls)
+        assert view.tx_time == scalar.tx_time
+        assert view.tx_count == scalar.tx_count
+        assert view.tx_time_by_class == scalar.tx_time_by_class
+
+    def test_rx_fast_path(self):
+        scalar, view, _ = _pair()
+        scalar.note_rx(1.0, 0.25, "data")
+        view.note_rx(1.0, 0.25, "data")
+        assert view.rx_time == scalar.rx_time == 0.25
+        assert view.rx_count == scalar.rx_count == 1
+
+    def test_rx_overlap_charges_extension_only(self):
+        # Second charge starts inside the first interval: only the part
+        # past the charged edge is billed, exactly like the scalar meter.
+        scalar, view, _ = _pair()
+        for meter in (scalar, view):
+            meter.note_rx(1.0, 1.0, "data")      # [1, 2]
+            meter.note_rx(1.5, 1.0, "data")      # [1.5, 2.5] -> +0.5
+        assert view.rx_time == scalar.rx_time == 1.5
+        assert view.rx_count == scalar.rx_count == 2
+        assert view.rx_time_by_class == scalar.rx_time_by_class
+
+    def test_rx_contained_overlap_charges_nothing(self):
+        scalar, view, _ = _pair()
+        for meter in (scalar, view):
+            meter.note_rx(1.0, 1.0, "data")      # [1, 2]
+            meter.note_rx(1.2, 0.1, "data")      # inside -> no charge
+        assert view.rx_time == scalar.rx_time == 1.0
+        # no charge -> no count, matching the scalar meter
+        assert view.rx_count == scalar.rx_count == 1
+
+    def test_rx_out_of_order_raises(self):
+        _, view, _ = _pair()
+        view.note_rx(5.0, 1.0)
+        view.note_rx(5.5, 1.0)
+        with pytest.raises(RuntimeError):
+            view.note_rx(1.0, 0.5)  # before the previous charged interval
+
+    def test_negative_duration_rejected(self):
+        _, view, _ = _pair()
+        with pytest.raises(ValueError):
+            view.note_tx(-0.1)
+        with pytest.raises(ValueError):
+            view.note_rx(0.0, -0.1)
+
+    def test_derived_energies_match(self):
+        scalar, view, _ = _pair()
+        for meter in (scalar, view):
+            meter.note_tx(0.05, "data")
+            meter.note_rx(0.0, 0.08, "interest")
+        total = 10.0
+        assert view.idle_time(total) == scalar.idle_time(total)
+        assert view.communication_energy_j() == scalar.communication_energy_j()
+        assert view.total_energy_j(total) == scalar.total_energy_j(total)
+        assert view.energy_by_class_j() == scalar.energy_by_class_j()
+        assert view.class_times() == scalar.class_times()
+
+    def test_readouts_are_builtin_types(self):
+        _, view, _ = _pair()
+        view.note_tx(0.01, "data")
+        view.note_rx(0.0, 0.02, "data")
+        assert type(view.tx_time) is float
+        assert type(view.rx_time) is float
+        assert type(view.tx_count) is int
+        assert type(view.rx_count) is int
+        for d in (view.tx_time_by_class, view.rx_time_by_class):
+            for k, v in d.items():
+                assert type(k) is str and type(v) is float
+
+    def test_class_dicts_hold_only_charged_classes(self):
+        _, view, st = _pair()
+        view.note_rx(1.0, 1.0, "data")
+        view.note_rx(1.2, 0.1, "interest")  # contained -> zero charge
+        # the zero-charge class must not appear (scalar meters only
+        # create per-class entries on an actual charge)
+        assert set(view.rx_time_by_class) == {"data"}
+
+
+class TestNodeState:
+    def test_rows_are_dense_and_positions_stick(self):
+        st = NodeState(capacity=1)
+        rows = [st.add_node(float(i), float(2 * i)) for i in range(5)]
+        assert rows == list(range(5))
+        assert st.n == 5
+        assert [float(x) for x in st.x[:5]] == [0.0, 1.0, 2.0, 3.0, 4.0]
+
+    def test_growth_preserves_state(self):
+        st = NodeState(capacity=2)
+        r0 = st.add_node(1.0, 1.0)
+        params = EnergyParams()
+        view = MeterView(st, r0, params)
+        view.note_tx(0.5, "data")
+        view.note_rx(0.0, 0.25, "data")
+        st.set_up(r0, False)
+        for i in range(20):  # force several capacity doublings
+            st.add_node(float(i), float(i))
+        assert view.tx_time == 0.5
+        assert view.rx_time == 0.25
+        assert view.rx_time_by_class == {"data": 0.25}
+        assert bool(st.up[r0]) is False
+        assert st.n_down == 1
+
+    def test_set_up_tracks_down_count(self):
+        st = NodeState()
+        r = st.add_node(0.0, 0.0)
+        assert st.n_down == 0
+        st.set_up(r, False)
+        assert st.n_down == 1
+        st.set_up(r, False)  # idempotent
+        assert st.n_down == 1
+        st.set_up(r, True)
+        assert st.n_down == 0
+        st.set_up(r, True)
+        assert st.n_down == 0

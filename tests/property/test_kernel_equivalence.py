@@ -1,0 +1,95 @@
+"""Scalar-vs-vector PHY kernel equivalence.
+
+The vectorized kernel (``Channel(kernel="vector")``, auto-selected by
+the runner at >= 1000 nodes) must be a pure performance
+transformation: for any config, seed, and
+observability setup, its :class:`~repro.experiments.metrics.RunMetrics`
+— including per-class energy attribution, lifetime metrics, and every
+counter — and its probe timelines must be *bit-identical* to the scalar
+reference kernel's.
+
+The matrix here crosses 10+ seeds with three network regimes (sparse,
+the paper's densest field, and a beyond-paper large field) and with the
+audit / timeline observability combinations.  Running the full cross
+product would take minutes, so each seed draws one regime and one
+observability combo round-robin — together the seeds cover every
+(regime, combo) pair while each pair still sees multiple seeds.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.diffusion.agent import DiffusionParams
+from repro.experiments.config import ExperimentConfig, FailureModel
+from repro.experiments.runner import run_observed
+from repro.obs import ObsOptions
+
+#: (name, config-overrides) — durations trimmed so the matrix stays fast
+REGIMES = {
+    "sparse": dict(n_nodes=50, field_size=200.0, duration=10.0, warmup=4.0),
+    "paper-max": dict(n_nodes=350, field_size=200.0, duration=4.0, warmup=2.0),
+    "large": dict(n_nodes=800, field_size=500.0, duration=4.0, warmup=2.0),
+}
+
+#: (audit, timeline) observability combinations
+OBS_COMBOS = [(False, False), (True, False), (False, True), (True, True)]
+
+SEEDS = list(range(10))
+
+
+def _config(seed: int, regime: str) -> ExperimentConfig:
+    over = REGIMES[regime]
+    return ExperimentConfig(
+        scheme=("greedy", "opportunistic")[seed % 2],
+        seed=seed,
+        diffusion=DiffusionParams(exploratory_interval=6.0),
+        **over,
+    )
+
+
+def _run(cfg: ExperimentConfig, kernel: str, audit: bool, timeline: bool):
+    obs = ObsOptions(audit=audit, timeline=timeline) if (audit or timeline) else None
+    return run_observed(cfg, obs, kernel=kernel)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_kernels_bit_identical(seed):
+    regime = list(REGIMES)[seed % len(REGIMES)]
+    audit, timeline = OBS_COMBOS[seed % len(OBS_COMBOS)]
+    cfg = _config(seed, regime)
+
+    scalar = _run(cfg, "scalar", audit, timeline)
+    vector = _run(cfg, "vector", audit, timeline)
+
+    assert dataclasses.asdict(scalar.metrics) == dataclasses.asdict(vector.metrics)
+    # Cohort accounting must agree too: both kernels count one logical
+    # event per receiver per fan-out phase.
+    assert scalar.events_processed == vector.events_processed
+    assert scalar.cancelled_skipped == vector.cancelled_skipped
+    if timeline:
+        assert scalar.timeline is not None and vector.timeline is not None
+        assert scalar.timeline.as_dict() == vector.timeline.as_dict()
+    if audit:
+        assert scalar.audit == vector.audit
+
+
+def test_kernels_bit_identical_under_failures():
+    """Failure dynamics exercise the liveness fast path (n_down) of the
+    vector kernel: nodes dropping mid-flight, recovering, and re-entering
+    fan-outs must not perturb a single counter."""
+    cfg = ExperimentConfig(
+        scheme="greedy",
+        n_nodes=80,
+        seed=123,
+        duration=20.0,
+        warmup=8.0,
+        failures=FailureModel(fraction=0.2, epoch=5.0),
+        diffusion=DiffusionParams(exploratory_interval=6.0),
+    )
+    scalar = _run(cfg, "scalar", audit=True, timeline=True)
+    vector = _run(cfg, "vector", audit=True, timeline=True)
+    assert dataclasses.asdict(scalar.metrics) == dataclasses.asdict(vector.metrics)
+    assert scalar.timeline.as_dict() == vector.timeline.as_dict()
+    m = scalar.metrics
+    assert m.counters.get("node.fail", 0) > 0  # the failure path actually ran

@@ -281,3 +281,120 @@ class TestIntrospection:
             return out
 
         assert run_once() == run_once()
+
+
+class TestCohorts:
+    def test_cohort_fires_once_counts_many(self):
+        sim = Simulator()
+        calls = []
+        sim.schedule_cohort(1.0, 5, calls.append, "batch")
+        sim.run()
+        assert calls == ["batch"]  # one dispatch...
+        assert sim.events_processed == 5  # ...five logical events
+
+    def test_cohort_at_absolute_time(self):
+        sim = Simulator()
+        out = []
+        sim.schedule_cohort_at(2.0, 3, out.append, "x")
+        sim.schedule(1.0, out.append, "a")
+        sim.run()
+        assert out == ["a", "x"]
+        assert sim.now == 2.0
+        assert sim.events_processed == 4
+
+    def test_cohort_count_must_be_positive(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule_cohort(1.0, 0, lambda: None)
+
+    def test_cohort_fifo_tie_order_matches_plain_events(self):
+        # A cohort occupies exactly one (time, seq) slot: events scheduled
+        # around it at the same instant keep their FIFO order.
+        sim = Simulator()
+        out = []
+        sim.schedule(1.0, out.append, "before")
+        sim.schedule_cohort(1.0, 9, out.append, "cohort")
+        sim.schedule(1.0, out.append, "after")
+        sim.run()
+        assert out == ["before", "cohort", "after"]
+
+    def test_cancelled_cohort_counts_nothing(self):
+        sim = Simulator()
+        ev = sim.schedule_cohort(1.0, 7, lambda: None)
+        ev.cancel()
+        sim.run()
+        assert sim.events_processed == 0
+        assert sim.cancelled_skipped == 1
+
+    def test_step_counts_cohort_members(self):
+        sim = Simulator()
+        sim.schedule_cohort(1.0, 4, lambda: None)
+        assert sim.step() is True
+        assert sim.events_processed == 4
+
+
+class TestHeapCompaction:
+    def test_compaction_sweeps_when_mostly_dead(self):
+        sim = Simulator()
+        evs = [sim.schedule(float(i + 1), lambda: None) for i in range(210)]
+        for ev in evs[:150]:
+            ev.cancel()
+        # The sweep fired as soon as dead entries outnumbered live ones
+        # (at the 106th cancellation: 105 live remain > we keep cancelling);
+        # the remaining cancellations re-accumulate below the floor.
+        assert sim.compaction_swept == 106
+        assert len(sim._heap) == 104
+        assert sim._cancelled_pending == 44
+        assert sim.pending_count() == 60
+        sim.run()
+        assert sim.events_processed == 60
+        # every cancelled entry was counted exactly once, sweep or lazy pop
+        assert sim.cancelled_skipped == 150
+
+    def test_no_compaction_below_floor(self):
+        sim = Simulator()
+        evs = [sim.schedule(float(i + 1), lambda: None) for i in range(20)]
+        for ev in evs[:15]:
+            ev.cancel()
+        # 15 dead of 20 is proportionally plenty but under the 64 floor
+        assert sim.compaction_swept == 0
+        assert len(sim._heap) == 20
+        sim.run()
+        assert sim.events_processed == 5
+        assert sim.cancelled_skipped == 15
+
+    def test_compaction_preserves_order_and_pending_count(self):
+        sim = Simulator()
+        out = []
+        survivors = []
+        doomed = []
+        for i in range(300):
+            ev = sim.schedule(float(i), out.append, i)
+            (survivors if i % 3 == 0 else doomed).append((i, ev))
+        for _i, ev in doomed:
+            ev.cancel()
+        assert sim.compaction_swept > 0
+        assert sim.pending_count() == len(survivors)
+        sim.run()
+        # survivors fire in their original time order, none lost
+        assert out == [i for i, _ev in survivors]
+        assert sim.events_processed == len(survivors)
+
+    def test_compaction_mid_run_keeps_local_heap_alias_valid(self):
+        # Cancelling from inside a fired event triggers compaction while
+        # run() holds a local reference to the heap list; the sweep must
+        # mutate that same list in place.
+        sim = Simulator()
+        doomed = [sim.schedule(50.0 + i, lambda: None) for i in range(150)]
+        out = []
+
+        def cancel_all():
+            for ev in doomed:
+                ev.cancel()
+
+        sim.schedule(1.0, cancel_all)
+        sim.schedule(2.0, out.append, "after")
+        sim.run()
+        assert out == ["after"]
+        assert sim.compaction_swept > 0
+        assert sim.events_processed == 2

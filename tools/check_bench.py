@@ -12,12 +12,12 @@ Usage::
         --baseline BENCH_sweep.json --threshold 0.25
 
 The baseline entry is the most recent committed result with the same
-``quick`` and ``timeline`` flags as the candidate (quick and canonical
-workloads have different event mixes, and timeline-on runs pay probe
-overhead, so none of those are ever compared to each other).  A
-hostname mismatch is reported — cross-machine throughput comparisons are
-noisy, which is one reason the threshold is generous — but the gate is
-still enforced.
+``(profile, timeline)`` pair as the candidate (different profiles have
+different event mixes, and timeline-on runs pay probe overhead, so none
+of those are ever compared to each other; entries predating named
+profiles are keyed by their legacy ``quick`` flag).  A hostname mismatch
+is reported — cross-machine throughput comparisons are noisy, which is
+one reason the threshold is generous — but the gate is still enforced.
 """
 
 from __future__ import annotations
@@ -37,13 +37,21 @@ def load_entries(path: Path) -> list[dict]:
     raise SystemExit(f"{path}: not a bench payload or trajectory")
 
 
+def entry_profile(entry: dict) -> str:
+    """The entry's workload profile (legacy entries map via their quick flag)."""
+    profile = entry.get("profile")
+    if profile is not None:
+        return str(profile)
+    return "quick" if entry.get("quick") else "canonical"
+
+
 def pick_baseline(
-    entries: list[dict], quick: bool, timeline: bool = False
+    entries: list[dict], profile: str, timeline: bool = False
 ) -> dict | None:
     matching = [
         e
         for e in entries
-        if e.get("quick") is quick and bool(e.get("timeline")) is timeline
+        if entry_profile(e) == profile and bool(e.get("timeline")) is timeline
     ]
     return matching[-1] if matching else None
 
@@ -63,14 +71,15 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     current = load_entries(Path(args.current))[-1]
+    profile = entry_profile(current)
     baseline = pick_baseline(
         load_entries(Path(args.baseline)),
-        bool(current.get("quick")),
+        profile,
         bool(current.get("timeline")),
     )
     if baseline is None:
         print(
-            f"check_bench: no baseline with quick={current.get('quick')} "
+            f"check_bench: no baseline with profile={profile} "
             f"timeline={bool(current.get('timeline'))} in "
             f"{args.baseline}; nothing to gate against"
         )
