@@ -20,6 +20,8 @@ Subcommands::
     repro-wsn timeline tl.json                               # render a timeline
     repro-wsn timeline runs/runs/KEY.json                    # ... from a store entry
     repro-wsn timeline fig5.manifest.json --cell greedy@150  # ... one figure cell
+    repro-wsn run --channel pathloss --bands 2               # pathloss/SINR PHY
+    repro-wsn fig channel-density --profile fast             # disc vs pathloss
     repro-wsn fig fig5 --store runs/                         # resumable sweep
     repro-wsn store ls runs/                                 # list stored runs
     repro-wsn store gc runs/                                 # prune stale entries
@@ -49,6 +51,92 @@ from .experiments import (
 __all__ = ["main", "build_parser"]
 
 
+def _add_channel_args(parser: argparse.ArgumentParser) -> None:
+    """The shared ``--channel`` flag group (run and fig verbs)."""
+    from .net.channel import CHANNEL_MODELS, ChannelSpec
+
+    defaults = ChannelSpec(model="pathloss")
+    group = parser.add_argument_group(
+        "channel", "PHY channel model (defaults shown are the pathloss spec's)"
+    )
+    group.add_argument(
+        "--channel",
+        choices=CHANNEL_MODELS,
+        default="disc",
+        help="channel model: the paper's 40 m disc (default) or "
+        "log-distance pathloss with SINR capture",
+    )
+    group.add_argument(
+        "--tx-power-dbm", type=float, default=None, metavar="DBM",
+        help=f"transmit power (default {defaults.tx_power_dbm:g})",
+    )
+    group.add_argument(
+        "--pathloss-exponent", type=float, default=None, metavar="N",
+        help=f"log-distance exponent (default {defaults.pathloss_exponent:g})",
+    )
+    group.add_argument(
+        "--reference-loss-db", type=float, default=None, metavar="DB",
+        help=f"pathloss at 1 m (default {defaults.reference_loss_db:g})",
+    )
+    group.add_argument(
+        "--noise-floor-dbm", type=float, default=None, metavar="DBM",
+        help=f"noise power (default {defaults.noise_floor_dbm:g})",
+    )
+    group.add_argument(
+        "--rx-sensitivity-dbm", type=float, default=None, metavar="DBM",
+        help=f"weakest decodable rx power (default {defaults.rx_sensitivity_dbm:g})",
+    )
+    group.add_argument(
+        "--capture-threshold-db", type=float, default=None, metavar="DB",
+        help=f"SINR needed to decode (default {defaults.capture_threshold_db:g})",
+    )
+    group.add_argument(
+        "--no-capture", action="store_true",
+        help="disable SINR capture (disc-style all-or-nothing collisions)",
+    )
+    group.add_argument(
+        "--max-range-m", type=float, default=None, metavar="M",
+        help="hard reach cutoff in meters (default: link budget only)",
+    )
+    group.add_argument(
+        "--bands", type=int, default=None, metavar="K",
+        help="frequency bands; only same-band frames interfere (default 1)",
+    )
+
+
+def _channel_spec(args: argparse.Namespace):
+    """Build the config's ChannelSpec from the ``--channel`` flag group.
+
+    Returns None for the default disc channel (the config keeps its
+    default block, so disc store keys are unchanged); raises ValueError
+    when pathloss parameters are given without ``--channel pathloss``.
+    """
+    from .net.channel import ChannelSpec
+
+    flags = {
+        "tx_power_dbm": args.tx_power_dbm,
+        "pathloss_exponent": args.pathloss_exponent,
+        "reference_loss_db": args.reference_loss_db,
+        "noise_floor_dbm": args.noise_floor_dbm,
+        "rx_sensitivity_dbm": args.rx_sensitivity_dbm,
+        "capture_threshold_db": args.capture_threshold_db,
+        "max_range_m": args.max_range_m,
+        "n_bands": args.bands,
+    }
+    given = {k: v for k, v in flags.items() if v is not None}
+    if args.channel == "disc":
+        if given or args.no_capture:
+            extra = sorted(given) + (["no_capture"] if args.no_capture else [])
+            raise ValueError(
+                f"channel parameters {extra} need --channel pathloss "
+                "(the disc channel has no tunables)"
+            )
+        return None
+    if args.no_capture:
+        given["capture"] = False
+    return ChannelSpec(model="pathloss", **given)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-wsn",
@@ -57,93 +145,101 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     run_p = sub.add_parser("run", help="run one experiment and print its metrics")
-    run_p.add_argument("--scheme", choices=("greedy", "opportunistic"), default="greedy")
-    run_p.add_argument("-n", "--nodes", type=int, default=150)
-    run_p.add_argument("--sources", type=int, default=5)
-    run_p.add_argument("--sinks", type=int, default=1)
-    run_p.add_argument("--seed", type=int, default=1)
-    run_p.add_argument("--duration", type=float, default=50.0)
-    run_p.add_argument("--warmup", type=float, default=17.0)
-    run_p.add_argument(
+    sim_g = run_p.add_argument_group(
+        "simulation", "what to run: scheme, workload, geometry, kernel"
+    )
+    sim_g.add_argument("--scheme", choices=("greedy", "opportunistic"), default="greedy")
+    sim_g.add_argument("-n", "--nodes", type=int, default=150)
+    sim_g.add_argument("--sources", type=int, default=5)
+    sim_g.add_argument("--sinks", type=int, default=1)
+    sim_g.add_argument("--seed", type=int, default=1)
+    sim_g.add_argument("--duration", type=float, default=50.0)
+    sim_g.add_argument("--warmup", type=float, default=17.0)
+    sim_g.add_argument(
         "--field-size",
         type=float,
         default=200.0,
         metavar="M",
         help="side of the square deployment field in meters",
     )
-    run_p.add_argument(
+    sim_g.add_argument(
         "--kernel",
         choices=("auto", "vector", "scalar"),
         default="auto",
         help="PHY kernel: auto (default; vectorized cohorts at >=1000 "
         "nodes, scalar reference below), or force one",
     )
-    run_p.add_argument(
+    sim_g.add_argument(
         "--placement", choices=("corner", "random", "event-radius"), default="corner"
     )
-    run_p.add_argument(
+    sim_g.add_argument(
         "--aggregation",
         choices=("perfect", "linear", "none", "timestamp", "outline"),
         default="perfect",
     )
-    run_p.add_argument("--failures", action="store_true", help="enable §5.3 node dynamics")
-    run_p.add_argument("--include-idle", action="store_true")
-    run_p.add_argument(
+    sim_g.add_argument("--failures", action="store_true", help="enable §5.3 node dynamics")
+    sim_g.add_argument("--include-idle", action="store_true")
+    sim_g.add_argument(
+        "--store",
+        metavar="PATH",
+        help="consult/update a content-addressed run store at PATH",
+    )
+    obs_g = run_p.add_argument_group(
+        "observability", "instruments attached to the run and their artifacts"
+    )
+    obs_g.add_argument(
         "--profile",
         action="store_true",
         help="profile the event loop (events/sec, heap depth, hot callbacks)",
     )
-    run_p.add_argument(
+    obs_g.add_argument(
         "--trace-out",
         metavar="PATH",
         help="stream enabled trace categories to a JSONL file",
     )
-    run_p.add_argument(
+    obs_g.add_argument(
         "--trace-categories",
         nargs="+",
         default=["*"],
         metavar="CAT",
         help="categories to trace (default: everything)",
     )
-    run_p.add_argument(
+    obs_g.add_argument(
         "--manifest", metavar="PATH", help="write the run provenance manifest here"
     )
-    run_p.add_argument(
+    obs_g.add_argument(
         "--detailed-metrics",
         action="store_true",
         help="enable per-node labelled metric series",
     )
-    run_p.add_argument(
-        "--store",
-        metavar="PATH",
-        help="consult/update a content-addressed run store at PATH",
-    )
-    run_p.add_argument(
+    obs_g.add_argument(
         "--audit",
         action="store_true",
         help="run the online invariant auditor; exit 1 on any finding",
     )
-    run_p.add_argument(
+    obs_g.add_argument(
         "--timeline",
         action="store_true",
         help="sample the standard probe timeline and print its sparkline summary",
     )
-    run_p.add_argument(
+    obs_g.add_argument(
         "--timeline-interval",
         type=float,
         default=None,
         metavar="SEC",
         help="sim-seconds between timeline samples (default: duration/10)",
     )
-    run_p.add_argument(
+    obs_g.add_argument(
         "--timeline-out",
         metavar="PATH",
         help="write the sampled timeline as JSON (implies --timeline)",
     )
+    _add_channel_args(run_p)
 
     fig_p = sub.add_parser(
         "fig",
-        help="reproduce one of figures 5-10, or the large-field density study",
+        help="reproduce one of figures 5-10, the large-field density study, "
+        "or the disc-vs-pathloss channel study",
     )
     fig_p.add_argument("figure", choices=sorted(FIGURES))
     fig_p.add_argument("--profile", choices=sorted(PROFILES), default="fast")
@@ -157,6 +253,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="resumable sweep: skip runs already in the store at PATH, "
         "persist each fresh run as it completes",
     )
+    _add_channel_args(fig_p)
 
     inspect_p = sub.add_parser(
         "inspect", help="run one experiment and print its aggregation tree"
@@ -210,8 +307,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile",
         metavar="NAME",
         default=None,
-        help="named workload profile (canonical, quick, large, large-quick); "
-        "overrides --quick",
+        help="named workload profile (canonical, quick, large, large-quick, "
+        "pathloss, pathloss-quick); overrides --quick",
     )
     bench_p.add_argument(
         "--workers",
@@ -274,7 +371,8 @@ def build_parser() -> argparse.ArgumentParser:
     timeline_p.add_argument(
         "--cell",
         metavar="SCHEME@X",
-        help="which figure cell to re-run (e.g. greedy@150)",
+        help="which figure cell to re-run (e.g. greedy@150; channel-density "
+        "cells are scheme@channel@x, e.g. greedy@pathloss@150)",
     )
     timeline_p.add_argument(
         "--trial", type=int, default=0, help="trial index for figure-cell re-runs"
@@ -316,6 +414,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
     from .obs import ObsOptions, format_profile
 
     profile = fast()
+    try:
+        channel = _channel_spec(args)
+    except ValueError as exc:
+        print(f"run: {exc}", file=sys.stderr)
+        return 2
+    extra = {"channel": channel} if channel is not None else {}
     cfg = ExperimentConfig(
         scheme=args.scheme,
         n_nodes=args.nodes,
@@ -330,6 +434,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         aggregation=args.aggregation,
         failures=FailureModel(epoch=profile.failure_epoch) if args.failures else None,
         include_idle=args.include_idle,
+        **extra,
     )
     obs = None
     wants_obs = (
@@ -376,6 +481,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 store.put_timeline(cfg, observed.timeline)
             print(f"run store: persisted ({args.store})")
     print(f"scheme                 {result.scheme}")
+    print(f"channel                {cfg.channel.model}")
     print(f"nodes                  {result.n_nodes} (mean degree {result.mean_degree:.1f})")
     print(f"avg dissipated energy  {result.avg_dissipated_energy:.6f} J/node/event")
     print(f"avg delay              {result.avg_delay:.4f} s")
@@ -429,19 +535,31 @@ def _store_block(store, path) -> dict:
 def _cmd_fig(args: argparse.Namespace) -> int:
     import time
 
+    from .experiments import format_channel_figure
+
     profile = PROFILES[args.profile]()
     progress = _sweep_progress if args.workers and args.workers > 1 else None
+    try:
+        channel = _channel_spec(args)
+    except ValueError as exc:
+        print(f"fig: {exc}", file=sys.stderr)
+        return 2
     store = None
     if args.store:
         from .experiments.store import RunStore
 
         store = RunStore(args.store)
     t0 = time.perf_counter()
+    kwargs = {"channel": channel} if channel is not None else {}
     result = FIGURES[args.figure](
-        profile, trials=args.trials, workers=args.workers, progress=progress, store=store
+        profile, trials=args.trials, workers=args.workers, progress=progress,
+        store=store, **kwargs,
     )
     wall = time.perf_counter() - t0
-    print(format_figure(result))
+    formatter = (
+        format_channel_figure if args.figure == "channel-density" else format_figure
+    )
+    print(formatter(result))
     if store is not None:
         s = store.stats
         print(
@@ -661,8 +779,10 @@ def _load_timeline_target(args: argparse.Namespace):
             raise ValueError(
                 "figure artifacts need --cell SCHEME@X (e.g. --cell greedy@150)"
             )
-        scheme, _, x_str = args.cell.partition("@")
-        if not x_str:
+        # rpartition: channel-density cells are labeled scheme@channel@x
+        # (e.g. greedy@pathloss@150) — x is always the last @-field
+        scheme, _, x_str = args.cell.rpartition("@")
+        if not scheme:
             raise ValueError(f"--cell must look like SCHEME@X, got {args.cell!r}")
         profile_name = (data.get("profile") or {}).get("name", args.profile)
         profile = PROFILES[profile_name]()
@@ -751,9 +871,9 @@ def _cmd_all(args: argparse.Namespace) -> int:
 
         store = RunStore(args.store)
     for name in sorted(FIGURES):
-        if name == "large-density":
-            # Beyond-paper scale study — thousands of nodes; run it
-            # explicitly via `repro fig large-density`.
+        if name in ("large-density", "channel-density"):
+            # Beyond-paper studies (scale, channel axis) — run them
+            # explicitly via `repro fig <name>`.
             continue
         result = FIGURES[name](
             profile, trials=args.trials, workers=args.workers, progress=progress,

@@ -28,6 +28,7 @@ from .figures import (
     FIGURES,
     FigureResult,
     figure_cell_config,
+    figure_channel_density,
     figure5,
     figure6,
     figure7,
@@ -54,7 +55,12 @@ from .persistence import (
     save_figure_json,
     save_manifest,
 )
-from .report import format_figure, format_table, format_tree_table
+from .report import (
+    format_channel_figure,
+    format_figure,
+    format_table,
+    format_tree_table,
+)
 from .store import RunStore, StoreStats, canonical_json, open_store, run_key
 from .runner import (
     FailureDriver,
@@ -114,8 +120,10 @@ __all__ = [
     "figure10",
     "git_vs_spt_table",
     "figure_cell_config",
+    "figure_channel_density",
     "FIGURES",
     "format_figure",
+    "format_channel_figure",
     "format_table",
     "format_tree_table",
     "TreeStats",

@@ -30,6 +30,7 @@ from pathlib import Path
 from typing import Optional, Union
 
 from ..diffusion.agent import DiffusionParams
+from ..net.channel import ChannelSpec
 from ..net.fieldcache import default_field_cache
 from .config import ExperimentConfig
 from .runner import run_observed
@@ -59,6 +60,10 @@ BENCH_VERSION = 1
 #:   is the regime the vectorized PHY kernel exists for; it also feeds
 #:   the large-field density figure.
 #: * ``large-quick`` — CI-smoke variant of large (one 2 000-node run).
+#: * ``pathloss`` — canonical geometry under the pathloss/SINR channel
+#:   (default :class:`~repro.net.channel.ChannelSpec` pathloss block):
+#:   the capture bookkeeping's perf axis.
+#: * ``pathloss-quick`` — CI-smoke variant of pathloss.
 WORKLOADS: dict[str, dict] = {
     "canonical": {
         "densities": (50, 150, 250),
@@ -94,6 +99,24 @@ WORKLOADS: dict[str, dict] = {
         "exploratory_interval": 6.0,
         "field_size": 800.0,
     },
+    "pathloss": {
+        "densities": (50, 150, 250),
+        "schemes": ("opportunistic", "greedy"),
+        "trials": 2,
+        "duration": 30.0,
+        "warmup": 12.0,
+        "exploratory_interval": 10.0,
+        "channel": "pathloss",
+    },
+    "pathloss-quick": {
+        "densities": (50, 100),
+        "schemes": ("opportunistic", "greedy"),
+        "trials": 1,
+        "duration": 15.0,
+        "warmup": 6.0,
+        "exploratory_interval": 6.0,
+        "channel": "pathloss",
+    },
 }
 
 #: legacy aliases (pre-profile API)
@@ -123,6 +146,11 @@ def bench_configs(
     w = WORKLOADS[_resolve_profile(quick, profile)]
     diffusion = DiffusionParams(exploratory_interval=w["exploratory_interval"])
     field_size = w.get("field_size", 200.0)
+    # Only non-disc workloads set the channel kwarg: disc configs must
+    # keep the default block so their store keys match pre-channel runs.
+    extra: dict = {}
+    if w.get("channel") == "pathloss":
+        extra["channel"] = ChannelSpec(model="pathloss")
     configs = []
     for n in w["densities"]:
         for trial in range(w["trials"]):
@@ -137,6 +165,7 @@ def bench_configs(
                         warmup=w["warmup"],
                         field_size=field_size,
                         diffusion=diffusion,
+                        **extra,
                     )
                 )
     return configs

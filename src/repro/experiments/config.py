@@ -19,6 +19,7 @@ from dataclasses import dataclass, field, replace
 from typing import Optional
 
 from ..diffusion.agent import DiffusionParams
+from ..net.channel import ChannelSpec
 
 __all__ = [
     "FailureModel",
@@ -148,10 +149,15 @@ class ExperimentConfig:
     range_m: float = 40.0
     failures: Optional[FailureModel] = None
     include_idle: bool = False
+    #: PHY channel block (disc by default; see :mod:`repro.net.channel`).
+    #: Part of the run's content identity: any change is a store miss.
+    channel: ChannelSpec = field(default_factory=ChannelSpec)
 
     def __post_init__(self) -> None:
         if self.scheme not in SCHEMES:
             raise ValueError(f"scheme must be one of {SCHEMES}, got {self.scheme!r}")
+        if not isinstance(self.channel, ChannelSpec):
+            raise ValueError("channel must be a ChannelSpec")
         if self.source_placement not in ("corner", "random", "event-radius"):
             raise ValueError(f"unknown source placement {self.source_placement!r}")
         if self.n_sources < 1 or self.n_sinks < 1:
@@ -197,4 +203,7 @@ def config_from_dict(data: dict) -> ExperimentConfig:
     failures = payload.get("failures")
     if isinstance(failures, dict):
         payload["failures"] = FailureModel(**failures)
+    channel = payload.get("channel")
+    if isinstance(channel, dict):
+        payload["channel"] = ChannelSpec(**channel)
     return ExperimentConfig(**payload)

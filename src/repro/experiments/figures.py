@@ -14,6 +14,7 @@ from dataclasses import dataclass, replace
 from typing import Optional, Sequence
 
 from ..diffusion.agent import DiffusionParams
+from ..net.channel import ChannelSpec
 from ..trees.models import savings_study
 from .config import (
     DENSITY_SWEEP,
@@ -23,7 +24,7 @@ from .config import (
     FailureModel,
     Profile,
 )
-from .sweeps import CellSummary, StoreArg, cell_seed, paired_sweep
+from .sweeps import COMPARISON_SCHEMES, CellSummary, StoreArg, cell_seed, paired_sweep
 
 __all__ = [
     "FigureResult",
@@ -35,6 +36,7 @@ __all__ = [
     "figure9",
     "figure10",
     "figure_large_density",
+    "figure_channel_density",
     "LARGE_DENSITY_SWEEP",
     "git_vs_spt_table",
     "FIGURES",
@@ -89,7 +91,11 @@ def _run(
     workers: int,
     progress=None,
     store: StoreArg = None,
+    channel: Optional[ChannelSpec] = None,
 ) -> FigureResult:
+    if channel is not None:
+        base = replace(base, channel=channel)
+
     def make_config(scheme: str, x, seed: int) -> ExperimentConfig:
         return replace(base, scheme=scheme, seed=seed, **{sweep_field: x})
 
@@ -119,6 +125,7 @@ def figure5(
     workers: int = 0,
     progress=None,
     store: StoreArg = None,
+    channel: Optional[ChannelSpec] = None,
 ) -> FigureResult:
     """Fig 5: greedy vs opportunistic across network density (the headline
     comparison: 5 corner sources, 1 corner sink, perfect aggregation)."""
@@ -134,6 +141,7 @@ def figure5(
         workers,
         progress,
         store,
+        channel=channel,
     )
 
 
@@ -144,6 +152,7 @@ def figure6(
     workers: int = 0,
     progress=None,
     store: StoreArg = None,
+    channel: Optional[ChannelSpec] = None,
 ) -> FigureResult:
     """Fig 6: same sweep under rotating 20% node failures (§5.3)."""
     base = _base(profile, failures=FailureModel(fraction=0.2, epoch=profile.failure_epoch))
@@ -159,6 +168,7 @@ def figure6(
         workers,
         progress,
         store,
+        channel=channel,
     )
 
 
@@ -169,6 +179,7 @@ def figure7(
     workers: int = 0,
     progress=None,
     store: StoreArg = None,
+    channel: Optional[ChannelSpec] = None,
 ) -> FigureResult:
     """Fig 7: random source placement (§5.4: savings shrink to ~30%)."""
     base = _base(profile, source_placement="random")
@@ -184,6 +195,7 @@ def figure7(
         workers,
         progress,
         store,
+        channel=channel,
     )
 
 
@@ -195,6 +207,7 @@ def figure8(
     workers: int = 0,
     progress=None,
     store: StoreArg = None,
+    channel: Optional[ChannelSpec] = None,
 ) -> FigureResult:
     """Fig 8: 1-5 sinks on the 350-node field (first at the corner, rest
     scattered)."""
@@ -211,6 +224,7 @@ def figure8(
         workers,
         progress,
         store,
+        channel=channel,
     )
 
 
@@ -222,6 +236,7 @@ def figure9(
     workers: int = 0,
     progress=None,
     store: StoreArg = None,
+    channel: Optional[ChannelSpec] = None,
 ) -> FigureResult:
     """Fig 9: 2-14 corner sources on the 350-node field."""
     base = _base(profile, n_nodes=n_nodes)
@@ -237,6 +252,7 @@ def figure9(
         workers,
         progress,
         store,
+        channel=channel,
     )
 
 
@@ -248,6 +264,7 @@ def figure10(
     workers: int = 0,
     progress=None,
     store: StoreArg = None,
+    channel: Optional[ChannelSpec] = None,
 ) -> FigureResult:
     """Fig 10: fig 9's sweep under *linear* aggregation (header savings
     only) — the inefficient-aggregation sensitivity study."""
@@ -264,6 +281,7 @@ def figure10(
         workers,
         progress,
         store,
+        channel=channel,
     )
 
 
@@ -297,6 +315,7 @@ def figure_large_density(
     workers: int = 0,
     progress=None,
     store: StoreArg = None,
+    channel: Optional[ChannelSpec] = None,
 ) -> FigureResult:
     """Beyond-paper scale study: density vs delivered data on an 800 m
     field (2 000–5 000 nodes, mean radio degree ~16..39).
@@ -317,6 +336,62 @@ def figure_large_density(
         workers,
         progress,
         store,
+        channel=channel,
+    )
+
+
+#: the pathloss spec the channel-density figure compares against disc
+#: (defaults: same nominal ~40 m reach, SINR capture on, one band)
+CHANNEL_STUDY_SPEC = ChannelSpec(model="pathloss")
+
+
+def figure_channel_density(
+    profile: Profile,
+    densities: Sequence[int] = DENSITY_SWEEP,
+    trials: Optional[int] = None,
+    workers: int = 0,
+    progress=None,
+    store: StoreArg = None,
+    channel: Optional[ChannelSpec] = None,
+) -> FigureResult:
+    """Channel-axis study: fig 5's density sweep on disc vs pathloss.
+
+    Re-runs the headline density comparison under both channel models
+    with *paired seeds across channels*: :func:`cell_seed` ignores the
+    scheme label and geometry is always drawn on the nominal disc range,
+    so for a given (density, trial) all four series — both schemes on
+    both channels — share the exact same field, sources, and sink.  The
+    observed deltas are therefore pure channel effects (SINR capture
+    resolving overlaps vs disc corruption), not field resampling noise.
+
+    Cell labels are ``<scheme>@<channel>`` (e.g. ``greedy@pathloss``).
+    ``channel`` overrides the pathloss side's spec
+    (:data:`CHANNEL_STUDY_SPEC` by default; must be a pathloss spec).
+    """
+    spec = CHANNEL_STUDY_SPEC if channel is None else channel
+    if spec.model != "pathloss":
+        raise ValueError("the channel-density study needs a pathloss spec")
+    base = _base(profile)
+    labels = tuple(
+        f"{scheme}@{chan}"
+        for chan in ("disc", "pathloss")
+        for scheme in COMPARISON_SCHEMES
+    )
+
+    def make_config(label: str, x, seed: int) -> ExperimentConfig:
+        scheme, _, chan = label.partition("@")
+        ch = ChannelSpec() if chan == "disc" else spec
+        return replace(base, scheme=scheme, seed=seed, n_nodes=x, channel=ch)
+
+    cells = paired_sweep(
+        profile, densities, make_config, trials=trials, workers=workers,
+        schemes=labels, progress=progress, store=store,
+    )
+    return FigureResult(
+        "channel-density",
+        "Density sweep under disc vs pathloss/SINR channels",
+        "nodes",
+        tuple(cells),
     )
 
 
@@ -336,11 +411,24 @@ def figure_cell_config(
     float; integral values are coerced back to int before seeding because
     ``cell_seed`` hashes the *formatted* x (``"cell:150:0"`` and
     ``"cell:150.0:0"`` are different streams).
+
+    For the channel-density figure, ``scheme`` is a ``<scheme>@<channel>``
+    cell label (e.g. ``greedy@pathloss``); the pathloss side rebuilds with
+    :data:`CHANNEL_STUDY_SPEC` (custom specs passed to
+    :func:`figure_channel_density` do not round-trip through a label).
     """
     if figure_id not in FIGURES:
         raise KeyError(f"unknown figure {figure_id!r} (have {sorted(FIGURES)})")
     if isinstance(x, float) and x.is_integer():
         x = int(x)
+    channel: Optional[ChannelSpec] = None
+    if figure_id == "channel-density":
+        scheme, _, chan = scheme.partition("@")
+        if chan not in ("disc", "pathloss"):
+            raise ValueError(
+                f"channel-density cells are labeled <scheme>@<channel>, got {chan!r}"
+            )
+        channel = ChannelSpec() if chan == "disc" else CHANNEL_STUDY_SPEC
     bases = {
         "fig5": (lambda: _base(profile), "n_nodes"),
         "fig6": (
@@ -354,10 +442,12 @@ def figure_cell_config(
         "fig9": (lambda: _base(profile, n_nodes=350), "n_sources"),
         "fig10": (lambda: _base(profile, n_nodes=350, aggregation="linear"), "n_sources"),
         "large-density": (lambda: _large_base(profile), "n_nodes"),
+        "channel-density": (lambda: _base(profile), "n_nodes"),
     }
     base_fn, sweep_field = bases[figure_id]
     seed = cell_seed(0, x, trial)
-    return replace(base_fn(), scheme=scheme, seed=seed, **{sweep_field: x})
+    cfg = replace(base_fn(), scheme=scheme, seed=seed, **{sweep_field: x})
+    return replace(cfg, channel=channel) if channel is not None else cfg
 
 
 def git_vs_spt_table(
@@ -384,4 +474,5 @@ FIGURES = {
     "fig9": figure9,
     "fig10": figure10,
     "large-density": figure_large_density,
+    "channel-density": figure_channel_density,
 }

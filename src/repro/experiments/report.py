@@ -12,7 +12,12 @@ from typing import Iterable, Sequence
 
 from .figures import FigureResult
 
-__all__ = ["format_table", "format_figure", "format_tree_table"]
+__all__ = [
+    "format_table",
+    "format_figure",
+    "format_channel_figure",
+    "format_tree_table",
+]
 
 
 def format_table(
@@ -66,6 +71,55 @@ def format_figure(result: FigureResult) -> str:
     body = format_table(headers, rows)
     peak = 100.0 * result.max_energy_savings()
     return f"{title}\n{body}\npeak greedy energy savings: {peak:.1f}%"
+
+
+def format_channel_figure(result: FigureResult) -> str:
+    """Render the channel-density study: per-channel savings plus deltas.
+
+    Cells are labeled ``<scheme>@<channel>`` (see
+    :func:`~repro.experiments.figures.figure_channel_density`); each row
+    shows both schemes' energy and delivery ratio on both channels, the
+    greedy-over-opportunistic savings per channel, and the pathloss-vs-
+    disc delivery-ratio delta for greedy (the headline robustness
+    question: does the density advantage survive a realistic channel?).
+    """
+    headers = [
+        result.x_label,
+        "opp/disc E",
+        "grd/disc E",
+        "disc sav%",
+        "opp/pl E",
+        "grd/pl E",
+        "pl sav%",
+        "grd/disc ratio",
+        "grd/pl ratio",
+        "dratio",
+    ]
+    rows = []
+    for x in result.xs():
+        od = result.cell("opportunistic@disc", x)
+        gd = result.cell("greedy@disc", x)
+        op = result.cell("opportunistic@pathloss", x)
+        gp = result.cell("greedy@pathloss", x)
+        disc_sav = 0.0 if od.energy == 0 else 100.0 * (1.0 - gd.energy / od.energy)
+        pl_sav = 0.0 if op.energy == 0 else 100.0 * (1.0 - gp.energy / op.energy)
+        rows.append(
+            [
+                int(x),
+                od.energy,
+                gd.energy,
+                disc_sav,
+                op.energy,
+                gp.energy,
+                pl_sav,
+                gd.ratio,
+                gp.ratio,
+                gp.ratio - gd.ratio,
+            ]
+        )
+    title = f"{result.figure_id}: {result.title}"
+    body = format_table(headers, rows)
+    return f"{title}\n{body}"
 
 
 def format_tree_table(rows: list[dict]) -> str:

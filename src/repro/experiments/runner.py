@@ -28,6 +28,7 @@ from ..diffusion.attributes import AttributeSet, InterestSpec, Op, Predicate
 from ..diffusion.baselines import FloodingAgent, OmniscientAgent
 from ..diffusion.opportunistic import OpportunisticAgent
 from ..trees.git import greedy_incremental_tree
+from ..net.channel import model_from_spec
 from ..net.fieldcache import FieldCache, cached_field
 from ..net.node import Node
 from ..net.radio import Channel, RadioParams
@@ -212,11 +213,15 @@ def build_world(
         range_m=cfg.range_m,
         cache=field_cache,
     )
+    # The channel model is built from the config's channel block; field
+    # geometry above is always drawn on the nominal disc range_m, so disc
+    # and pathloss runs of one seed share the exact same field/workload.
     channel = Channel(
         sim,
         tracer,
         RadioParams(range_m=cfg.range_m),
         kernel=resolve_kernel(kernel, cfg.n_nodes),
+        model=model_from_spec(cfg.channel, cfg.range_m),
     )
     nodes = [
         Node(i, x, y, sim, channel, tracer, rngs)
@@ -479,7 +484,9 @@ def run_observed(
         total_energy_j=total_energy,
         distinct_delivered=distinct,
         events_sent=sent,
-        mean_degree=world.field.mean_degree(),
+        mean_degree=world.field.mean_degree(
+            range_m=world.nodes[0].radio.channel.model.reach_m
+        ),
         counters=dict(tracer.counters),
         energy_by_class=energy_by_class,
         time_to_first_death=min(first_deaths) if first_deaths else None,

@@ -69,7 +69,8 @@ __all__ = [
 #: v2: RunMetrics gained energy_by_class (per-message-class energy breakdown)
 #: v3: RunMetrics gained lifetime scalars (time_to_first_death,
 #:     time_to_half_delivery); timelines persist beside entries
-STORE_VERSION = 3
+#: v4: ExperimentConfig gained the channel block (pluggable PHY models)
+STORE_VERSION = 4
 
 
 def canonical_json(obj: Any) -> str:

@@ -1,11 +1,21 @@
 """Wireless network substrate: PHY, MAC, nodes, topology, energy.
 
 This package replaces the ns-2 stack the paper's evaluation ran on:
-disc-propagation radio with collisions and promiscuous energy, a
-CSMA/CA MAC with ACK'd unicast, per-node energy meters with the Sensoria
-WINS-like power profile, and the paper's sensor-field generators.
+pluggable channel models (the paper's disc propagation with collisions,
+or log-distance pathloss with SINR capture) over a radio layer with
+promiscuous energy, a CSMA/CA MAC with ACK'd unicast, per-node energy
+meters with the Sensoria WINS-like power profile, and the paper's
+sensor-field generators.
 """
 
+from .channel import (
+    CHANNEL_MODELS,
+    ChannelModel,
+    ChannelSpec,
+    DiscModel,
+    PathlossModel,
+    model_from_spec,
+)
 from .energy import EnergyMeter, EnergyParams
 from .fieldcache import FieldCache, cached_field, default_field_cache
 from .mac import CsmaMac, MacParams
@@ -24,6 +34,12 @@ from .topology import (
 )
 
 __all__ = [
+    "CHANNEL_MODELS",
+    "ChannelSpec",
+    "ChannelModel",
+    "DiscModel",
+    "PathlossModel",
+    "model_from_spec",
     "EnergyMeter",
     "EnergyParams",
     "CsmaMac",

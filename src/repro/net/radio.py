@@ -1,6 +1,6 @@
-"""Wireless PHY: shared channel, disc propagation, collisions, energy.
+"""Wireless PHY: shared channel, propagation models, collisions, energy.
 
-Model (matching the ns-2 setup the paper used):
+Baseline model (matching the ns-2 setup the paper used):
 
 * **Disc propagation** — a transmission is heard by every *up* node within
   ``range_m`` (40 m default); nothing beyond.  Propagation delay is a small
@@ -15,9 +15,19 @@ Model (matching the ns-2 setup the paper used):
 * **Promiscuous energy** — every in-range radio pays receive energy for
   every frame, corrupted or not, exactly like a real listening radio.
 
+Propagation and corruption are pluggable behind
+:class:`~repro.net.channel.ChannelModel` (``Channel(..., model=...)``):
+the default :class:`~repro.net.channel.DiscModel` keeps the baseline
+above bit-identically, while :class:`~repro.net.channel.PathlossModel`
+replaces the disc with a log-distance link budget and all-or-nothing
+collisions with an SINR capture test over per-receiver, per-band running
+interference sums (see DESIGN.md §14 for the math and the equivalence
+argument).
+
 The :class:`Channel` owns topology (positions, precomputed neighbor index
-arrays via a uniform grid) and the :class:`Radio` instances; radios are
-driven by the MAC layer above.
+arrays — and, for capture models, per-pair receive powers — via a uniform
+grid) and the :class:`Radio` instances; radios are driven by the MAC
+layer above.
 
 Two kernels share these semantics (``Channel(kernel=...)``):
 
@@ -43,6 +53,7 @@ from typing import TYPE_CHECKING, Callable, Optional
 import numpy as np
 
 from ..sim import Simulator, Tracer
+from .channel import ChannelModel, DiscModel
 from .energy import EnergyMeter
 from .packet import Frame
 from .state import (
@@ -82,17 +93,36 @@ class RadioParams:
 
 
 class _Arrival:
-    """One in-flight frame at one receiver."""
+    """One in-flight frame at one receiver.
 
-    __slots__ = ("frame", "cls", "start", "end", "corrupted")
+    ``rx_mw``/``band``/``smax`` only carry state under a capture-mode
+    channel model (SINR bookkeeping); the disc path leaves them at their
+    defaults.
+    """
 
-    def __init__(self, frame: Frame, cls: str, start: float, end: float) -> None:
+    __slots__ = ("frame", "cls", "start", "end", "corrupted", "rx_mw", "band", "smax")
+
+    def __init__(
+        self,
+        frame: Frame,
+        cls: str,
+        start: float,
+        end: float,
+        rx_mw: float = 0.0,
+        band: int = 0,
+    ) -> None:
         self.frame = frame
         #: frame.msg_class, stashed once per fan-out (hot-path alias)
         self.cls = cls
         self.start = start
         self.end = end
         self.corrupted = False
+        #: linear received power at this receiver (capture models)
+        self.rx_mw = rx_mw
+        #: frequency band of the frame (``src % n_bands``)
+        self.band = band
+        #: max same-band power sum seen during this arrival's airtime
+        self.smax = 0.0
 
 
 def _fanout_start(arrivals: list) -> None:
@@ -114,12 +144,34 @@ class _Cohort:
     ``corrupted_at_start`` are filled in by ``Channel._cohort_start``
     (receivers still alive at arrival, and their halfduplex/overlap
     corruption state) for ``_cohort_end`` to finish against.
+
+    ``rx_mw``/``band``/``smax`` only carry state under a capture-mode
+    channel model (the per-receiver SINR bookkeeping arrays mirroring
+    ``_Arrival``'s scalars).
     """
 
-    __slots__ = ("frame", "cls", "start", "end", "rows", "started", "corrupted_at_start")
+    __slots__ = (
+        "frame",
+        "cls",
+        "start",
+        "end",
+        "rows",
+        "started",
+        "corrupted_at_start",
+        "rx_mw",
+        "band",
+        "smax",
+    )
 
     def __init__(
-        self, frame: Frame, cls: str, start: float, end: float, rows: np.ndarray
+        self,
+        frame: Frame,
+        cls: str,
+        start: float,
+        end: float,
+        rows: np.ndarray,
+        rx_mw: Optional[np.ndarray] = None,
+        band: int = 0,
     ) -> None:
         self.frame = frame
         self.cls = cls
@@ -128,6 +180,11 @@ class _Cohort:
         self.rows = rows
         self.started: Optional[np.ndarray] = None
         self.corrupted_at_start: Optional[np.ndarray] = None
+        #: per-receiver linear rx power, aligned with ``rows``/``started``
+        self.rx_mw = rx_mw
+        self.band = band
+        #: per-receiver max same-band power sum over the airtime
+        self.smax: Optional[np.ndarray] = None
 
 
 class Channel:
@@ -139,6 +196,7 @@ class Channel:
         tracer: Tracer,
         params: RadioParams,
         kernel: str = "scalar",
+        model: Optional[ChannelModel] = None,
     ) -> None:
         if kernel not in ("scalar", "vector"):
             raise ValueError(f"unknown channel kernel {kernel!r}")
@@ -146,16 +204,32 @@ class Channel:
         self.tracer = tracer
         self.params = params
         self.kernel = kernel
+        #: propagation/corruption strategy (default: the paper's disc)
+        self.model: ChannelModel = model if model is not None else DiscModel(params.range_m)
+        #: SINR-capture mode (pathloss with capture on); hot-path alias
+        self._capture = self.model.capture
+        self._n_bands = self.model.n_bands
+        self._noise_mw = self.model.noise_mw
+        self._thr = self.model.thr
+        #: in-flight capture-mode cohorts (vector kernel SINR bookkeeping)
+        self._active_cohorts: list[_Cohort] = []
         #: SoA node state (vector kernel only; rows assigned at register)
         self.state: Optional[NodeState] = NodeState() if kernel == "vector" else None
+        if self.state is not None and self._capture:
+            self.state.ensure_interf(self._n_bands)
         self.radios: dict[int, Radio] = {}
         #: radios by row (row = registration order == NodeState row)
         self._row_radio: list["Radio"] = []
         self._row_of: dict[int, int] = {}
         #: per-row neighbor rows, presorted by neighbor node id
         self._nbr_rows: Optional[list[np.ndarray]] = None
+        #: per-row linear rx power at each neighbor, aligned with
+        #: ``_nbr_rows`` (capture models only; None otherwise)
+        self._nbr_rxmw: Optional[list[np.ndarray]] = None
         #: lazily materialized Radio lists for the neighbors() API
         self._nbr_radios: dict[int, list["Radio"]] = {}
+        #: lazily materialized per-neighbor rx powers as builtin floats
+        self._nbr_rx_list: dict[int, list[float]] = {}
         self._frame_bytes = tracer.registry.histogram(
             "radio.frame_bytes", buckets=(10, 36, 64, 128, 256, 512)
         )
@@ -199,7 +273,9 @@ class Channel:
         self._row_of[radio.node_id] = len(self._row_radio)
         self._row_radio.append(radio)
         self._nbr_rows = None  # invalidate cache
+        self._nbr_rxmw = None
         self._nbr_radios.clear()
+        self._nbr_rx_list.clear()
 
     # ------------------------------------------------------------------
     # topology
@@ -226,13 +302,32 @@ class Channel:
         assert self._nbr_rows is not None
         return self._nbr_rows[self._row_of[node_id]]
 
+    def _neighbor_rx(self, node_id: int) -> list[float]:
+        """Per-neighbor linear rx powers as builtin floats (memoized).
+
+        Aligned with :meth:`neighbors`; scalar-kernel capture fan-outs
+        read these so numpy scalars never enter per-arrival arithmetic.
+        """
+        cached = self._nbr_rx_list.get(node_id)
+        if cached is None:
+            if self._nbr_rows is None:
+                self._build_neighbor_cache()
+            assert self._nbr_rxmw is not None
+            cached = [float(v) for v in self._nbr_rxmw[self._row_of[node_id]]]
+            self._nbr_rx_list[node_id] = cached
+        return cached
+
     def _build_neighbor_cache(self) -> None:
         """Grid-bucketed neighbor computation: O(N * degree).
 
         The cache is a list of presorted ``np.intp`` row arrays (shared
         with the SoA state in the vector kernel — reachability is then a
         single fancy-index); distances are float64, bitwise the same
-        tests the per-object implementation applied.
+        tests the per-object implementation applied.  Link eligibility
+        comes from the channel model; capture models additionally yield
+        a per-pair linear rx-power array aligned with each row array, so
+        both kernels read identical link powers (the SINR test is then
+        pure per-receiver arithmetic).
         """
         n = len(self._row_radio)
         st = self.state
@@ -242,15 +337,18 @@ class Channel:
             xs = np.array([r.x for r in self._row_radio])
             ys = np.array([r.y for r in self._row_radio])
         ids = np.array([r.node_id for r in self._row_radio], dtype=np.int64)
-        cell = self.params.range_m
+        model = self.model
+        cell = model.grid_cell_m
         cx = np.floor_divide(xs, cell).astype(np.int64)
         cy = np.floor_divide(ys, cell).astype(np.int64)
         grid: dict[tuple[int, int], list[int]] = {}
         for row in range(n):
             grid.setdefault((int(cx[row]), int(cy[row])), []).append(row)
-        range_sq = self.params.range_m ** 2
+        want_rx = self._capture
         result: list[np.ndarray] = [None] * n  # type: ignore[list-item]
+        result_rx: list[np.ndarray] = [None] * n if want_rx else None  # type: ignore[assignment]
         empty = np.empty(0, dtype=np.intp)
+        empty_f = np.empty(0)
         for (gx, gy), rows_here in grid.items():
             cand_lists = [
                 got
@@ -265,10 +363,14 @@ class Channel:
             for row in rows_here:
                 ddx = candx - xs[row]
                 ddy = candy - ys[row]
-                near = cand[(ddx * ddx + ddy * ddy) <= range_sq]
-                near = near[near != row]
+                eligible, rx = model.link(ddx * ddx + ddy * ddy)
+                keep = eligible & (cand != row)
+                near = cand[keep]
                 result[row] = near if near.size else empty
+                if want_rx:
+                    result_rx[row] = rx[keep] if near.size else empty_f
         self._nbr_rows = result
+        self._nbr_rxmw = result_rx
 
     def distance(self, a: int, b: int) -> float:
         ra, rb = self.radios[a], self.radios[b]
@@ -339,25 +441,44 @@ class Channel:
             else:
                 recv = nbr
             if recv.size:
-                cohort = _Cohort(frame, cls, start, end, recv)
                 n = int(recv.size)
-                sim.schedule_cohort_at(start, n, self._cohort_start, cohort)
+                if self._capture:
+                    rx = self._nbr_rxmw[row]  # type: ignore[index]
+                    if recv.size != nbr.size:
+                        rx = rx[up]
+                    cohort = _Cohort(
+                        frame, cls, start, end, recv,
+                        rx_mw=rx, band=sender.node_id % self._n_bands,
+                    )
+                    start_h, end_h = self._cohort_start_capture, self._cohort_end_capture
+                else:
+                    cohort = _Cohort(frame, cls, start, end, recv)
+                    start_h, end_h = self._cohort_start, self._cohort_end
+                sim.schedule_cohort_at(start, n, start_h, cohort)
                 # NB: now + (prop + duration), not (now + prop) + duration —
                 # the end event's timestamp must match the historical float
                 # exactly (it differs from arrival.end by an ULP on some
                 # inputs, and event timestamps feed tie-breaking and MAC
                 # timing).
-                sim.schedule_cohort_at(
-                    now + (prop + duration), n, self._cohort_end, cohort
-                )
+                sim.schedule_cohort_at(now + (prop + duration), n, end_h, cohort)
             return duration
         if end_of_tx > sender.tx_until:
             sender.tx_until = end_of_tx
-        arrivals = [
-            (receiver, _Arrival(frame, cls, start, end))
-            for receiver in self.neighbors(sender.node_id)
-            if receiver.up
-        ]
+        if self._capture:
+            band = sender.node_id % self._n_bands
+            arrivals = [
+                (receiver, _Arrival(frame, cls, start, end, rx_mw, band))
+                for receiver, rx_mw in zip(
+                    self.neighbors(sender.node_id), self._neighbor_rx(sender.node_id)
+                )
+                if receiver.up
+            ]
+        else:
+            arrivals = [
+                (receiver, _Arrival(frame, cls, start, end))
+                for receiver in self.neighbors(sender.node_id)
+                if receiver.up
+            ]
         if arrivals:
             n = len(arrivals)
             sim.schedule_cohort_at(start, n, _fanout_start, arrivals)
@@ -592,6 +713,150 @@ class Channel:
                 if deliver is not None:
                     deliver(frame)
 
+    # ------------------------------------------------------------------
+    # vectorized fan-out, SINR capture mode (pathloss channel)
+    # ------------------------------------------------------------------
+    def _cohort_start_capture(self, c: _Cohort) -> None:
+        """Capture-mode cohort start: energy/busy as usual, then SINR state.
+
+        Shares the disc handler's liveness filter, carrier-sense
+        extension, promiscuous charge, and half-duplex accounting, but
+        instead of the collision columns it advances the per-receiver,
+        per-band running interference sums (``NodeState.interf``): add
+        this frame's rx power at every started receiver, then raise the
+        ``smax`` watermark of every other in-flight same-band cohort at
+        the receivers the two share.  The sums only increase at starts,
+        so each cohort's ``smax`` is exactly the max instantaneous
+        same-band power over its airtime — the same scalars the scalar
+        kernel's per-arrival bookkeeping computes, cell for cell.
+        """
+        st = self.state
+        assert st is not None
+        rows = c.rows
+        if st.n_down:
+            alive = st.up[rows]
+            if alive.all():
+                started = rows
+            else:
+                started = rows[alive]
+                c.rx_mw = c.rx_mw[alive]  # type: ignore[index]
+            c.started = started
+            if started.size == 0:
+                return
+        else:
+            started = rows
+            c.started = started
+        g = st.hot[started]
+        now = self.sim.now  # == c.start
+        start = c.start
+        end = c.end
+        bu = g[:, C_BUSY_UNTIL]
+        np.maximum(bu, end, out=bu)
+        rl = g[:, C_RX_LAST]
+        if start >= rl.max():
+            charged = end - start
+            g[:, C_RX_LAST : C_RX_PREV + 1] = (end, start)
+            g[:, C_RX_TIME : C_RX_COUNT + 1] += (charged, 1.0)
+            st.class_col(st.rx_cls, c.cls)[started] += charged
+        else:
+            self._charge_overlapped(st, started, g, start, end, c.cls)
+        txu = g[:, C_TX_UNTIL]
+        if now < txu.max():
+            halfdup = now < txu
+            self.tracer.count("radio.halfduplex_loss", int(halfdup.sum()))
+            c.corrupted_at_start = halfdup
+        else:
+            c.corrupted_at_start = None
+        st.hot[started] = g
+        band = c.band
+        col = st.interf[:, band]  # type: ignore[index]
+        s = col[started] + c.rx_mw
+        col[started] = s
+        c.smax = s
+        for other in self._active_cohorts:
+            if other.band != band:
+                continue
+            _, ia, ib = np.intersect1d(
+                other.started, started, assume_unique=True, return_indices=True
+            )
+            if ia.size:
+                other.smax[ia] = np.maximum(other.smax[ia], s[ib])
+        self._active_cohorts.append(c)
+
+    def _cohort_end_capture(self, c: _Cohort) -> None:
+        """Capture-mode cohort end: retire interference, SINR-test, deliver.
+
+        Mirrors the scalar ``Radio.arrival_end`` check order per
+        receiver — half-duplex-at-start, liveness, transmitting-now
+        (counts ``radio.halfduplex_loss``), then the SINR test
+        ``rx >= thr * (noise + (smax - rx))`` (failures count
+        ``radio.sinr_loss``) — with the identical elementwise float64
+        arithmetic, so metrics stay bit-identical across kernels.
+        """
+        started = c.started
+        if started is None or started.size == 0:
+            return
+        st = self.state
+        assert st is not None
+        self._active_cohorts.remove(c)
+        col = st.interf[:, c.band]  # type: ignore[index]
+        col[started] = col[started] - c.rx_mw
+        cas = c.corrupted_at_start
+        ok = None if cas is None else ~cas
+        if st.n_down:
+            up = st.up[started]
+            if not up.all():
+                ok = up if ok is None else ok & up
+        tracer = self.tracer
+        now = self.sim.now
+        txu = st.hot[started, C_TX_UNTIL]
+        if now < txu.max():
+            transmitting = now < txu
+            half = transmitting if ok is None else ok & transmitting
+            n_half = int(half.sum())
+            if n_half:
+                # Started transmitting mid-reception (zero-backoff ACKs).
+                tracer.count("radio.halfduplex_loss", n_half)
+            ok = ~transmitting if ok is None else ok & ~transmitting
+        if ok is None:
+            cand_rows, rx, smax = started, c.rx_mw, c.smax
+        else:
+            if not ok.any():
+                return
+            cand_rows = started[ok]
+            rx = c.rx_mw[ok]  # type: ignore[index]
+            smax = c.smax[ok]
+        good = rx >= self._thr * (self._noise_mw + (smax - rx))
+        if good.all():
+            ok_rows = cand_rows
+        else:
+            tracer.count("radio.sinr_loss", int((~good).sum()))
+            if not good.any():
+                return
+            ok_rows = cand_rows[good]
+        n_ok = int(ok_rows.size)
+        tracer.count("radio.rx", n_ok)
+        counts = self._rx_class_counts
+        cls = c.cls
+        try:
+            counts[cls] += n_ok
+        except KeyError:
+            counts[cls] = n_ok
+        frame = c.frame
+        radios = self._row_radio
+        if tracer.wants("phy.rx"):
+            fid, src = frame.frame_id, frame.src
+            for r in ok_rows.tolist():
+                radio = radios[r]
+                tracer.record("phy.rx", frame=fid, node=radio.node_id, src=src)
+                if radio.deliver is not None:
+                    radio.deliver(frame)
+        else:
+            for r in ok_rows.tolist():
+                deliver = radios[r].deliver
+                if deliver is not None:
+                    deliver(frame)
+
 
 class Radio:
     """One node's radio: reception state, carrier sense, energy."""
@@ -610,6 +875,8 @@ class Radio:
         "deliver",
         "up",
         "_rx_class_counts",
+        "_capture",
+        "_interf",
     )
 
     def __init__(
@@ -641,6 +908,10 @@ class Radio:
         self.up = True
         #: the channel's shared per-class rx count dict (hot-path alias)
         self._rx_class_counts = channel._rx_class_counts
+        #: SINR-capture mode flag and per-band running interference sums
+        #: (scalar kernel; the vector kernel keeps these in NodeState)
+        self._capture = channel._capture
+        self._interf = [0.0] * channel._n_bands if channel._capture else None
         channel.register(self)
 
     # ------------------------------------------------------------------
@@ -673,6 +944,21 @@ class Radio:
             # Half duplex: we miss frames that arrive while we transmit.
             arrival.corrupted = True
             self.tracer.count("radio.halfduplex_loss")
+        if self._capture:
+            # SINR capture: no pairwise corruption — advance this band's
+            # running power sum and raise the watermark of every same-band
+            # arrival in flight (sums only grow at starts, so tracking the
+            # max here is exact).  A half-duplex-lost frame still radiates.
+            band = arrival.band
+            interf = self._interf
+            s = interf[band] + arrival.rx_mw
+            interf[band] = s
+            for other in self._active:
+                if other.band == band and s > other.smax:
+                    other.smax = s
+            arrival.smax = s
+            self._active.append(arrival)
+            return
         active = self._active
         if active:
             # Overlap with another in-flight frame: everyone is corrupted.
@@ -691,6 +977,8 @@ class Radio:
             self._active.remove(arrival)
         except ValueError:
             return  # arrival was never started (node was down)
+        if self._capture:
+            self._interf[arrival.band] -= arrival.rx_mw
         if arrival.corrupted or not self.up:
             return
         if self.transmitting:
@@ -698,6 +986,11 @@ class Radio:
             # carrier sense, but possible with zero-backoff ACKs).
             self.tracer.count("radio.halfduplex_loss")
             return
+        if self._capture:
+            ch = self.channel
+            if arrival.rx_mw < ch._thr * (ch._noise_mw + (arrival.smax - arrival.rx_mw)):
+                self.tracer.count("radio.sinr_loss")
+                return
         tracer = self.tracer
         tracer.count("radio.rx")
         counts = self._rx_class_counts

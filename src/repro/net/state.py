@@ -73,6 +73,7 @@ class NodeState:
         "tx_count",
         "tx_cls",
         "rx_cls",
+        "interf",
     )
 
     def __init__(self, capacity: int = 64) -> None:
@@ -93,6 +94,9 @@ class NodeState:
         #: per-message-class time-in-state columns, created on first charge
         self.tx_cls: dict[str, np.ndarray] = {}
         self.rx_cls: dict[str, np.ndarray] = {}
+        #: ``(capacity, n_bands)`` running same-band interference power
+        #: sums (mW) — SINR-capture channels only (see ensure_interf)
+        self.interf: np.ndarray | None = None
 
     @staticmethod
     def _fresh_hot(cap: int) -> np.ndarray:
@@ -134,7 +138,24 @@ class NodeState:
                 col = np.zeros(new_cap)
                 col[:cap] = old
                 cols[cls] = col
+        if self.interf is not None:
+            interf = np.zeros((new_cap, self.interf.shape[1]))
+            interf[:cap] = self.interf
+            self.interf = interf
         self._cap = new_cap
+
+    def ensure_interf(self, n_bands: int) -> np.ndarray:
+        """Allocate the per-band interference matrix (idempotent).
+
+        Called once by SINR-capture channels at construction; each
+        column is one frequency band's running receive-power sum per
+        node, advanced by the capture cohort handlers.
+        """
+        if n_bands < 1:
+            raise ValueError("need at least one frequency band")
+        if self.interf is None or self.interf.shape[1] != n_bands:
+            self.interf = np.zeros((self._cap, n_bands))
+        return self.interf
 
     def class_col(self, cols: dict[str, np.ndarray], cls: str) -> np.ndarray:
         """Get-or-create the per-class time column for ``cls``."""

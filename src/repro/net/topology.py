@@ -71,6 +71,9 @@ class SensorField:
     _graph: nx.Graph = field(default=None, repr=False, compare=False)  # type: ignore[assignment]
     #: cached (n, 2) position matrix for vectorized geometry queries
     _pos_arr: np.ndarray = field(default=None, repr=False, compare=False)  # type: ignore[assignment]
+    #: per-radius graph cache for non-default ranges (channel reach
+    #: reporting); the nominal ``range_m`` graph stays in ``_graph``
+    _alt_graphs: dict = field(default=None, repr=False, compare=False)  # type: ignore[assignment]
 
     @property
     def n(self) -> int:
@@ -85,36 +88,56 @@ class SensorField:
         """
         return self.redraws
 
-    def connectivity_graph(self) -> nx.Graph:
+    def _build_graph(self, radius: float) -> nx.Graph:
+        g = nx.Graph()
+        g.add_nodes_from(range(self.n))
+        cell = radius
+        grid: dict[tuple[int, int], list[int]] = {}
+        for i, (x, y) in enumerate(self.positions):
+            grid.setdefault((int(x // cell), int(y // cell)), []).append(i)
+        r2 = radius**2
+        for i, (x, y) in enumerate(self.positions):
+            cx, cy = int(x // cell), int(y // cell)
+            for dx in (-1, 0, 1):
+                for dy in (-1, 0, 1):
+                    for j in grid.get((cx + dx, cy + dy), ()):
+                        if j <= i:
+                            continue
+                        ox, oy = self.positions[j]
+                        if (x - ox) ** 2 + (y - oy) ** 2 <= r2:
+                            g.add_edge(i, j, weight=1.0)
+        return g
+
+    def connectivity_graph(self, range_m: float | None = None) -> nx.Graph:
         """Unit-disc connectivity graph (cached).  Edge weight = 1 hop,
-        matching the paper's fixed-power "energy == hops" convention."""
-        if self._graph is None:
+        matching the paper's fixed-power "energy == hops" convention.
+
+        ``range_m`` overrides the field's nominal radius — used to report
+        connectivity at a channel model's actual reach (which equals the
+        nominal radius for disc, so the default path stays untouched).
+        Alternate-radius graphs are cached per radius.
+        """
+        if range_m is None or range_m == self.range_m:
+            if self._graph is None:
+                self._graph = self._build_graph(self.range_m)
+            return self._graph
+        if range_m <= 0:
             g = nx.Graph()
             g.add_nodes_from(range(self.n))
-            cell = self.range_m
-            grid: dict[tuple[int, int], list[int]] = {}
-            for i, (x, y) in enumerate(self.positions):
-                grid.setdefault((int(x // cell), int(y // cell)), []).append(i)
-            r2 = self.range_m**2
-            for i, (x, y) in enumerate(self.positions):
-                cx, cy = int(x // cell), int(y // cell)
-                for dx in (-1, 0, 1):
-                    for dy in (-1, 0, 1):
-                        for j in grid.get((cx + dx, cy + dy), ()):
-                            if j <= i:
-                                continue
-                            ox, oy = self.positions[j]
-                            if (x - ox) ** 2 + (y - oy) ** 2 <= r2:
-                                g.add_edge(i, j, weight=1.0)
-            self._graph = g
-        return self._graph
+            return g
+        if self._alt_graphs is None:
+            self._alt_graphs = {}
+        g = self._alt_graphs.get(range_m)
+        if g is None:
+            g = self._alt_graphs[range_m] = self._build_graph(range_m)
+        return g
 
     def is_connected(self) -> bool:
         g = self.connectivity_graph()
         return g.number_of_nodes() > 0 and nx.is_connected(g)
 
-    def mean_degree(self) -> float:
-        g = self.connectivity_graph()
+    def mean_degree(self, range_m: float | None = None) -> float:
+        g = self.connectivity_graph(range_m)
         if g.number_of_nodes() == 0:
             return 0.0
         return 2.0 * g.number_of_edges() / g.number_of_nodes()

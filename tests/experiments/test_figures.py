@@ -17,6 +17,7 @@ class TestFigureHarness:
             "fig9",
             "fig10",
             "large-density",
+            "channel-density",
         }
 
     def test_figure5_tiny(self):

@@ -1,0 +1,137 @@
+"""Unit tests for the channel model layer (specs, units, link math)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.net.channel import (
+    CHANNEL_MODELS,
+    ChannelSpec,
+    DiscModel,
+    PathlossModel,
+    model_from_spec,
+)
+
+
+class TestChannelSpec:
+    def test_defaults_are_disc(self):
+        spec = ChannelSpec()
+        assert spec.model == "disc"
+        assert spec.model in CHANNEL_MODELS
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ChannelSpec(model="rayleigh")
+        with pytest.raises(ValueError):
+            ChannelSpec(model="pathloss", pathloss_exponent=0.0)
+        with pytest.raises(ValueError):
+            ChannelSpec(model="pathloss", n_bands=0)
+        with pytest.raises(ValueError):
+            ChannelSpec(model="disc", n_bands=2)
+        with pytest.raises(ValueError):
+            ChannelSpec(model="pathloss", max_range_m=-1.0)
+
+    def test_degenerate_disc_shape(self):
+        spec = ChannelSpec.degenerate_disc(40.0)
+        assert spec.model == "pathloss"
+        assert not spec.capture
+        assert spec.max_range_m == 40.0
+
+
+class TestDiscModel:
+    def test_link_is_squared_distance_test(self):
+        m = DiscModel(40.0)
+        d2 = np.array([0.0, 1599.99, 1600.0, 1600.01])
+        eligible, rx = m.link(d2)
+        assert eligible.tolist() == [True, True, True, False]
+        assert rx is None
+        assert m.reach_m == 40.0 and m.grid_cell_m == 40.0
+
+    def test_rejects_nonpositive_range(self):
+        with pytest.raises(ValueError):
+            DiscModel(0.0)
+
+
+class TestPathlossModel:
+    def test_default_reach_near_disc(self):
+        # 0 dBm - 40 dB ref - (-88 dBm) = 48 dB budget over n=3:
+        # reach = 10^(48/30) ~ 39.81 m — the disc-comparable default.
+        m = PathlossModel(ChannelSpec(model="pathloss"))
+        assert m.reach_m == pytest.approx(10 ** 1.6)
+        assert 39.0 < m.reach_m < 40.0
+
+    def test_rx_power_units(self):
+        m = PathlossModel(ChannelSpec(model="pathloss"))
+        # At the 1 m reference distance rx = tx - reference_loss.
+        assert m.rx_dbm(1.0) == pytest.approx(-40.0)
+        # The 1 m floor also covers d < 1 (no near-field blowup).
+        assert m.rx_dbm(0.1) == pytest.approx(-40.0)
+        # 10x the distance costs 10*n dB.
+        assert m.rx_dbm(10.0) == pytest.approx(-70.0)
+        # Linear conversions: noise floor and threshold.
+        assert m.noise_mw == pytest.approx(10 ** -10)
+        assert m.thr == pytest.approx(10.0)
+
+    def test_link_matches_scalar_rx(self):
+        m = PathlossModel(ChannelSpec(model="pathloss"))
+        d = np.array([1.0, 5.0, 20.0, 39.0, 45.0])
+        eligible, rx_mw = m.link(d ** 2)
+        for i, dist in enumerate(d):
+            rx_dbm = m.rx_dbm(float(dist))
+            assert 10.0 ** (rx_dbm / 10.0) == pytest.approx(float(rx_mw[i]))
+            assert bool(eligible[i]) == (rx_dbm >= m.spec.rx_sensitivity_dbm)
+        assert eligible.tolist() == [True, True, True, True, False]
+
+    def test_negative_budget_reaches_nothing(self):
+        spec = ChannelSpec(model="pathloss", tx_power_dbm=-60.0)
+        m = PathlossModel(spec)
+        assert m.reach_m == 0.0
+        eligible, _ = m.link(np.array([1.0, 100.0]))
+        assert not eligible.any()
+
+    def test_max_range_caps_reach(self):
+        m = PathlossModel(ChannelSpec(model="pathloss", max_range_m=20.0))
+        assert m.reach_m == 20.0
+        eligible, _ = m.link(np.array([20.0 ** 2, 20.1 ** 2]))
+        assert eligible.tolist() == [True, False]
+
+    def test_grid_cell_covers_reach(self):
+        for spec in (
+            ChannelSpec(model="pathloss"),
+            ChannelSpec(model="pathloss", pathloss_exponent=2.0),
+            ChannelSpec(model="pathloss", tx_power_dbm=-60.0),
+        ):
+            m = PathlossModel(spec)
+            assert m.grid_cell_m >= max(m.reach_m, 1.0)
+
+    def test_reach_is_where_eligibility_flips(self):
+        m = PathlossModel(ChannelSpec(model="pathloss"))
+        r = m.reach_m
+        below, _ = m.link(np.array([(r * (1 - 1e-9)) ** 2]))
+        above, _ = m.link(np.array([(r * (1 + 1e-6)) ** 2]))
+        assert bool(below[0]) and not bool(above[0])
+
+    def test_rejects_disc_spec(self):
+        with pytest.raises(ValueError):
+            PathlossModel(ChannelSpec())
+
+
+class TestModelFromSpec:
+    def test_disc_and_none(self):
+        assert isinstance(model_from_spec(None, 40.0), DiscModel)
+        m = model_from_spec(ChannelSpec(), 35.0)
+        assert isinstance(m, DiscModel)
+        assert m.reach_m == 35.0
+
+    def test_pathloss(self):
+        m = model_from_spec(ChannelSpec(model="pathloss"), 40.0)
+        assert isinstance(m, PathlossModel)
+        # The disc range is not consulted: reach comes from the budget.
+        assert m.reach_m != 40.0
+
+    def test_capture_and_bands_surface(self):
+        m = model_from_spec(ChannelSpec(model="pathloss", n_bands=3), 40.0)
+        assert m.capture and m.n_bands == 3
+        m2 = model_from_spec(ChannelSpec(model="pathloss", capture=False), 40.0)
+        assert not m2.capture

@@ -23,6 +23,7 @@ import pytest
 from repro.diffusion.agent import DiffusionParams
 from repro.experiments.config import ExperimentConfig, FailureModel
 from repro.experiments.runner import run_observed
+from repro.net.channel import ChannelSpec
 from repro.obs import ObsOptions
 
 #: (name, config-overrides) — durations trimmed so the matrix stays fast
@@ -93,3 +94,38 @@ def test_kernels_bit_identical_under_failures():
     assert scalar.timeline.as_dict() == vector.timeline.as_dict()
     m = scalar.metrics
     assert m.counters.get("node.fail", 0) > 0  # the failure path actually ran
+
+
+#: pathloss spec variants the kernel-equivalence matrix cycles through:
+#: the default capture channel, multi-band, capture off (disc-style
+#: corruption with pathloss eligibility), a different exponent, and a
+#: hard range cutoff
+PATHLOSS_SPECS = [
+    ChannelSpec(model="pathloss"),
+    ChannelSpec(model="pathloss", n_bands=2),
+    ChannelSpec(model="pathloss", capture=False),
+    ChannelSpec(model="pathloss", pathloss_exponent=2.7),
+    ChannelSpec(model="pathloss", max_range_m=35.0),
+]
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_kernels_bit_identical_pathloss(seed):
+    """The SINR-capture cohort handlers must match the scalar capture
+    path bit-for-bit: interference sums, smax tracking, and the decode
+    test are all float64 elementwise ops on both sides."""
+    regime = list(REGIMES)[seed % len(REGIMES)]
+    audit, timeline = OBS_COMBOS[seed % len(OBS_COMBOS)]
+    spec = PATHLOSS_SPECS[seed % len(PATHLOSS_SPECS)]
+    cfg = dataclasses.replace(_config(seed, regime), channel=spec)
+
+    scalar = _run(cfg, "scalar", audit, timeline)
+    vector = _run(cfg, "vector", audit, timeline)
+
+    assert dataclasses.asdict(scalar.metrics) == dataclasses.asdict(vector.metrics)
+    assert scalar.events_processed == vector.events_processed
+    assert scalar.cancelled_skipped == vector.cancelled_skipped
+    if timeline:
+        assert scalar.timeline.as_dict() == vector.timeline.as_dict()
+    if audit:
+        assert scalar.audit == vector.audit

@@ -16,6 +16,7 @@ import repro
 from repro.diffusion.agent import DiffusionParams
 from repro.experiments.config import ExperimentConfig, FailureModel, smoke
 from repro.experiments.store import canonical_json, config_payload, run_key
+from repro.net.channel import ChannelSpec
 
 
 def _cfg(**overrides) -> ExperimentConfig:
@@ -116,6 +117,7 @@ class TestFieldSensitivity:
         "range_m": 41.0,
         "failures": FailureModel(fraction=0.2, epoch=6.0),
         "include_idle": True,
+        "channel": ChannelSpec(model="pathloss"),
     }
 
     def test_mutations_cover_every_field(self):

@@ -32,6 +32,7 @@ PACKAGES = [
     "repro",
     "repro.sim",
     "repro.net",
+    "repro.net.channel",
     "repro.diffusion",
     "repro.aggregation",
     "repro.core",
@@ -47,6 +48,7 @@ ROUTING_TABLE = """\
 |---|---|
 | event scheduling, timers, determinism/RNG streams | `repro.sim` |
 | radio propagation, MAC behavior, energy accounting, node failures | `repro.net` |
+| channel models: disc vs pathloss, SINR capture, frequency bands | `repro.net.channel` |
 | field generation, node/source/sink placement | `repro.net.topology` |
 | interests, gradients, exploratory floods, duplicate caches | `repro.diffusion` |
 | the opportunistic (baseline) scheme | `repro.diffusion.opportunistic` |
