@@ -24,8 +24,15 @@ Subcommands::
     repro-wsn fig channel-density --profile fast             # disc vs pathloss
     repro-wsn fig fig5 --store runs/                         # resumable sweep
     repro-wsn store ls runs/                                 # list stored runs
+    repro-wsn store ls runs/ --json                          # ... machine-readable
     repro-wsn store gc runs/                                 # prune stale entries
     repro-wsn store rm runs/ KEY [KEY...]                    # delete entries
+    repro-wsn serve --store runs/ --port 8642                # results daemon
+    repro-wsn client submit --figure fig5 --wait             # figure via daemon
+    repro-wsn client status job-000001                       # poll a job
+    repro-wsn client fetch job-000001                        # fetch results
+    repro-wsn client metrics                                 # daemon /metrics
+    repro-wsn loadtest --requests 500 --concurrency 100      # hammer a warm daemon
 
 Figures print the same series the paper plots (see
 :mod:`repro.experiments.report`).
@@ -284,6 +291,9 @@ def build_parser() -> argparse.ArgumentParser:
     store_sub = store_p.add_subparsers(dest="store_command", required=True)
     store_ls = store_sub.add_parser("ls", help="list stored runs")
     store_ls.add_argument("path", help="store directory")
+    store_ls.add_argument(
+        "--json", action="store_true", help="machine-readable entry list on stdout"
+    )
     store_gc = store_sub.add_parser(
         "gc", help="prune temp litter, corrupt entries, and stale-version entries"
     )
@@ -323,6 +333,96 @@ def build_parser() -> argparse.ArgumentParser:
         "--timeline",
         action="store_true",
         help="run with the standard probe timeline attached (the probe-overhead gate)",
+    )
+    bench_p.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable benchmark payload on stdout (instead of the table)",
+    )
+
+    serve_p = sub.add_parser(
+        "serve", help="run the async sweep/results daemon over a run store"
+    )
+    serve_p.add_argument(
+        "--store", required=True, metavar="PATH", help="run-store directory to serve"
+    )
+    serve_p.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve_p.add_argument(
+        "--port", type=int, default=8642, help="listen port (0 picks an ephemeral port)"
+    )
+    serve_p.add_argument(
+        "--workers", type=int, default=2, help="simulation worker processes"
+    )
+    serve_p.add_argument(
+        "--port-file",
+        metavar="PATH",
+        help="write the bound port here once listening (for scripts using --port 0)",
+    )
+
+    client_p = sub.add_parser("client", help="talk to a running repro-wsn daemon")
+    client_p.add_argument("--host", default="127.0.0.1", help="daemon address")
+    client_p.add_argument("--port", type=int, default=8642, help="daemon port")
+    client_sub = client_p.add_subparsers(dest="client_command", required=True)
+    client_submit = client_sub.add_parser(
+        "submit", help="submit a figure or a raw JSON spec; prints the job"
+    )
+    client_submit.add_argument(
+        "--figure", choices=sorted(FIGURES), help="figure to compute via the daemon"
+    )
+    client_submit.add_argument(
+        "--profile", choices=sorted(PROFILES), default="fast", help="fidelity profile"
+    )
+    client_submit.add_argument("--trials", type=int, default=None, help="fields per point")
+    client_submit.add_argument(
+        "--n-nodes", type=int, default=None, help="field size for source/sink sweeps"
+    )
+    client_submit.add_argument(
+        "--xs", type=int, nargs="+", default=None, metavar="X", help="sweep values"
+    )
+    client_submit.add_argument(
+        "--priority", type=int, default=None, help="queue priority (lower drains first)"
+    )
+    client_submit.add_argument(
+        "--spec", metavar="FILE", help="raw JSON request body (overrides --figure)"
+    )
+    client_submit.add_argument(
+        "--wait", action="store_true", help="block until done and print the results"
+    )
+    _add_channel_args(client_submit)
+    client_status = client_sub.add_parser(
+        "status", help="show one job (or all jobs) as JSON"
+    )
+    client_status.add_argument("job_id", nargs="?", help="job id (omit to list all)")
+    client_fetch = client_sub.add_parser(
+        "fetch", help="wait for a job and print its results as JSON"
+    )
+    client_fetch.add_argument("job_id", help="job id")
+    client_fetch.add_argument("--out", metavar="PATH", help="also write the JSON here")
+    client_sub.add_parser("metrics", help="print the daemon's /metrics payload")
+
+    loadtest_p = sub.add_parser(
+        "loadtest", help="replay concurrent figure submissions against a daemon"
+    )
+    loadtest_p.add_argument("--host", default="127.0.0.1", help="daemon address")
+    loadtest_p.add_argument("--port", type=int, default=8642, help="daemon port")
+    loadtest_p.add_argument(
+        "--figure", choices=sorted(FIGURES), default="fig5", help="figure to replay"
+    )
+    loadtest_p.add_argument(
+        "--profile", choices=sorted(PROFILES), default="fast", help="fidelity profile"
+    )
+    loadtest_p.add_argument(
+        "--xs", type=int, nargs="+", default=None, metavar="X", help="sweep values"
+    )
+    loadtest_p.add_argument("--trials", type=int, default=None, help="fields per point")
+    loadtest_p.add_argument(
+        "--requests", type=int, default=500, help="total submissions to replay"
+    )
+    loadtest_p.add_argument(
+        "--concurrency", type=int, default=100, help="maximum submissions in flight"
+    )
+    loadtest_p.add_argument(
+        "--timeout", type=float, default=30.0, help="per-request timeout (seconds)"
     )
 
     stats_p = sub.add_parser(
@@ -897,6 +997,11 @@ def _cmd_store(args: argparse.Namespace) -> int:
     store = RunStore(args.path)
     if args.store_command == "ls":
         rows = store.ls()
+        if args.json:
+            import json
+
+            print(json.dumps({"path": str(store.root), "entries": rows}, sort_keys=True))
+            return 0
         if not rows:
             print(f"empty store: {args.path}")
             return 0
@@ -932,12 +1037,147 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         timeline=args.timeline,
         profile=args.profile,
     )
-    print(format_bench(payload))
     path = save_bench(payload, args.out)
-    print(f"\nwritten: {path}")
+    if args.json:
+        import json
+
+        print(json.dumps(payload, sort_keys=True))
+    else:
+        print(format_bench(payload))
+        print(f"\nwritten: {path}")
     par = payload.get("parallel")
     if par and not par["identical"]:
         print("ERROR: parallel results diverged from serial", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+    from pathlib import Path
+
+    from .service import build_service
+
+    daemon = build_service(
+        args.store, host=args.host, port=args.port, run_workers=args.workers
+    )
+
+    async def _serve() -> None:
+        await daemon.start()
+        print(
+            f"serving on http://{daemon.host}:{daemon.port} "
+            f"(store: {args.store}, workers: {args.workers})",
+            flush=True,
+        )
+        if args.port_file:
+            Path(args.port_file).write_text(str(daemon.port))
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(sig, stop.set)
+        await stop.wait()
+        await daemon.stop()
+        print("shutdown complete", flush=True)
+
+    asyncio.run(_serve())
+    return 0
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    import dataclasses
+    import json
+    from pathlib import Path
+
+    from .service.client import ServiceClient, ServiceError
+
+    client = ServiceClient(host=args.host, port=args.port)
+    try:
+        if args.client_command == "submit":
+            if args.spec:
+                spec = json.loads(Path(args.spec).read_text())
+            elif args.figure:
+                spec = {
+                    "kind": "figure",
+                    "figure": args.figure,
+                    "profile": args.profile,
+                }
+                for name, value in (
+                    ("trials", args.trials),
+                    ("n_nodes", args.n_nodes),
+                    ("xs", args.xs),
+                    ("priority", args.priority),
+                ):
+                    if value is not None:
+                        spec[name] = value
+                channel = _channel_spec(args)
+                if channel is not None:
+                    spec["channel"] = dataclasses.asdict(channel)
+            else:
+                print("client submit: need --figure or --spec", file=sys.stderr)
+                return 2
+            submitted = client.submit(spec)
+            if not args.wait:
+                print(json.dumps(submitted, indent=2, sort_keys=True))
+                return 0
+            job_id = submitted["job"]["id"]
+            status = client.wait(job_id)
+            if status["status"] != "done":
+                print(json.dumps(status, indent=2, sort_keys=True))
+                print(f"client: job {job_id} failed: {status['error']}", file=sys.stderr)
+                return 1
+            print(json.dumps(client.result(job_id), indent=2, sort_keys=True))
+            return 0
+        if args.client_command == "status":
+            payload = client.job(args.job_id) if args.job_id else {"jobs": client.jobs()}
+            print(json.dumps(payload, indent=2, sort_keys=True))
+            return 0
+        if args.client_command == "fetch":
+            result = client.fetch(args.job_id)
+            text = json.dumps(result, indent=2, sort_keys=True)
+            if args.out:
+                Path(args.out).write_text(text)
+                print(f"written: {args.out}")
+            else:
+                print(text)
+            return 0
+        print(json.dumps(client.metrics(), indent=2, sort_keys=True))
+        return 0
+    except ValueError as exc:
+        print(f"client: {exc}", file=sys.stderr)
+        return 2
+    except ServiceError as exc:
+        print(f"client: {exc}", file=sys.stderr)
+        return 1
+    except (ConnectionError, TimeoutError, OSError) as exc:
+        print(
+            f"client: cannot reach daemon at {args.host}:{args.port}: {exc}",
+            file=sys.stderr,
+        )
+        return 1
+
+
+def _cmd_loadtest(args: argparse.Namespace) -> int:
+    import json
+
+    from .service.loadtest import run_load_test
+
+    spec = {"kind": "figure", "figure": args.figure, "profile": args.profile}
+    if args.xs is not None:
+        spec["xs"] = args.xs
+    if args.trials is not None:
+        spec["trials"] = args.trials
+    payload = run_load_test(
+        args.host,
+        args.port,
+        spec=spec,
+        requests=args.requests,
+        concurrency=args.concurrency,
+        timeout=args.timeout,
+    )
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    if payload["errors"]:
+        print(f"loadtest: {payload['errors']} requests failed", file=sys.stderr)
         return 1
     return 0
 
@@ -954,6 +1194,9 @@ _COMMANDS = {
     "audit": _cmd_audit,
     "diff": _cmd_diff,
     "timeline": _cmd_timeline,
+    "serve": _cmd_serve,
+    "client": _cmd_client,
+    "loadtest": _cmd_loadtest,
 }
 
 

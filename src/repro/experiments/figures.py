@@ -24,10 +24,22 @@ from .config import (
     FailureModel,
     Profile,
 )
-from .sweeps import COMPARISON_SCHEMES, CellSummary, StoreArg, cell_seed, paired_sweep
+from .sweeps import (
+    COMPARISON_SCHEMES,
+    CellSummary,
+    StoreArg,
+    cell_seed,
+    paired_plan,
+    run_configs,
+    summarize_paired,
+)
 
 __all__ = [
     "FigureResult",
+    "FigurePlan",
+    "figure_plan",
+    "figure_from_results",
+    "run_figure_plan",
     "figure_cell_config",
     "figure5",
     "figure6",
@@ -79,31 +91,25 @@ class FigureResult:
         return max(self.energy_savings(x) for x in self.xs())
 
 
-def _run(
-    figure_id: str,
-    title: str,
-    x_label: str,
-    profile: Profile,
-    xs: Sequence,
-    base: ExperimentConfig,
-    sweep_field: str,
-    trials: Optional[int],
-    workers: int,
-    progress=None,
-    store: StoreArg = None,
-    channel: Optional[ChannelSpec] = None,
-) -> FigureResult:
-    if channel is not None:
-        base = replace(base, channel=channel)
+@dataclass(frozen=True)
+class FigurePlan:
+    """The deterministic run plan of one figure, before execution.
 
-    def make_config(scheme: str, x, seed: int) -> ExperimentConfig:
-        return replace(base, scheme=scheme, seed=seed, **{sweep_field: x})
+    Splitting plan construction (:func:`figure_plan`) from execution
+    (:func:`run_figure_plan`) lets any executor — the in-process sweep
+    machinery or the :mod:`repro.service` job queue — run the exact same
+    configs and reassemble a bit-identical :class:`FigureResult` via
+    :func:`figure_from_results`.
+    """
 
-    cells = paired_sweep(
-        profile, xs, make_config, trials=trials, workers=workers, progress=progress,
-        store=store,
-    )
-    return FigureResult(figure_id, title, x_label, tuple(cells))
+    figure_id: str
+    title: str
+    x_label: str
+    #: ordered ``(cell label, sweep value, config)`` triples
+    plan: tuple[tuple[str, object, ExperimentConfig], ...]
+
+    def configs(self) -> list[ExperimentConfig]:
+        return [cfg for _label, _x, cfg in self.plan]
 
 
 def _base(profile: Profile, **overrides) -> ExperimentConfig:
@@ -118,6 +124,165 @@ def _base(profile: Profile, **overrides) -> ExperimentConfig:
     return replace(cfg, **overrides) if overrides else cfg
 
 
+#: per-figure (title template, x_label, default sweep, sweep field, base
+#: builder).  ``{n}`` in a title is the fixed node count of the
+#: source/sink sweeps; base builders take ``(profile, n_nodes)``.
+_FIG_DEFS: dict = {
+    "fig5": (
+        "Greedy vs opportunistic aggregation across density",
+        "nodes", DENSITY_SWEEP, "n_nodes",
+        lambda profile, n: _base(profile),
+    ),
+    "fig6": (
+        "Impact of node failures (20% down, rotating epochs)",
+        "nodes", DENSITY_SWEEP, "n_nodes",
+        lambda profile, n: _base(
+            profile, failures=FailureModel(fraction=0.2, epoch=profile.failure_epoch)
+        ),
+    ),
+    "fig7": (
+        "Impact of random source placement",
+        "nodes", DENSITY_SWEEP, "n_nodes",
+        lambda profile, n: _base(profile, source_placement="random"),
+    ),
+    "fig8": (
+        "Impact of the number of sinks ({n} nodes)",
+        "sinks", SINK_SWEEP, "n_sinks",
+        lambda profile, n: _base(profile, n_nodes=n),
+    ),
+    "fig9": (
+        "Impact of the number of sources ({n} nodes)",
+        "sources", SOURCE_SWEEP, "n_sources",
+        lambda profile, n: _base(profile, n_nodes=n),
+    ),
+    "fig10": (
+        "Impact of linear aggregation ({n} nodes)",
+        "sources", SOURCE_SWEEP, "n_sources",
+        lambda profile, n: _base(profile, n_nodes=n, aggregation="linear"),
+    ),
+    "large-density": (
+        "Density vs delivered data at scale (800 m field)",
+        "nodes", LARGE_DENSITY_SWEEP, "n_nodes",
+        lambda profile, n: _large_base(profile),
+    ),
+}
+
+
+def _spec(
+    figure_id: str,
+    profile: Profile,
+    channel: Optional[ChannelSpec] = None,
+    n_nodes: int = 350,
+    xs: Optional[Sequence] = None,
+):
+    """Resolve one figure's ``(title, x_label, xs, labels, make_config)``."""
+    if figure_id == "channel-density":
+        spec = CHANNEL_STUDY_SPEC if channel is None else channel
+        if spec.model != "pathloss":
+            raise ValueError("the channel-density study needs a pathloss spec")
+        base = _base(profile)
+        labels = tuple(
+            f"{scheme}@{chan}"
+            for chan in ("disc", "pathloss")
+            for scheme in COMPARISON_SCHEMES
+        )
+
+        def make_channel_config(label: str, x, seed: int) -> ExperimentConfig:
+            scheme, _, chan = label.partition("@")
+            ch = ChannelSpec() if chan == "disc" else spec
+            return replace(base, scheme=scheme, seed=seed, n_nodes=x, channel=ch)
+
+        return (
+            "Density sweep under disc vs pathloss/SINR channels",
+            "nodes",
+            DENSITY_SWEEP if xs is None else xs,
+            labels,
+            make_channel_config,
+        )
+    if figure_id not in _FIG_DEFS:
+        raise KeyError(f"unknown figure {figure_id!r} (have {sorted(FIGURES)})")
+    title, x_label, default_xs, sweep_field, base_fn = _FIG_DEFS[figure_id]
+    base = base_fn(profile, n_nodes)
+    if channel is not None:
+        base = replace(base, channel=channel)
+
+    def make_config(scheme: str, x, seed: int) -> ExperimentConfig:
+        return replace(base, scheme=scheme, seed=seed, **{sweep_field: x})
+
+    return (
+        title.format(n=n_nodes),
+        x_label,
+        default_xs if xs is None else xs,
+        COMPARISON_SCHEMES,
+        make_config,
+    )
+
+
+def figure_plan(
+    figure_id: str,
+    profile: Profile,
+    trials: Optional[int] = None,
+    channel: Optional[ChannelSpec] = None,
+    n_nodes: int = 350,
+    xs: Optional[Sequence] = None,
+) -> FigurePlan:
+    """Build one figure's deterministic :class:`FigurePlan`.
+
+    The plan enumerates exactly the ``(cell label, x, config)`` triples
+    the in-process harness would run — same bases, same paired seeds —
+    so executing its configs elsewhere and reassembling with
+    :func:`figure_from_results` reproduces the figure bit for bit.
+    ``n_nodes`` fixes the field of the source/sink sweeps (figs 8-10);
+    ``xs`` overrides the default sweep values.
+    """
+    title, x_label, xs, labels, make_config = _spec(
+        figure_id, profile, channel=channel, n_nodes=n_nodes, xs=xs
+    )
+    plan = paired_plan(profile, xs, make_config, trials=trials, schemes=labels)
+    return FigurePlan(figure_id, title, x_label, tuple(plan))
+
+
+def figure_from_results(fplan: FigurePlan, results: Sequence) -> FigureResult:
+    """Assemble a :class:`FigureResult` from a plan's run outcomes.
+
+    ``results`` is the order-preserving outcome list for
+    ``fplan.plan`` (``RunMetrics``, or ``RunFailure`` placeholders for
+    runs that failed — those cells summarize their survivors).
+    """
+    cells = summarize_paired(fplan.plan, results)
+    return FigureResult(fplan.figure_id, fplan.title, fplan.x_label, tuple(cells))
+
+
+def run_figure_plan(
+    fplan: FigurePlan,
+    workers: int = 0,
+    progress=None,
+    store: StoreArg = None,
+) -> FigureResult:
+    """Execute a :class:`FigurePlan` in process (the classic path)."""
+    results = run_configs(
+        fplan.configs(), workers=workers, progress=progress, store=store
+    )
+    return figure_from_results(fplan, results)
+
+
+def _run(
+    figure_id: str,
+    profile: Profile,
+    xs: Sequence,
+    trials: Optional[int],
+    workers: int,
+    progress=None,
+    store: StoreArg = None,
+    channel: Optional[ChannelSpec] = None,
+    n_nodes: int = 350,
+) -> FigureResult:
+    fplan = figure_plan(
+        figure_id, profile, trials=trials, channel=channel, n_nodes=n_nodes, xs=xs
+    )
+    return run_figure_plan(fplan, workers=workers, progress=progress, store=store)
+
+
 def figure5(
     profile: Profile,
     densities: Sequence[int] = DENSITY_SWEEP,
@@ -130,18 +295,7 @@ def figure5(
     """Fig 5: greedy vs opportunistic across network density (the headline
     comparison: 5 corner sources, 1 corner sink, perfect aggregation)."""
     return _run(
-        "fig5",
-        "Greedy vs opportunistic aggregation across density",
-        "nodes",
-        profile,
-        densities,
-        _base(profile),
-        "n_nodes",
-        trials,
-        workers,
-        progress,
-        store,
-        channel=channel,
+        "fig5", profile, densities, trials, workers, progress, store, channel=channel
     )
 
 
@@ -155,20 +309,8 @@ def figure6(
     channel: Optional[ChannelSpec] = None,
 ) -> FigureResult:
     """Fig 6: same sweep under rotating 20% node failures (§5.3)."""
-    base = _base(profile, failures=FailureModel(fraction=0.2, epoch=profile.failure_epoch))
     return _run(
-        "fig6",
-        "Impact of node failures (20% down, rotating epochs)",
-        "nodes",
-        profile,
-        densities,
-        base,
-        "n_nodes",
-        trials,
-        workers,
-        progress,
-        store,
-        channel=channel,
+        "fig6", profile, densities, trials, workers, progress, store, channel=channel
     )
 
 
@@ -182,20 +324,8 @@ def figure7(
     channel: Optional[ChannelSpec] = None,
 ) -> FigureResult:
     """Fig 7: random source placement (§5.4: savings shrink to ~30%)."""
-    base = _base(profile, source_placement="random")
     return _run(
-        "fig7",
-        "Impact of random source placement",
-        "nodes",
-        profile,
-        densities,
-        base,
-        "n_nodes",
-        trials,
-        workers,
-        progress,
-        store,
-        channel=channel,
+        "fig7", profile, densities, trials, workers, progress, store, channel=channel
     )
 
 
@@ -211,20 +341,9 @@ def figure8(
 ) -> FigureResult:
     """Fig 8: 1-5 sinks on the 350-node field (first at the corner, rest
     scattered)."""
-    base = _base(profile, n_nodes=n_nodes)
     return _run(
-        "fig8",
-        f"Impact of the number of sinks ({n_nodes} nodes)",
-        "sinks",
-        profile,
-        sink_counts,
-        base,
-        "n_sinks",
-        trials,
-        workers,
-        progress,
-        store,
-        channel=channel,
+        "fig8", profile, sink_counts, trials, workers, progress, store,
+        channel=channel, n_nodes=n_nodes,
     )
 
 
@@ -239,20 +358,9 @@ def figure9(
     channel: Optional[ChannelSpec] = None,
 ) -> FigureResult:
     """Fig 9: 2-14 corner sources on the 350-node field."""
-    base = _base(profile, n_nodes=n_nodes)
     return _run(
-        "fig9",
-        f"Impact of the number of sources ({n_nodes} nodes)",
-        "sources",
-        profile,
-        source_counts,
-        base,
-        "n_sources",
-        trials,
-        workers,
-        progress,
-        store,
-        channel=channel,
+        "fig9", profile, source_counts, trials, workers, progress, store,
+        channel=channel, n_nodes=n_nodes,
     )
 
 
@@ -268,20 +376,9 @@ def figure10(
 ) -> FigureResult:
     """Fig 10: fig 9's sweep under *linear* aggregation (header savings
     only) — the inefficient-aggregation sensitivity study."""
-    base = _base(profile, n_nodes=n_nodes, aggregation="linear")
     return _run(
-        "fig10",
-        f"Impact of linear aggregation ({n_nodes} nodes)",
-        "sources",
-        profile,
-        source_counts,
-        base,
-        "n_sources",
-        trials,
-        workers,
-        progress,
-        store,
-        channel=channel,
+        "fig10", profile, source_counts, trials, workers, progress, store,
+        channel=channel, n_nodes=n_nodes,
     )
 
 
@@ -325,17 +422,7 @@ def figure_large_density(
     into the regime the vectorized PHY kernel makes tractable.
     """
     return _run(
-        "large-density",
-        "Density vs delivered data at scale (800 m field)",
-        "nodes",
-        profile,
-        densities,
-        _large_base(profile),
-        "n_nodes",
-        trials,
-        workers,
-        progress,
-        store,
+        "large-density", profile, densities, trials, workers, progress, store,
         channel=channel,
     )
 
@@ -368,30 +455,9 @@ def figure_channel_density(
     ``channel`` overrides the pathloss side's spec
     (:data:`CHANNEL_STUDY_SPEC` by default; must be a pathloss spec).
     """
-    spec = CHANNEL_STUDY_SPEC if channel is None else channel
-    if spec.model != "pathloss":
-        raise ValueError("the channel-density study needs a pathloss spec")
-    base = _base(profile)
-    labels = tuple(
-        f"{scheme}@{chan}"
-        for chan in ("disc", "pathloss")
-        for scheme in COMPARISON_SCHEMES
-    )
-
-    def make_config(label: str, x, seed: int) -> ExperimentConfig:
-        scheme, _, chan = label.partition("@")
-        ch = ChannelSpec() if chan == "disc" else spec
-        return replace(base, scheme=scheme, seed=seed, n_nodes=x, channel=ch)
-
-    cells = paired_sweep(
-        profile, densities, make_config, trials=trials, workers=workers,
-        schemes=labels, progress=progress, store=store,
-    )
-    return FigureResult(
-        "channel-density",
-        "Density sweep under disc vs pathloss/SINR channels",
-        "nodes",
-        tuple(cells),
+    return _run(
+        "channel-density", profile, densities, trials, workers, progress, store,
+        channel=channel,
     )
 
 
@@ -421,33 +487,14 @@ def figure_cell_config(
         raise KeyError(f"unknown figure {figure_id!r} (have {sorted(FIGURES)})")
     if isinstance(x, float) and x.is_integer():
         x = int(x)
-    channel: Optional[ChannelSpec] = None
     if figure_id == "channel-density":
-        scheme, _, chan = scheme.partition("@")
+        _, _, chan = scheme.partition("@")
         if chan not in ("disc", "pathloss"):
             raise ValueError(
                 f"channel-density cells are labeled <scheme>@<channel>, got {chan!r}"
             )
-        channel = ChannelSpec() if chan == "disc" else CHANNEL_STUDY_SPEC
-    bases = {
-        "fig5": (lambda: _base(profile), "n_nodes"),
-        "fig6": (
-            lambda: _base(
-                profile, failures=FailureModel(fraction=0.2, epoch=profile.failure_epoch)
-            ),
-            "n_nodes",
-        ),
-        "fig7": (lambda: _base(profile, source_placement="random"), "n_nodes"),
-        "fig8": (lambda: _base(profile, n_nodes=350), "n_sinks"),
-        "fig9": (lambda: _base(profile, n_nodes=350), "n_sources"),
-        "fig10": (lambda: _base(profile, n_nodes=350, aggregation="linear"), "n_sources"),
-        "large-density": (lambda: _large_base(profile), "n_nodes"),
-        "channel-density": (lambda: _base(profile), "n_nodes"),
-    }
-    base_fn, sweep_field = bases[figure_id]
-    seed = cell_seed(0, x, trial)
-    cfg = replace(base_fn(), scheme=scheme, seed=seed, **{sweep_field: x})
-    return replace(cfg, channel=channel) if channel is not None else cfg
+    _title, _x_label, _xs, _labels, make_config = _spec(figure_id, profile)
+    return make_config(scheme, x, cell_seed(0, x, trial))
 
 
 def git_vs_spt_table(

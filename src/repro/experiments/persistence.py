@@ -39,6 +39,8 @@ from .store import RunStore, StoreStats, open_store, run_key
 from .sweeps import CellSummary
 
 __all__ = [
+    "figure_payload",
+    "figure_from_payload",
     "save_figure_json",
     "load_figure_json",
     "export_figure_csv",
@@ -62,10 +64,14 @@ def manifest_path_for(result_path: Union[str, Path]) -> Path:
 _FORMAT_VERSION = 1
 
 
-def save_figure_json(result: FigureResult, path: Union[str, Path]) -> Path:
-    """Serialize a figure result (lossless round trip)."""
-    path = Path(path)
-    payload = {
+def figure_payload(result: FigureResult) -> dict:
+    """The JSON-friendly dict of one figure result (lossless).
+
+    Shared by :func:`save_figure_json` and the :mod:`repro.service`
+    results API, so a figure fetched over HTTP is byte-identical to one
+    saved locally.
+    """
+    return {
         "format_version": _FORMAT_VERSION,
         "figure_id": result.figure_id,
         "title": result.title,
@@ -84,14 +90,23 @@ def save_figure_json(result: FigureResult, path: Union[str, Path]) -> Path:
             for c in result.cells
         ],
     }
+
+
+def save_figure_json(result: FigureResult, path: Union[str, Path]) -> Path:
+    """Serialize a figure result (lossless round trip)."""
+    path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    path.write_text(json.dumps(figure_payload(result), indent=2, sort_keys=True))
     return path
 
 
 def load_figure_json(path: Union[str, Path]) -> FigureResult:
     """Reload a figure result saved by :func:`save_figure_json`."""
-    payload = json.loads(Path(path).read_text())
+    return figure_from_payload(json.loads(Path(path).read_text()))
+
+
+def figure_from_payload(payload: dict) -> FigureResult:
+    """Rebuild a :class:`FigureResult` from its :func:`figure_payload` dict."""
     version = payload.get("format_version")
     if version != _FORMAT_VERSION:
         raise ValueError(f"unsupported figure file version: {version!r}")

@@ -32,7 +32,10 @@ The ``<root>/index.json`` file is a human-oriented cache of the entry
 summaries (what ``store ls`` prints).  It is rewritten on every put/rm
 but the payload files are authoritative: lookups never trust the index,
 and :meth:`RunStore.reindex` (or ``store gc``) rebuilds it from the
-directory scan.
+directory scan.  Index updates are serialized across processes by an
+advisory ``index.lock`` file (``fcntl.flock``): each writer re-reads and
+merges under the lock, so N concurrent sweep workers plus a ``store gc``
+cannot lose each other's entries.
 
 Hit/miss/persist/skip counts are recorded as counters in an
 :class:`~repro.obs.registry.MetricsRegistry` owned by (or passed to) the
@@ -41,6 +44,7 @@ store, and surface in figure manifests via :meth:`RunStore.stats`.
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import hashlib
 import json
@@ -50,6 +54,11 @@ import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Iterable, Optional, Union
+
+try:  # POSIX advisory locks; absent on some platforms (index stays lossy there)
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
 
 from ..obs.registry import MetricsRegistry
 from .config import ExperimentConfig
@@ -71,6 +80,10 @@ __all__ = [
 #:     time_to_half_delivery); timelines persist beside entries
 #: v4: ExperimentConfig gained the channel block (pluggable PHY models)
 STORE_VERSION = 4
+
+#: gc only collects ``*.tmp`` litter older than this — a younger temp
+#: file may belong to a live writer between ``mkstemp`` and ``os.replace``
+TMP_LITTER_MIN_AGE_S = 60.0
 
 
 def canonical_json(obj: Any) -> str:
@@ -151,6 +164,7 @@ class RunStore:
         self.runs_dir = self.root / "runs"
         self.timelines_dir = self.root / "timelines"
         self.index_path = self.root / "index.json"
+        self.index_lock_path = self.root / "index.lock"
         self.runs_dir.mkdir(parents=True, exist_ok=True)
         self.registry = registry if registry is not None else MetricsRegistry()
         self.stats = StoreStats()
@@ -274,7 +288,8 @@ class RunStore:
             if sibling.exists():
                 sibling.unlink()
             removed += 1
-        self._write_index(self.ls())
+        with self._index_lock():
+            self._write_index(self.ls())
         return removed
 
     def gc(self, prune_stale_versions: bool = True) -> dict[str, int]:
@@ -286,6 +301,10 @@ class RunStore:
         unreachable by construction.  Timelines are garbage too when
         corrupt, stale, or orphaned (their run entry is gone).
         """
+        with self._index_lock():
+            return self._gc_locked(prune_stale_versions)
+
+    def _gc_locked(self, prune_stale_versions: bool) -> dict[str, int]:
         stats = {
             "tmp_removed": 0,
             "corrupt_removed": 0,
@@ -294,9 +313,7 @@ class RunStore:
             "timelines_removed": 0,
             "timelines_kept": 0,
         }
-        for tmp in self.runs_dir.glob("*.tmp*"):
-            tmp.unlink()
-            stats["tmp_removed"] += 1
+        stats["tmp_removed"] += self._sweep_tmp_litter(self.runs_dir)
         current = (STORE_VERSION, _code_version())
         rows = []
         kept_keys: set[str] = set()
@@ -318,9 +335,7 @@ class RunStore:
             kept_keys.add(entry.get("key", path.stem))
             stats["kept"] += 1
         if self.timelines_dir.exists():
-            for tmp in self.timelines_dir.glob("*.tmp*"):
-                tmp.unlink()
-                stats["tmp_removed"] += 1
+            stats["tmp_removed"] += self._sweep_tmp_litter(self.timelines_dir)
             for path in sorted(self.timelines_dir.glob("*.json")):
                 if path.stem in kept_keys and self.get_timeline(path.stem) is not None:
                     stats["timelines_kept"] += 1
@@ -332,8 +347,9 @@ class RunStore:
 
     def reindex(self) -> int:
         """Rebuild ``index.json`` from the payload files; returns entry count."""
-        rows = self.ls()
-        self._write_index(rows)
+        with self._index_lock():
+            rows = self.ls()
+            self._write_index(rows)
         return len(rows)
 
     # ------------------------------------------------------------------
@@ -366,6 +382,28 @@ class RunStore:
         return entry
 
     @staticmethod
+    def _sweep_tmp_litter(directory: Path) -> int:
+        """Unlink abandoned ``*.tmp`` files; returns how many went.
+
+        Only files older than :data:`TMP_LITTER_MIN_AGE_S` are litter —
+        a fresh one may be a live writer's in-flight payload whose
+        ``os.replace`` has not happened yet; deleting it would turn the
+        writer's atomic put into a crash.  Vanishing files (another gc,
+        or the writer's own rename) are skipped, not errors.
+        """
+        removed = 0
+        cutoff = time.time() - TMP_LITTER_MIN_AGE_S
+        for tmp in directory.glob("*.tmp*"):
+            try:
+                if tmp.stat().st_mtime > cutoff:
+                    continue
+                tmp.unlink()
+            except OSError:
+                continue
+            removed += 1
+        return removed
+
+    @staticmethod
     def _atomic_write(path: Path, text: str) -> None:
         fd, tmp_name = tempfile.mkstemp(
             dir=path.parent, prefix=path.stem + ".", suffix=".tmp"
@@ -381,10 +419,35 @@ class RunStore:
                 pass
             raise
 
+    @contextlib.contextmanager
+    def _index_lock(self):
+        """Exclusive cross-process lock over ``index.json`` updates.
+
+        Advisory ``flock`` on a sidecar lock file (never on ``index.json``
+        itself — that file is atomically *replaced*, which would orphan
+        any lock held on the old inode).  On platforms without ``fcntl``
+        the lock degrades to a no-op: the index is only a cache, so the
+        worst case there is a momentarily incomplete ``store ls``.
+        """
+        self.root.mkdir(parents=True, exist_ok=True)
+        with open(self.index_lock_path, "a") as fh:
+            if fcntl is not None:
+                fcntl.flock(fh, fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                if fcntl is not None:
+                    fcntl.flock(fh, fcntl.LOCK_UN)
+
     def _index_add(self, key: str, entry: dict[str, Any]) -> None:
-        index = self._read_index()
-        index[key] = self._summary(entry)
-        self._write_index(list(index.values()))
+        # Read-merge-write under the cross-process lock: concurrent
+        # writers serialize here, and each re-reads the latest index
+        # inside its critical section, so no writer can clobber another
+        # writer's freshly added entries.
+        with self._index_lock():
+            index = self._read_index()
+            index[key] = self._summary(entry)
+            self._write_index(list(index.values()))
 
     def _read_index(self) -> dict[str, dict[str, Any]]:
         try:

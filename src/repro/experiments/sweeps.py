@@ -62,6 +62,8 @@ __all__ = [
     "summarize_cell",
     "run_configs",
     "paired_sweep",
+    "paired_plan",
+    "summarize_paired",
     "cell_seed",
 ]
 
@@ -307,6 +309,53 @@ def run_configs(
     return results
 
 
+def paired_plan(
+    profile: Profile,
+    xs: Iterable,
+    make_config: Callable[[str, object, int], ExperimentConfig],
+    trials: int | None = None,
+    schemes: Sequence[str] = COMPARISON_SCHEMES,
+) -> list[tuple[str, object, ExperimentConfig]]:
+    """Enumerate a paired sweep's ``(scheme, x, config)`` plan.
+
+    This is the deterministic first half of :func:`paired_sweep` — the
+    exact run list with paired per-(x, trial) seeds — split out so other
+    executors (the :mod:`repro.service` daemon's job queue) can run the
+    same configs and produce bit-identical figures.
+    """
+    trials = profile.trials if trials is None else trials
+    if trials < 1:
+        raise ValueError("need at least one trial")
+    plan: list[tuple[str, object, ExperimentConfig]] = []
+    for x in xs:
+        for trial in range(trials):
+            seed = cell_seed(0, x, trial)
+            for scheme in schemes:
+                plan.append((scheme, x, make_config(scheme, x, seed)))
+    return plan
+
+
+def summarize_paired(
+    plan: Sequence[tuple[str, object, ExperimentConfig]],
+    results: Sequence,
+) -> list[CellSummary]:
+    """Group a plan's run outcomes into sorted per-cell summaries.
+
+    The second half of :func:`paired_sweep`: ``results`` is the
+    order-preserving outcome list for ``plan`` (:class:`RunFailure`
+    placeholders are dropped; cells with no survivors disappear).
+    """
+    grouped: dict[tuple[str, object], list[RunMetrics]] = {}
+    for (scheme, x, _cfg), run in zip(plan, results):
+        if isinstance(run, RunFailure):
+            continue
+        grouped.setdefault((scheme, x), []).append(run)
+    return [
+        CellSummary.from_runs(scheme, float(x), runs)  # type: ignore[arg-type]
+        for (scheme, x), runs in sorted(grouped.items(), key=lambda kv: (kv[0][1], kv[0][0]))
+    ]
+
+
 def paired_sweep(
     profile: Profile,
     xs: Iterable,
@@ -321,7 +370,8 @@ def paired_sweep(
     """Run both schemes over all sweep values with paired seeds.
 
     ``make_config(scheme, x, seed)`` builds the run config for one cell
-    member; the sweep enumerates every (scheme, x, trial) combination.
+    member; the sweep enumerates every (scheme, x, trial) combination
+    (see :func:`paired_plan`).
 
     ``on_error`` controls what happens when individual runs fail:
     ``"raise"`` finishes the sweep and raises a :class:`SweepError`
@@ -335,15 +385,7 @@ def paired_sweep(
     """
     if on_error not in ("raise", "skip"):
         raise ValueError(f"on_error must be 'raise' or 'skip', got {on_error!r}")
-    trials = profile.trials if trials is None else trials
-    if trials < 1:
-        raise ValueError("need at least one trial")
-    plan: list[tuple[str, object, ExperimentConfig]] = []
-    for x in xs:
-        for trial in range(trials):
-            seed = cell_seed(0, x, trial)
-            for scheme in schemes:
-                plan.append((scheme, x, make_config(scheme, x, seed)))
+    plan = paired_plan(profile, xs, make_config, trials=trials, schemes=schemes)
     results = run_configs(
         [cfg for _s, _x, cfg in plan],
         workers=workers,
@@ -351,13 +393,4 @@ def paired_sweep(
         return_failures=(on_error == "skip"),
         store=store,
     )
-
-    grouped: dict[tuple[str, object], list[RunMetrics]] = {}
-    for (scheme, x, _cfg), run in zip(plan, results):
-        if isinstance(run, RunFailure):
-            continue
-        grouped.setdefault((scheme, x), []).append(run)
-    return [
-        CellSummary.from_runs(scheme, float(x), runs)  # type: ignore[arg-type]
-        for (scheme, x), runs in sorted(grouped.items(), key=lambda kv: (kv[0][1], kv[0][0]))
-    ]
+    return summarize_paired(plan, results)

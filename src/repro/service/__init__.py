@@ -1,0 +1,52 @@
+"""``repro.service`` — the async sweep/results service.
+
+The experiment layer answers "run this figure *here*, *now*"; this
+package turns the same machinery into a long-lived daemon: submit a
+run, sweep, or figure spec over HTTP, get a job id, poll or stream its
+progress, and fetch results that are **bit-identical** to an in-process
+``repro figure`` run — the daemon executes the exact
+:class:`~repro.experiments.figures.FigurePlan` configs through the same
+``_safe_run`` entry point and reassembles them through the same
+summarization path.
+
+Layering (each module only looks down):
+
+* :mod:`.backend` — :class:`StorageBackend` abstraction over the
+  content-addressed :class:`~repro.experiments.store.RunStore`;
+  :class:`LocalDirBackend` adds a sqlite listing index.
+* :mod:`.jobs` — untrusted-JSON request parsing into immutable
+  :class:`JobRequest` specs, request-key hashing, the mutable
+  :class:`Job` record.
+* :mod:`.scheduler` — :class:`JobScheduler`: priority queue, process
+  pool, store-hit short-circuit, job- and run-level coalescing,
+  persist-on-resolve.
+* :mod:`.http` — :class:`ServiceDaemon`: the stdlib-asyncio HTTP/1.1
+  JSON API with SSE progress streams and ``/metrics``.
+* :mod:`.client` — blocking :class:`ServiceClient` for scripts and the
+  ``repro client`` CLI verbs.
+* :mod:`.loadtest` — :func:`run_load_test`, the concurrent replay tool
+  behind ``repro loadtest``.
+"""
+
+from .backend import LocalDirBackend, StorageBackend
+from .client import ServiceClient, ServiceError
+from .http import ServiceDaemon, build_service
+from .jobs import DEFAULT_PRIORITY, Job, JobRequest, RequestError, parse_request
+from .loadtest import run_load_test
+from .scheduler import JobScheduler
+
+__all__ = [
+    "StorageBackend",
+    "LocalDirBackend",
+    "RequestError",
+    "JobRequest",
+    "Job",
+    "parse_request",
+    "DEFAULT_PRIORITY",
+    "JobScheduler",
+    "ServiceDaemon",
+    "build_service",
+    "ServiceClient",
+    "ServiceError",
+    "run_load_test",
+]

@@ -1,0 +1,178 @@
+"""Storage backends for the sweep service.
+
+The daemon never talks to a :class:`~repro.experiments.store.RunStore`
+directly — it goes through a :class:`StorageBackend`, which narrows the
+store surface to what the service needs (hash-keyed run lookup/persist,
+entry/timeline fetch, fast listing) so a remote backend (S3 + a shared
+index, say) can slot in behind the same interface later.
+
+:class:`LocalDirBackend` is the one shipped implementation: the
+content-addressed run directory stays exactly as ``RunStore`` lays it
+out (``runs/<sha256>.json`` payloads are authoritative, writes atomic),
+and a sqlite ``index.db`` rides beside it so listing thousands of
+entries for the ``/api/v1/runs`` endpoint is one indexed query instead
+of a directory scan.  The sqlite index is a cache with the same contract
+as ``index.json``: rebuildable from the payload files at any time
+(:meth:`LocalDirBackend.reindex`), never consulted for lookups.
+"""
+
+from __future__ import annotations
+
+import abc
+import sqlite3
+from pathlib import Path
+from typing import Any, Optional, Union
+
+from ..experiments.config import ExperimentConfig
+from ..experiments.metrics import RunMetrics
+from ..experiments.store import RunStore, run_key
+from ..obs.registry import MetricsRegistry
+
+__all__ = ["StorageBackend", "LocalDirBackend"]
+
+
+class StorageBackend(abc.ABC):
+    """What the service needs from result storage.
+
+    All methods are synchronous and fast (local disk / one sqlite
+    query); the scheduler calls them from the event loop thread.  A
+    future remote backend would wrap its network calls behind the same
+    signatures via an executor.
+    """
+
+    #: shared metrics registry; ``store.hit``/``store.miss`` land here
+    registry: MetricsRegistry
+
+    @abc.abstractmethod
+    def get_run(self, cfg: ExperimentConfig) -> Optional[RunMetrics]:
+        """Stored metrics for ``cfg`` (content-hash lookup), or None."""
+
+    @abc.abstractmethod
+    def put_run(self, cfg: ExperimentConfig, metrics: RunMetrics) -> str:
+        """Persist one completed run; returns its content key."""
+
+    @abc.abstractmethod
+    def entry(self, key: str) -> Optional[dict[str, Any]]:
+        """The full stored entry (identity + metrics) for a key."""
+
+    @abc.abstractmethod
+    def timeline(self, key: str) -> Optional[dict[str, Any]]:
+        """The stored probe timeline for a key, if any."""
+
+    @abc.abstractmethod
+    def summaries(self) -> list[dict[str, Any]]:
+        """One summary row per stored run (from the fast index)."""
+
+    @abc.abstractmethod
+    def reindex(self) -> int:
+        """Rebuild the fast index from authoritative storage."""
+
+    @abc.abstractmethod
+    def stats(self) -> dict[str, Any]:
+        """Backend counters for ``/metrics`` (hits, misses, entries)."""
+
+    def close(self) -> None:  # pragma: no cover - trivial default
+        """Release backend resources (db handles, connections)."""
+
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS runs (
+    key TEXT PRIMARY KEY,
+    scheme TEXT,
+    n_nodes INTEGER,
+    seed INTEGER,
+    created_at TEXT,
+    code_version TEXT,
+    delivery_ratio REAL
+)
+"""
+
+_COLUMNS = (
+    "key",
+    "scheme",
+    "n_nodes",
+    "seed",
+    "created_at",
+    "code_version",
+    "delivery_ratio",
+)
+
+
+class LocalDirBackend(StorageBackend):
+    """A local ``RunStore`` directory fronted by a sqlite listing index.
+
+    ``index.db`` lives inside the store root, one row per entry, upserted
+    on every :meth:`put_run`.  Opening a backend over a store that
+    already has entries (a warm cache produced by ``repro figure`` runs)
+    lazily reindexes so the listing is complete from the first request.
+    """
+
+    def __init__(
+        self, root: Union[str, Path], registry: Optional[MetricsRegistry] = None
+    ) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.store = RunStore(root, registry=self.registry)
+        self.db_path = self.store.root / "index.db"
+        self._db = sqlite3.connect(self.db_path)
+        self._db.execute(_SCHEMA)
+        self._db.commit()
+        if self._count() == 0 and any(self.store.runs_dir.glob("*.json")):
+            self.reindex()
+
+    # ------------------------------------------------------------------
+    # run lookup / persist
+    # ------------------------------------------------------------------
+    def get_run(self, cfg: ExperimentConfig) -> Optional[RunMetrics]:
+        return self.store.get(cfg)
+
+    def put_run(self, cfg: ExperimentConfig, metrics: RunMetrics) -> str:
+        key = run_key(cfg)
+        entry_path = self.store.put(cfg, metrics)
+        entry = self.store._read_entry(entry_path)
+        if entry is not None:
+            self._upsert(self.store._summary(entry))
+        return key
+
+    def entry(self, key: str) -> Optional[dict[str, Any]]:
+        return self.store._read_entry(self.store.path_for(key))
+
+    def timeline(self, key: str) -> Optional[dict[str, Any]]:
+        return self.store.get_timeline(key)
+
+    # ------------------------------------------------------------------
+    # listing index
+    # ------------------------------------------------------------------
+    def summaries(self) -> list[dict[str, Any]]:
+        rows = self._db.execute(
+            f"SELECT {', '.join(_COLUMNS)} FROM runs ORDER BY created_at, key"
+        ).fetchall()
+        return [dict(zip(_COLUMNS, row)) for row in rows]
+
+    def reindex(self) -> int:
+        rows = self.store.ls()
+        with self._db:
+            self._db.execute("DELETE FROM runs")
+            for row in rows:
+                self._upsert(row, commit=False)
+        return len(rows)
+
+    def stats(self) -> dict[str, Any]:
+        return {"entries": self._count(), **self.store.stats.as_dict()}
+
+    def close(self) -> None:
+        self._db.close()
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _count(self) -> int:
+        return int(self._db.execute("SELECT COUNT(*) FROM runs").fetchone()[0])
+
+    def _upsert(self, summary: dict[str, Any], commit: bool = True) -> None:
+        self._db.execute(
+            f"INSERT OR REPLACE INTO runs ({', '.join(_COLUMNS)}) "
+            f"VALUES ({', '.join('?' * len(_COLUMNS))})",
+            tuple(summary.get(col) for col in _COLUMNS),
+        )
+        if commit:
+            self._db.commit()

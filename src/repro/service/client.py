@@ -1,0 +1,157 @@
+"""Blocking client for the service daemon (stdlib ``http.client``).
+
+The client mirrors the daemon's JSON API one method per route, plus the
+two conveniences scripts actually want: :meth:`ServiceClient.wait`
+(poll until a job is terminal) and :meth:`ServiceClient.stream` (follow
+the SSE progress feed).  Non-2xx responses raise :class:`ServiceError`
+carrying the HTTP status and the daemon's ``error`` message.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any, Iterator, Optional
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx daemon response."""
+
+    def __init__(self, code: int, message: str) -> None:
+        super().__init__(f"HTTP {code}: {message}")
+        self.code = code
+
+
+class ServiceClient:
+    """One daemon endpoint; connections are per-call (daemon closes them)."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 8642, timeout: float = 60.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # raw request plumbing
+    # ------------------------------------------------------------------
+    def _request(
+        self, method: str, path: str, body: Optional[dict] = None
+    ) -> dict[str, Any]:
+        conn = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            payload = json.dumps(body).encode("utf-8") if body is not None else None
+            headers = {"Content-Type": "application/json"} if payload else {}
+            conn.request(method, path, body=payload, headers=headers)
+            resp = conn.getresponse()
+            data = json.loads(resp.read().decode("utf-8"))
+            if resp.status >= 300:
+                raise ServiceError(resp.status, data.get("error", "unknown error"))
+            return data
+        finally:
+            conn.close()
+
+    # ------------------------------------------------------------------
+    # API surface
+    # ------------------------------------------------------------------
+    def health(self) -> dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> dict[str, Any]:
+        return self._request("GET", "/metrics")
+
+    def submit(self, spec: dict[str, Any]) -> dict[str, Any]:
+        """Submit a run/sweep/figure spec; returns ``{job, coalesced}``."""
+        return self._request("POST", "/api/v1/jobs", body=spec)
+
+    def submit_figure(
+        self,
+        figure: str,
+        profile: str = "fast",
+        trials: Optional[int] = None,
+        n_nodes: Optional[int] = None,
+        xs: Optional[list] = None,
+        channel: Optional[dict] = None,
+        priority: Optional[int] = None,
+    ) -> dict[str, Any]:
+        spec: dict[str, Any] = {"kind": "figure", "figure": figure, "profile": profile}
+        for name, value in (
+            ("trials", trials),
+            ("n_nodes", n_nodes),
+            ("xs", xs),
+            ("channel", channel),
+            ("priority", priority),
+        ):
+            if value is not None:
+                spec[name] = value
+        return self.submit(spec)
+
+    def jobs(self) -> list[dict[str, Any]]:
+        return self._request("GET", "/api/v1/jobs")["jobs"]
+
+    def job(self, job_id: str) -> dict[str, Any]:
+        return self._request("GET", f"/api/v1/jobs/{job_id}")
+
+    def result(self, job_id: str) -> dict[str, Any]:
+        return self._request("GET", f"/api/v1/jobs/{job_id}/result")
+
+    def runs(self) -> list[dict[str, Any]]:
+        return self._request("GET", "/api/v1/runs")["runs"]
+
+    def run(self, key: str) -> dict[str, Any]:
+        return self._request("GET", f"/api/v1/runs/{key}")
+
+    def run_timeline(self, key: str) -> dict[str, Any]:
+        return self._request("GET", f"/api/v1/runs/{key}/timeline")
+
+    # ------------------------------------------------------------------
+    # conveniences
+    # ------------------------------------------------------------------
+    def wait(
+        self, job_id: str, poll: float = 0.2, timeout: Optional[float] = None
+    ) -> dict[str, Any]:
+        """Poll until the job is terminal; returns its final status."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            status = self.job(job_id)
+            if status["status"] in ("done", "failed"):
+                return status
+            if deadline is not None and time.monotonic() > deadline:
+                raise TimeoutError(f"job {job_id} still {status['status']} after {timeout}s")
+            time.sleep(poll)
+
+    def fetch(
+        self, job_id: str, poll: float = 0.2, timeout: Optional[float] = None
+    ) -> dict[str, Any]:
+        """Wait for the job, then return its results.
+
+        Raises :class:`ServiceError` (409) if the job failed.
+        """
+        self.wait(job_id, poll=poll, timeout=timeout)
+        return self.result(job_id)
+
+    def stream(self, job_id: str) -> Iterator[dict[str, Any]]:
+        """Yield SSE progress snapshots until the job is terminal."""
+        conn = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            conn.request("GET", f"/api/v1/jobs/{job_id}/events")
+            resp = conn.getresponse()
+            if resp.status >= 300:
+                data = json.loads(resp.read().decode("utf-8"))
+                raise ServiceError(resp.status, data.get("error", "unknown error"))
+            while True:
+                line = resp.readline()
+                if not line:
+                    return
+                line = line.strip()
+                if not line.startswith(b"data: "):
+                    continue  # keep-alive comment or blank separator
+                snapshot = json.loads(line[len(b"data: "):].decode("utf-8"))
+                yield snapshot
+                if snapshot["status"] in ("done", "failed"):
+                    return
+        finally:
+            conn.close()

@@ -1,0 +1,313 @@
+"""The service daemon: a stdlib-asyncio HTTP/1.1 JSON API.
+
+No web framework — the container ships only the standard library, so
+the daemon speaks a deliberately small slice of HTTP/1.1 over
+``asyncio.start_server``: one request per connection (the daemon always
+answers ``Connection: close``), JSON bodies, and ``text/event-stream``
+for progress streaming.  That slice is all the bundled client, the load
+tester, and ``curl`` need.
+
+Routes (all under ``/api/v1`` except the operational pair)::
+
+    POST /api/v1/jobs               submit a run/sweep/figure request
+    GET  /api/v1/jobs               list jobs
+    GET  /api/v1/jobs/<id>          job status
+    GET  /api/v1/jobs/<id>/events   SSE progress stream (until terminal)
+    GET  /api/v1/jobs/<id>/result   results of a finished job
+    GET  /api/v1/runs               stored-run summaries (sqlite index)
+    GET  /api/v1/runs/<key>         one stored entry (identity+metrics)
+    GET  /api/v1/runs/<key>/timeline  stored probe timeline
+    GET  /metrics                   registry snapshot + derived ratios
+    GET  /healthz                   liveness probe
+
+Every request increments ``service.requests{route=...,code=...}`` and
+observes ``service.request_latency_s{route=...}`` — route labels are
+the *templates* (``/api/v1/jobs/{id}``), not raw paths, to keep label
+cardinality bounded.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from typing import Any, Optional
+
+from ..obs.registry import MetricsRegistry
+from .backend import StorageBackend
+from .jobs import RequestError, parse_request
+from .scheduler import JobScheduler
+
+__all__ = ["ServiceDaemon", "build_service"]
+
+#: submission bodies above this are rejected (413) before parsing
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+#: request-latency histogram edges (seconds): service calls are fast
+_LATENCY_BUCKETS = (0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5)
+
+
+class _HttpError(Exception):
+    def __init__(self, code: int, message: str) -> None:
+        super().__init__(message)
+        self.code = code
+
+
+class ServiceDaemon:
+    """One listening socket over a backend + scheduler pair."""
+
+    def __init__(
+        self,
+        backend: StorageBackend,
+        scheduler: JobScheduler,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        sse_keepalive: float = 15.0,
+    ) -> None:
+        self.backend = backend
+        self.scheduler = scheduler
+        self.registry = scheduler.registry
+        self.host = host
+        self.port = port
+        self.sse_keepalive = sse_keepalive
+        self.started_at: Optional[float] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind the socket (port 0 picks an ephemeral port) and serve."""
+        await self.scheduler.start()
+        self._server = await asyncio.start_server(self._handle_conn, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        self.started_at = time.time()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.scheduler.stop()
+        self.backend.close()
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "daemon not started"
+        await self._server.serve_forever()
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+    async def _handle_conn(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        started = time.perf_counter()
+        route = "unknown"
+        code = 500
+        try:
+            parsed = await self._read_request(reader)
+            if parsed is None:
+                return
+            method, path, body = parsed
+            route, code, payload, stream = self._dispatch(method, path, body)
+            if stream is not None:
+                code = 200
+                await stream(writer)
+            else:
+                self._send_json(writer, code, payload)
+        except _HttpError as exc:
+            code = exc.code
+            self._send_json(writer, exc.code, {"error": str(exc)})
+        except (ConnectionError, asyncio.IncompleteReadError):
+            return  # client went away mid-request; nothing to answer
+        except Exception as exc:  # noqa: BLE001 - one bad request must not kill the daemon
+            code = 500
+            try:
+                self._send_json(writer, 500, {"error": f"{type(exc).__name__}: {exc}"})
+            except ConnectionError:
+                pass
+        finally:
+            self.registry.counter("service.requests", route=route, code=str(code)).inc()
+            self.registry.histogram(
+                "service.request_latency_s", _LATENCY_BUCKETS, route=route
+            ).observe(time.perf_counter() - started)
+            try:
+                if writer.can_write_eof():
+                    writer.write_eof()
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    @staticmethod
+    async def _read_request(
+        reader: asyncio.StreamReader,
+    ) -> Optional[tuple[str, str, bytes]]:
+        request_line = await reader.readline()
+        if not request_line.strip():
+            return None
+        parts = request_line.decode("latin-1").split()
+        if len(parts) < 2:
+            raise _HttpError(400, "malformed request line")
+        method, target = parts[0].upper(), parts[1]
+        headers: dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        try:
+            length = int(headers.get("content-length", "0"))
+        except ValueError as exc:
+            raise _HttpError(400, "bad content-length") from exc
+        if length > MAX_BODY_BYTES:
+            raise _HttpError(413, f"body exceeds {MAX_BODY_BYTES} bytes")
+        body = await reader.readexactly(length) if length > 0 else b""
+        path = target.split("?", 1)[0]
+        return method, path, body
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def _dispatch(self, method: str, path: str, body: bytes):
+        """Returns ``(route_label, code, payload, sse_coroutine_or_None)``."""
+        parts = [p for p in path.split("/") if p]
+        if parts == ["healthz"] and method == "GET":
+            return "/healthz", 200, {"ok": True, "started_at": self.started_at}, None
+        if parts == ["metrics"] and method == "GET":
+            return "/metrics", 200, self._metrics_payload(), None
+        if len(parts) >= 2 and parts[:2] == ["api", "v1"]:
+            rest = parts[2:]
+            if rest == ["jobs"]:
+                if method == "POST":
+                    return "POST /api/v1/jobs", *self._submit(body), None
+                if method == "GET":
+                    jobs = [j.as_dict() for j in self.scheduler.list_jobs()]
+                    return "GET /api/v1/jobs", 200, {"jobs": jobs}, None
+                raise _HttpError(405, f"{method} not allowed on /api/v1/jobs")
+            if len(rest) >= 2 and rest[0] == "jobs" and method == "GET":
+                job = self.scheduler.get(rest[1])
+                if job is None:
+                    raise _HttpError(404, f"no such job {rest[1]!r}")
+                if len(rest) == 2:
+                    return "GET /api/v1/jobs/{id}", 200, job.as_dict(), None
+                if rest[2:] == ["result"]:
+                    route = "GET /api/v1/jobs/{id}/result"
+                    if job.status == "failed":
+                        raise _HttpError(409, f"job {job.id} failed: {job.error}")
+                    if job.status != "done":
+                        raise _HttpError(409, f"job {job.id} is {job.status}")
+                    return route, 200, job.result_payload(), None
+                if rest[2:] == ["events"]:
+                    stream = lambda w: self._stream_events(w, job)  # noqa: E731
+                    return "GET /api/v1/jobs/{id}/events", 200, None, stream
+            if rest == ["runs"] and method == "GET":
+                return "GET /api/v1/runs", 200, {"runs": self.backend.summaries()}, None
+            if len(rest) >= 2 and rest[0] == "runs" and method == "GET":
+                key = rest[1]
+                if len(rest) == 2:
+                    entry = self.backend.entry(key)
+                    if entry is None:
+                        raise _HttpError(404, f"no stored run {key!r}")
+                    return "GET /api/v1/runs/{key}", 200, entry, None
+                if rest[2:] == ["timeline"]:
+                    timeline = self.backend.timeline(key)
+                    if timeline is None:
+                        raise _HttpError(404, f"no stored timeline for {key!r}")
+                    return "GET /api/v1/runs/{key}/timeline", 200, timeline, None
+        raise _HttpError(404, f"no route for {method} {path}")
+
+    def _submit(self, body: bytes) -> tuple[int, dict[str, Any]]:
+        try:
+            data = json.loads(body.decode("utf-8")) if body else None
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise _HttpError(400, f"body is not valid JSON: {exc}") from exc
+        try:
+            request = parse_request(data)
+        except RequestError as exc:
+            raise _HttpError(400, str(exc)) from exc
+        job, coalesced = self.scheduler.submit(request)
+        return 200, {"job": job.as_dict(), "coalesced": coalesced}
+
+    def _metrics_payload(self) -> dict[str, Any]:
+        hits = self.registry.value("store.hit")
+        misses = self.registry.value("store.miss")
+        lookups = hits + misses
+        return {
+            "derived": {
+                "hit_ratio": (hits / lookups) if lookups else None,
+                "store_lookups": lookups,
+                "queue_depth": self.registry.value("service.queue_depth"),
+                "workers_busy": self.registry.value("service.workers_busy"),
+                "jobs": len(self.scheduler.jobs),
+            },
+            "backend": self.backend.stats(),
+            "registry": self.registry.snapshot(),
+        }
+
+    # ------------------------------------------------------------------
+    # responses
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _send_json(writer: asyncio.StreamWriter, code: int, payload: Any) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        reason = _REASONS.get(code, "Unknown")
+        head = (
+            f"HTTP/1.1 {code} {reason}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n"
+        )
+        writer.write(head.encode("latin-1") + body)
+
+    async def _stream_events(self, writer: asyncio.StreamWriter, job) -> None:
+        """SSE: emit the job snapshot on every change until terminal."""
+        writer.write(
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: text/event-stream\r\n"
+            b"Cache-Control: no-cache\r\n"
+            b"Connection: close\r\n\r\n"
+        )
+        last = -1
+        while True:
+            if job.version != last:
+                snapshot = job.as_dict()
+                last = snapshot["version"]
+                writer.write(
+                    f"data: {json.dumps(snapshot, sort_keys=True)}\n\n".encode("utf-8")
+                )
+                await writer.drain()
+                if job.terminal:
+                    return
+            changed = await self.scheduler.wait_change(
+                job, last, timeout=self.sse_keepalive
+            )
+            if not changed:
+                writer.write(b": keep-alive\n\n")
+                await writer.drain()
+
+
+def build_service(
+    store_root,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    run_workers: int = 2,
+    registry: Optional[MetricsRegistry] = None,
+) -> ServiceDaemon:
+    """Wire backend + scheduler + daemon over one store directory."""
+    from .backend import LocalDirBackend
+
+    backend = LocalDirBackend(store_root, registry=registry)
+    scheduler = JobScheduler(backend, run_workers=run_workers)
+    return ServiceDaemon(backend, scheduler, host=host, port=port)

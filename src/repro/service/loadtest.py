@@ -1,0 +1,138 @@
+"""Load tester: replay concurrent figure requests against a daemon.
+
+The intended workload is a *warm* store — every submission resolves to
+hits, so the measured path is request parsing, content-hash probing,
+and JSON assembly, not simulation time.  The tester is asyncio-based
+(each in-flight request is one connection coroutine, not a thread), so
+hundreds of truly concurrent requests cost only file descriptors.
+
+``run_load_test`` drives ``requests`` total submissions with at most
+``concurrency`` in flight, checks every response (a submission that
+does not come back ``done``/``queued`` counts as an error), and returns
+a summary payload: error count, wall time, throughput, and latency
+quantiles.  The ``repro loadtest`` CLI verb prints it as JSON.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from typing import Any, Optional
+
+__all__ = ["run_load_test"]
+
+
+def _quantile(sorted_values: list[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    idx = min(len(sorted_values) - 1, int(q * len(sorted_values)))
+    return sorted_values[idx]
+
+
+async def _one_request(
+    host: str, port: int, request: bytes, timeout: float
+) -> tuple[bool, float, str]:
+    """One POST over a fresh connection; returns (ok, latency, detail)."""
+    started = time.perf_counter()
+    try:
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(host, port), timeout
+        )
+        try:
+            writer.write(request)
+            await asyncio.wait_for(writer.drain(), timeout)
+            raw = await asyncio.wait_for(reader.read(), timeout)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+        elapsed = time.perf_counter() - started
+        head, _, body = raw.partition(b"\r\n\r\n")
+        status_line = head.split(b"\r\n", 1)[0].decode("latin-1", "replace")
+        parts = status_line.split()
+        if len(parts) < 2 or parts[1] != "200":
+            return False, elapsed, status_line or "empty response"
+        payload = json.loads(body.decode("utf-8"))
+        job_status = payload.get("job", {}).get("status")
+        if job_status not in ("done", "queued", "running"):
+            return False, elapsed, f"unexpected job status {job_status!r}"
+        return True, elapsed, job_status
+    except Exception as exc:  # noqa: BLE001 - every failure is a data point
+        return False, time.perf_counter() - started, f"{type(exc).__name__}: {exc}"
+
+
+async def _run_async(
+    host: str,
+    port: int,
+    spec: dict[str, Any],
+    requests: int,
+    concurrency: int,
+    timeout: float,
+) -> dict[str, Any]:
+    body = json.dumps(spec).encode("utf-8")
+    request = (
+        b"POST /api/v1/jobs HTTP/1.1\r\n"
+        b"Host: " + host.encode("latin-1") + b"\r\n"
+        b"Content-Type: application/json\r\n"
+        b"Content-Length: " + str(len(body)).encode("latin-1") + b"\r\n"
+        b"Connection: close\r\n\r\n" + body
+    )
+    semaphore = asyncio.Semaphore(concurrency)
+
+    async def bounded() -> tuple[bool, float, str]:
+        async with semaphore:
+            return await _one_request(host, port, request, timeout)
+
+    started = time.perf_counter()
+    outcomes = await asyncio.gather(*(bounded() for _ in range(requests)))
+    wall = time.perf_counter() - started
+
+    latencies = sorted(lat for _ok, lat, _detail in outcomes)
+    errors = [detail for ok, _lat, detail in outcomes if not ok]
+    statuses: dict[str, int] = {}
+    for ok, _lat, detail in outcomes:
+        if ok:
+            statuses[detail] = statuses.get(detail, 0) + 1
+    return {
+        "requests": requests,
+        "concurrency": concurrency,
+        "ok": requests - len(errors),
+        "errors": len(errors),
+        "error_samples": errors[:5],
+        "job_statuses": statuses,
+        "wall_s": wall,
+        "rps": requests / wall if wall > 0 else 0.0,
+        "latency_s": {
+            "mean": sum(latencies) / len(latencies) if latencies else 0.0,
+            "p50": _quantile(latencies, 0.50),
+            "p95": _quantile(latencies, 0.95),
+            "p99": _quantile(latencies, 0.99),
+            "max": latencies[-1] if latencies else 0.0,
+        },
+    }
+
+
+def run_load_test(
+    host: str,
+    port: int,
+    spec: Optional[dict[str, Any]] = None,
+    requests: int = 500,
+    concurrency: int = 100,
+    timeout: float = 30.0,
+) -> dict[str, Any]:
+    """Replay ``requests`` submissions of ``spec`` with bounded concurrency.
+
+    ``spec`` defaults to a fast-profile fig5 over the two smallest
+    densities — the canonical warm-store probe.  Runs its own event
+    loop; call from sync code only.
+    """
+    if spec is None:
+        spec = {"kind": "figure", "figure": "fig5", "profile": "fast", "xs": [50, 100]}
+    if requests < 1 or concurrency < 1:
+        raise ValueError("requests and concurrency must be positive")
+    return asyncio.run(
+        _run_async(host, port, spec, requests, min(concurrency, requests), timeout)
+    )

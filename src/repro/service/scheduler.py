@@ -1,0 +1,298 @@
+"""Async job scheduler: priority queue over a process pool.
+
+The scheduler owns the daemon's execution state:
+
+* a **priority queue** of accepted jobs (``(priority, seq)`` order, so
+  equal priorities drain FIFO) drained by N async job workers;
+* a shared :class:`~concurrent.futures.ProcessPoolExecutor` that runs
+  the actual simulations via the same picklable
+  :func:`~repro.experiments.sweeps._safe_run` entry point the sweep
+  machinery uses — results are bit-identical to a local run;
+* three layers of **work deduplication**, cheapest first:
+
+  1. *store hits* — every run is probed against the backend at
+     submission, so a warm request finishes without queueing at all
+     (``from_cache``);
+  2. *job coalescing* — a submission whose request key matches a
+     queued/running job returns that job's id instead of enqueueing a
+     duplicate;
+  3. *run coalescing* — distinct jobs that overlap on individual runs
+     share in-flight futures keyed by content hash, so each unique run
+     executes exactly once no matter how many jobs want it.
+
+Results are persisted through the backend **the moment each future
+resolves**, before the owning job finishes — a crash loses at most the
+in-flight runs, and later duplicate submissions resolve as store hits.
+
+A hard-crashed pool worker (``BrokenProcessPool``) fails the affected
+runs, and the pool is rebuilt so the daemon keeps serving subsequent
+jobs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import itertools
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Optional
+
+from ..experiments.metrics import RunMetrics
+from ..experiments.sweeps import RunFailure, _safe_run
+from ..obs.registry import MetricsRegistry
+from .backend import StorageBackend
+from .jobs import Job, JobRequest
+
+__all__ = ["JobScheduler"]
+
+#: job wall-clock histogram edges (seconds) — jobs run longer than the
+#: default latency-oriented buckets
+JOB_WALL_BUCKETS = (0.005, 0.02, 0.1, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0, 300.0)
+
+
+class JobScheduler:
+    """Priority job queue + process-pool execution + coalescing."""
+
+    def __init__(
+        self,
+        backend: StorageBackend,
+        run_workers: int = 2,
+        job_workers: Optional[int] = None,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.backend = backend
+        self.registry = registry if registry is not None else backend.registry
+        self.run_workers = max(1, run_workers)
+        #: concurrent jobs in flight; more than pool slots so an
+        #: all-coalesced job cannot starve behind a pool-bound one
+        self.job_workers = job_workers if job_workers is not None else self.run_workers + 1
+        self.jobs: dict[str, Job] = {}
+        self._queue: asyncio.PriorityQueue = asyncio.PriorityQueue()
+        self._seq = itertools.count()
+        self._job_seq = itertools.count(1)
+        #: queued/running jobs by request key (job-level coalescing)
+        self._active: dict[str, Job] = {}
+        #: in-flight run futures by content key (run-level coalescing)
+        self._inflight: dict[str, asyncio.Future] = {}
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._tasks: list[asyncio.Task] = []
+        self._wakeup: Optional[asyncio.Event] = None
+        self._gauge_queue = self.registry.gauge("service.queue_depth")
+        self._gauge_busy = self.registry.gauge("service.workers_busy")
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        self._wakeup = asyncio.Event()
+        self._pool = ProcessPoolExecutor(max_workers=self.run_workers)
+        self._tasks = [
+            asyncio.create_task(self._job_worker(), name=f"job-worker-{i}")
+            for i in range(self.job_workers)
+        ]
+
+    async def stop(self) -> None:
+        for task in self._tasks:
+            task.cancel()
+        for task in self._tasks:
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+        self._tasks = []
+        if self._pool is not None:
+            pool, self._pool = self._pool, None
+            # join the pool off-loop: wait=False would leave its
+            # management thread racing the interpreter's atexit hook
+            # (an "Exception ignored ... Bad file descriptor" at exit)
+            await asyncio.get_running_loop().run_in_executor(
+                None, lambda: pool.shutdown(wait=True, cancel_futures=True)
+            )
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    def submit(self, request: JobRequest) -> tuple[Job, bool]:
+        """Accept a parsed request; returns ``(job, coalesced)``.
+
+        Runs already in the store resolve immediately; a request whose
+        every run is stored completes synchronously (``from_cache``)
+        without touching the queue.  A request key matching an active
+        job coalesces onto it instead of enqueueing a duplicate.
+        """
+        existing = self._active.get(request.request_key)
+        if existing is not None:
+            self.registry.counter("service.jobs_coalesced").inc()
+            return existing, True
+
+        job = Job(id=f"job-{next(self._job_seq):06d}", request=request)
+        job.results = [None] * job.total
+        self.registry.counter("service.jobs_submitted", kind=request.kind).inc()
+        for i, cfg in enumerate(request.configs):
+            cached = self.backend.get_run(cfg)
+            if cached is not None:
+                job.results[i] = cached
+                job.hits += 1
+                job.done += 1
+            else:
+                job.pending.append((i, cfg))
+        self.jobs[job.id] = job
+        if not job.pending:
+            job.from_cache = True
+            job.finished_at = time.time()
+            self._finish(job, "done")
+        else:
+            self._active[request.request_key] = job
+            self._queue.put_nowait((request.priority, next(self._seq), job.id))
+            self._gauge_queue.inc()
+            self._touch(job)
+        return job, False
+
+    def get(self, job_id: str) -> Optional[Job]:
+        return self.jobs.get(job_id)
+
+    def list_jobs(self) -> list[Job]:
+        return sorted(self.jobs.values(), key=lambda j: j.id)
+
+    # ------------------------------------------------------------------
+    # change notification (SSE)
+    # ------------------------------------------------------------------
+    async def wait_change(
+        self, job: Job, last_version: int, timeout: float = 30.0
+    ) -> bool:
+        """Block until ``job.version`` moves past ``last_version``.
+
+        Returns True on a change, False on timeout (SSE keep-alive).
+        """
+        deadline = time.monotonic() + timeout
+        while job.version == last_version:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return False
+            event = self._wakeup
+            assert event is not None, "scheduler not started"
+            try:
+                await asyncio.wait_for(event.wait(), timeout=remaining)
+            except asyncio.TimeoutError:
+                return False
+        return True
+
+    def _touch(self, job: Job) -> None:
+        job.version += 1
+        if self._wakeup is not None:
+            event, self._wakeup = self._wakeup, asyncio.Event()
+            event.set()
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    async def _job_worker(self) -> None:
+        while True:
+            _prio, _seq, job_id = await self._queue.get()
+            self._gauge_queue.dec()
+            job = self.jobs[job_id]
+            self._gauge_busy.inc()
+            job.status = "running"
+            job.started_at = time.time()
+            self._touch(job)
+            try:
+                await self._execute(job)
+                status = "failed" if job.error else "done"
+            except asyncio.CancelledError:
+                job.error = "daemon shut down"
+                job.finished_at = time.time()
+                self._finish(job, "failed")
+                self._gauge_busy.dec()
+                raise
+            except BaseException as exc:  # pragma: no cover - defensive
+                job.error = f"{type(exc).__name__}: {exc}"
+                status = "failed"
+            job.finished_at = time.time()
+            self._finish(job, status)
+            self._gauge_busy.dec()
+            self._queue.task_done()
+
+    def _finish(self, job: Job, status: str) -> None:
+        job.status = status
+        self._active.pop(job.request.request_key, None)
+        self.registry.counter(f"service.jobs_{status}").inc()
+        if job.finished_at is not None:
+            self.registry.histogram("service.job_wall_s", JOB_WALL_BUCKETS).observe(
+                job.finished_at - job.submitted_at
+            )
+        self._touch(job)
+
+    async def _execute(self, job: Job) -> None:
+        await asyncio.gather(
+            *(self._run_one(job, i, cfg) for i, cfg in job.pending)
+        )
+        failures = [r for r in job.results if isinstance(r, RunFailure)]
+        if failures:
+            job.error = (
+                f"{len(failures)} of {job.total} runs failed: {failures[0]}"
+            )
+
+    async def _run_one(self, job: Job, index: int, cfg) -> None:
+        key = job.request.run_keys[index]
+        shared = self._inflight.get(key)
+        if shared is not None:
+            # another job owns this run; share its future
+            self.registry.counter("service.runs_coalesced").inc()
+            job.coalesced += 1
+            outcome = await shared
+        else:
+            # the run may have landed in the store since submission
+            # (an overlapping job persisted it) — re-probe before paying
+            # for an execution, preserving exactly-once per content key
+            cached = self.backend.get_run(cfg)
+            if cached is not None:
+                job.hits += 1
+                outcome = cached
+            else:
+                future: asyncio.Future = asyncio.get_running_loop().create_future()
+                self._inflight[key] = future
+                outcome = None
+                try:
+                    outcome = await self._execute_run(index, cfg)
+                    if isinstance(outcome, RunMetrics):
+                        # persist before resolving waiters: by the time
+                        # anyone observes completion, the store has it
+                        self.backend.put_run(cfg, outcome)
+                    else:
+                        self.registry.counter("service.runs_failed").inc()
+                    job.executed += 1
+                finally:
+                    self._inflight.pop(key, None)
+                    if outcome is None:  # cancelled before the run resolved
+                        outcome = RunFailure(index, cfg, "run aborted")
+                    if not future.done():
+                        future.set_result(outcome)
+        if isinstance(outcome, RunFailure) and outcome.index != index:
+            outcome = dataclasses.replace(outcome, index=index)
+        job.results[index] = outcome
+        job.done += 1
+        self._touch(job)
+
+    async def _execute_run(self, index: int, cfg):
+        """One simulation on the pool; a dead worker becomes a failure."""
+        pool = self._pool
+        assert pool is not None, "scheduler not started"
+        self.registry.counter("service.runs_executed").inc()
+        loop = asyncio.get_running_loop()
+        try:
+            return await loop.run_in_executor(pool, _safe_run, index, cfg)
+        except BrokenProcessPool as exc:
+            self._rebuild_pool(pool)
+            return RunFailure(index, cfg, f"worker process died: {exc}")
+        except Exception as exc:  # pragma: no cover - defensive
+            return RunFailure(index, cfg, f"{type(exc).__name__}: {exc}")
+
+    def _rebuild_pool(self, broken: ProcessPoolExecutor) -> None:
+        """Replace a broken pool so subsequent jobs keep executing."""
+        if self._pool is not broken:
+            return  # another waiter already swapped it
+        self.registry.counter("service.pool_rebuilds").inc()
+        broken.shutdown(wait=False, cancel_futures=True)
+        self._pool = ProcessPoolExecutor(max_workers=self.run_workers)

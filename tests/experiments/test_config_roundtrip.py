@@ -1,0 +1,125 @@
+"""config_from_dict must invert asdict() over the full config surface.
+
+The service accepts untrusted config dicts (``repro client submit
+--spec``), and store entries / manifests are re-executed from their
+persisted identity blocks — both paths depend on the round trip being
+exact and on malformed input failing loudly instead of silently running
+a different experiment.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.diffusion.agent import DiffusionParams
+from repro.experiments.config import ExperimentConfig, FailureModel, config_from_dict
+from repro.experiments.store import run_key
+from repro.net.channel import ChannelSpec
+
+
+def _full_config():
+    """Every non-default field exercised, including the channel block."""
+    return ExperimentConfig(
+        scheme="opportunistic",
+        n_nodes=123,
+        seed=987654321,
+        duration=77.5,
+        warmup=11.25,
+        diffusion=DiffusionParams(exploratory_interval=17.0),
+        n_sources=7,
+        n_sinks=3,
+        source_placement="random",
+        aggregation="linear",
+        field_size=250.0,
+        range_m=35.0,
+        failures=FailureModel(fraction=0.35, epoch=9.0),
+        include_idle=True,
+        channel=ChannelSpec(
+            model="pathloss",
+            tx_power_dbm=3.0,
+            pathloss_exponent=2.7,
+            reference_loss_db=41.5,
+            noise_floor_dbm=-99.0,
+            rx_sensitivity_dbm=-87.0,
+            capture_threshold_db=8.0,
+            capture=False,
+            max_range_m=60.0,
+            n_bands=2,
+        ),
+    )
+
+
+class TestRoundTrip:
+    def test_full_surface(self):
+        cfg = _full_config()
+        rebuilt = config_from_dict(dataclasses.asdict(cfg))
+        assert rebuilt == cfg
+        assert isinstance(rebuilt.diffusion, DiffusionParams)
+        assert isinstance(rebuilt.failures, FailureModel)
+        assert isinstance(rebuilt.channel, ChannelSpec)
+
+    def test_round_trip_preserves_content_hash(self):
+        """The rebuilt config must address the same store entry."""
+        cfg = _full_config()
+        assert run_key(config_from_dict(dataclasses.asdict(cfg))) == run_key(cfg)
+
+    def test_defaults_round_trip(self):
+        cfg = ExperimentConfig(
+            scheme="greedy", n_nodes=50, seed=1, duration=30.0, warmup=10.0
+        )
+        rebuilt = config_from_dict(dataclasses.asdict(cfg))
+        assert rebuilt == cfg
+        assert rebuilt.failures is None
+        assert rebuilt.channel == ChannelSpec()
+
+    def test_json_round_trip(self):
+        """Through actual JSON, as the service and manifests do it."""
+        import json
+
+        cfg = _full_config()
+        rebuilt = config_from_dict(json.loads(json.dumps(dataclasses.asdict(cfg))))
+        assert rebuilt == cfg
+
+
+class TestLoudFailures:
+    def test_unknown_top_level_key(self):
+        data = dataclasses.asdict(_full_config())
+        data["turbo"] = True
+        with pytest.raises(TypeError, match="turbo"):
+            config_from_dict(data)
+
+    def test_unknown_diffusion_key(self):
+        data = dataclasses.asdict(_full_config())
+        data["diffusion"]["telepathy"] = 1
+        with pytest.raises(TypeError, match="telepathy"):
+            config_from_dict(data)
+
+    def test_unknown_failures_key(self):
+        data = dataclasses.asdict(_full_config())
+        data["failures"]["severity"] = "bad"
+        with pytest.raises(TypeError, match="severity"):
+            config_from_dict(data)
+
+    def test_unknown_channel_key(self):
+        data = dataclasses.asdict(_full_config())
+        data["channel"]["antenna_gain"] = 3.0
+        with pytest.raises(TypeError, match="antenna_gain"):
+            config_from_dict(data)
+
+    def test_missing_required_key(self):
+        data = dataclasses.asdict(_full_config())
+        del data["seed"]
+        with pytest.raises(TypeError, match="seed"):
+            config_from_dict(data)
+
+    def test_invalid_value_rejected(self):
+        data = dataclasses.asdict(_full_config())
+        data["scheme"] = "quantum"
+        with pytest.raises(ValueError, match="scheme"):
+            config_from_dict(data)
+
+    def test_invalid_channel_model_rejected(self):
+        data = dataclasses.asdict(_full_config())
+        data["channel"]["model"] = "psychic"
+        with pytest.raises(ValueError, match="channel model"):
+            config_from_dict(data)

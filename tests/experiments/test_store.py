@@ -6,6 +6,8 @@ uninterrupted result bit for bit."""
 
 import dataclasses
 import json
+import os
+import time
 from dataclasses import replace
 
 import pytest
@@ -15,6 +17,7 @@ from repro.experiments.figures import figure5
 from repro.experiments.metrics import RunMetrics
 from repro.experiments.store import (
     STORE_VERSION,
+    TMP_LITTER_MIN_AGE_S,
     RunStore,
     canonical_json,
     config_payload,
@@ -168,8 +171,14 @@ class TestMaintenance:
         store = RunStore(tmp_path)
         cfg = _tiny()
         store.put(cfg, _metrics(cfg))
-        # temp litter from a killed writer
-        (store.runs_dir / "abc.tmpXYZ").write_text("partial")
+        # temp litter from a killed writer (old enough to be collectable)
+        litter = store.runs_dir / "abc.tmpXYZ"
+        litter.write_text("partial")
+        stale_mtime = time.time() - 2 * TMP_LITTER_MIN_AGE_S
+        os.utime(litter, (stale_mtime, stale_mtime))
+        # a *fresh* tmp may be a live writer mid-put — gc must leave it
+        fresh = store.runs_dir / "def.tmpABC"
+        fresh.write_text("in flight")
         # corrupt payload
         (store.runs_dir / ("f" * 64 + ".json")).write_text("{ nope")
         # stale code version: unreachable by construction (version is in the key)
@@ -188,6 +197,8 @@ class TestMaintenance:
             "timelines_kept": 0,
         }
         assert store.contains(cfg)
+        assert not litter.exists()
+        assert fresh.exists()
 
     def test_gc_keep_stale(self, tmp_path):
         store = RunStore(tmp_path)

@@ -1,0 +1,45 @@
+"""Drive a live ServiceDaemon from synchronous test code.
+
+The daemon is asyncio; the bundled client is blocking.  ``with_daemon``
+owns the event loop on the test's thread, runs the client scenario in a
+worker thread, and joins both — any client-side assertion error is
+re-raised on the test thread.
+"""
+
+import asyncio
+import threading
+
+from repro.service import JobScheduler, LocalDirBackend, ServiceDaemon
+from repro.service.client import ServiceClient
+
+
+def with_daemon(store_root, scenario, run_workers=2, job_workers=None):
+    """Run ``scenario(client, daemon)`` against a live daemon; returns its value."""
+    box = {}
+
+    async def main():
+        backend = LocalDirBackend(store_root)
+        scheduler = JobScheduler(
+            backend, run_workers=run_workers, job_workers=job_workers
+        )
+        daemon = ServiceDaemon(backend, scheduler, host="127.0.0.1", port=0)
+        await daemon.start()
+        errors = []
+
+        def work():
+            try:
+                box["value"] = scenario(ServiceClient(port=daemon.port), daemon)
+            except BaseException as exc:  # noqa: BLE001 - re-raised on the test thread
+                errors.append(exc)
+
+        thread = threading.Thread(target=work)
+        thread.start()
+        while thread.is_alive():
+            await asyncio.sleep(0.02)
+        thread.join()
+        await daemon.stop()
+        if errors:
+            raise errors[0]
+
+    asyncio.run(main())
+    return box.get("value")

@@ -1,0 +1,69 @@
+"""Load tester against a live daemon.
+
+The in-suite test keeps the replay modest; the acceptance-scale run
+(>= 500 truly concurrent submissions) is opt-in via
+``REPRO_SLOW_TESTS=1`` (also marked ``slow``) so the default suite
+stays fast.
+"""
+
+import os
+
+import pytest
+
+from repro.service.loadtest import run_load_test
+
+from .helpers import with_daemon
+
+WARM_SPEC = {
+    "kind": "figure",
+    "figure": "fig5",
+    "profile": "smoke",
+    "xs": [50],
+    "trials": 1,
+}
+
+
+def _warm_then_load(client, requests, concurrency):
+    """Warm the store through the daemon, then replay submissions."""
+    first = client.submit(WARM_SPEC)
+    client.wait(first["job"]["id"], timeout=180)
+    return run_load_test(
+        client.host,
+        client.port,
+        spec=WARM_SPEC,
+        requests=requests,
+        concurrency=concurrency,
+        timeout=60.0,
+    )
+
+
+class TestLoadTest:
+    def test_warm_replay_zero_errors(self, tmp_path):
+        def scenario(client, daemon):
+            return _warm_then_load(client, requests=80, concurrency=40)
+
+        summary = with_daemon(tmp_path / "store", scenario)
+        assert summary["errors"] == 0, summary["error_samples"]
+        assert summary["ok"] == 80
+        assert summary["job_statuses"].get("done") == 80  # all warm hits
+        assert summary["latency_s"]["p95"] > 0
+        assert summary["rps"] > 0
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            run_load_test("127.0.0.1", 1, requests=0)
+
+
+@pytest.mark.slow
+@pytest.mark.skipif(
+    not os.environ.get("REPRO_SLOW_TESTS"),
+    reason="acceptance-scale load test; set REPRO_SLOW_TESTS=1",
+)
+class TestLoadTestAtScale:
+    def test_500_concurrent_figure_requests(self, tmp_path):
+        def scenario(client, daemon):
+            return _warm_then_load(client, requests=500, concurrency=500)
+
+        summary = with_daemon(tmp_path / "store", scenario)
+        assert summary["errors"] == 0, summary["error_samples"]
+        assert summary["ok"] == 500

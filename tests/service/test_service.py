@@ -1,0 +1,242 @@
+"""End-to-end daemon behavior: correctness, coalescing, failure isolation.
+
+These tests run a real daemon on an ephemeral port and talk to it with
+the bundled blocking client.  Everything uses the smoke profile over
+tiny fields so the whole file stays test-suite-friendly.
+"""
+
+import dataclasses
+import time
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig, smoke
+from repro.experiments.figures import figure_plan, run_figure_plan
+from repro.experiments.persistence import figure_payload
+from repro.service.client import ServiceError
+
+from .helpers import with_daemon
+
+FIG_SPEC = {
+    "kind": "figure",
+    "figure": "fig5",
+    "profile": "smoke",
+    "xs": [50],
+    "trials": 1,
+}
+
+
+def _failing_config_dict():
+    """Valid at construction, impossible to place at runtime."""
+    cfg = ExperimentConfig.from_profile(
+        smoke(), "greedy", 2, seed=1, n_sources=5, n_sinks=5
+    )
+    return dataclasses.asdict(cfg)
+
+
+class TestFigureBitIdentity:
+    def test_cold_then_warm_match_direct_run(self, tmp_path):
+        """The figure served on a cold miss AND a warm hit equals the
+        figure computed directly by the in-process harness."""
+        fplan = figure_plan("fig5", smoke(), trials=1, xs=[50])
+        direct = figure_payload(run_figure_plan(fplan))
+
+        def scenario(client, daemon):
+            cold = client.submit(FIG_SPEC)
+            job_id = cold["job"]["id"]
+            assert cold["job"]["status"] == "queued"
+            status = client.wait(job_id, timeout=180)
+            assert status["status"] == "done"
+            assert status["runs"]["executed"] == len(fplan.plan)
+            cold_result = client.result(job_id)
+
+            warm = client.submit(FIG_SPEC)
+            assert warm["job"]["status"] == "done"
+            assert warm["job"]["from_cache"] is True
+            assert warm["job"]["runs"]["hits"] == len(fplan.plan)
+            warm_result = client.result(warm["job"]["id"])
+            return cold_result, warm_result
+
+        cold_result, warm_result = with_daemon(tmp_path / "store", scenario)
+        assert cold_result["figure"] == direct
+        assert warm_result["figure"] == direct
+        assert [r["key"] for r in cold_result["runs"]] == [
+            r["key"] for r in warm_result["runs"]
+        ]
+        assert all("metrics" in r for r in cold_result["runs"])
+
+
+class TestCoalescing:
+    def test_duplicate_concurrent_submissions_execute_once(self, tmp_path):
+        def scenario(client, daemon):
+            first = client.submit(FIG_SPEC)
+            second = client.submit(FIG_SPEC)  # while the first is in flight
+            assert second["coalesced"] is True
+            assert second["job"]["id"] == first["job"]["id"]
+            client.wait(first["job"]["id"], timeout=180)
+            registry = daemon.registry
+            return {
+                "executed": registry.value("service.runs_executed"),
+                "persisted": registry.value("store.persist"),
+                "jobs_coalesced": registry.value("service.jobs_coalesced"),
+            }
+
+        counters = with_daemon(tmp_path / "store", scenario)
+        n_runs = len(figure_plan("fig5", smoke(), trials=1, xs=[50]).plan)
+        assert counters["executed"] == n_runs  # exactly one execution per run
+        assert counters["persisted"] == n_runs
+        assert counters["jobs_coalesced"] == 1
+
+    def test_overlapping_jobs_share_runs(self, tmp_path):
+        """Distinct requests overlapping on content keys never re-execute."""
+        superset = {**FIG_SPEC, "xs": [50, 100]}
+        n_unique = len(figure_plan("fig5", smoke(), trials=1, xs=[50, 100]).plan)
+
+        def scenario(client, daemon):
+            a = client.submit(superset)
+            b = client.submit(FIG_SPEC)  # subset of a's runs
+            assert b["coalesced"] is False  # different request, shared runs
+            client.wait(a["job"]["id"], timeout=300)
+            status_b = client.wait(b["job"]["id"], timeout=300)
+            assert status_b["status"] == "done"
+            return daemon.registry.value("service.runs_executed")
+
+        executed = with_daemon(tmp_path / "store", scenario)
+        assert executed == n_unique
+
+
+class TestFailureIsolation:
+    def test_failing_run_fails_job_but_daemon_serves(self, tmp_path):
+        def scenario(client, daemon):
+            bad = client.submit({"kind": "run", "config": _failing_config_dict()})
+            status = client.wait(bad["job"]["id"], timeout=120)
+            assert status["status"] == "failed"
+            assert "1 of 1 runs failed" in status["error"]
+            with pytest.raises(ServiceError) as excinfo:
+                client.result(bad["job"]["id"])
+            assert excinfo.value.code == 409
+            # the daemon is unharmed: a good job still completes
+            good = client.submit(FIG_SPEC)
+            assert client.wait(good["job"]["id"], timeout=180)["status"] == "done"
+            return daemon.registry.value("service.runs_failed")
+
+        assert with_daemon(tmp_path / "store", scenario) == 1
+
+    def test_bad_spec_is_400_and_daemon_serves(self, tmp_path):
+        def scenario(client, daemon):
+            with pytest.raises(ServiceError) as excinfo:
+                client.submit({"kind": "figure", "figure": "fig99"})
+            assert excinfo.value.code == 400
+            assert client.health()["ok"] is True
+            return True
+
+        assert with_daemon(tmp_path / "store", scenario)
+
+    def test_crashed_worker_fails_job_pool_recovers(self, tmp_path):
+        """SIGKILLing the pool workers mid-run fails that job with a
+        worker-death error; the rebuilt pool serves the next job."""
+        slow = ExperimentConfig.from_profile(
+            smoke(), "greedy", 150, seed=1, duration=120.0, warmup=10.0
+        )
+
+        def scenario(client, daemon):
+            job = client.submit({"kind": "run", "config": dataclasses.asdict(slow)})
+            job_id = job["job"]["id"]
+            deadline = time.monotonic() + 60
+            pool = None
+            while time.monotonic() < deadline:
+                pool = daemon.scheduler._pool
+                if (
+                    client.job(job_id)["status"] == "running"
+                    and pool is not None
+                    and pool._processes
+                ):
+                    break
+                time.sleep(0.05)
+            else:
+                pytest.fail("job never started running")
+            time.sleep(0.2)  # let the run actually enter the worker
+            for proc in list(pool._processes.values()):
+                proc.kill()
+            status = client.wait(job_id, timeout=120)
+            assert status["status"] == "failed"
+            assert "worker process died" in status["error"]
+            # pool was rebuilt: the daemon still executes fresh work
+            good = client.submit(FIG_SPEC)
+            assert client.wait(good["job"]["id"], timeout=180)["status"] == "done"
+            return daemon.registry.value("service.pool_rebuilds")
+
+        assert with_daemon(tmp_path / "store", scenario, run_workers=1) >= 1
+
+
+class TestApiSurface:
+    def test_metrics_jobs_runs_and_sse(self, tmp_path):
+        def scenario(client, daemon):
+            submitted = client.submit(FIG_SPEC)
+            job_id = submitted["job"]["id"]
+            snapshots = list(client.stream(job_id))
+            assert snapshots[-1]["status"] == "done"
+            assert snapshots[-1]["progress"]["done"] == snapshots[-1]["progress"]["total"]
+
+            jobs = client.jobs()
+            assert [j["id"] for j in jobs] == [job_id]
+
+            runs = client.runs()
+            result = client.result(job_id)
+            assert {r["key"] for r in runs} == {r["key"] for r in result["runs"]}
+            key = runs[0]["key"]
+            entry = client.run(key)
+            assert entry["key"] == key and "metrics" in entry
+
+            metrics = client.metrics()
+            derived = metrics["derived"]
+            assert 0.0 <= (derived["hit_ratio"] or 0.0) <= 1.0
+            assert derived["store_lookups"] > 0
+            counters = metrics["registry"]["counters"]
+            assert any(k.startswith("service.requests{") for k in counters)
+            histograms = metrics["registry"]["histograms"]
+            latency = [
+                v
+                for k, v in histograms.items()
+                if k.startswith("service.request_latency_s{")
+            ]
+            assert latency and all(h["count"] >= 1 for h in latency)
+
+            with pytest.raises(ServiceError) as excinfo:
+                client.job("job-999999")
+            assert excinfo.value.code == 404
+            with pytest.raises(ServiceError) as excinfo:
+                client.run("0" * 64)
+            assert excinfo.value.code == 404
+            return True
+
+        assert with_daemon(tmp_path / "store", scenario)
+
+    def test_priority_orders_queue(self, tmp_path):
+        """With one job worker, a later low-priority-number submission
+        drains before earlier default-priority ones."""
+
+        def scenario(client, daemon):
+            background = [
+                client.submit({**FIG_SPEC, "xs": [50 + 50 * i]})["job"]["id"]
+                for i in range(3)
+            ]
+            urgent = client.submit({**FIG_SPEC, "xs": [300], "priority": 1})["job"]["id"]
+            done_order = []
+            seen = set()
+            deadline = time.monotonic() + 600
+            while len(seen) < 4 and time.monotonic() < deadline:
+                for job_id in background + [urgent]:
+                    if job_id not in seen:
+                        status = client.job(job_id)
+                        if status["status"] == "done":
+                            seen.add(job_id)
+                            done_order.append(job_id)
+                time.sleep(0.05)
+            assert len(seen) == 4, "jobs did not finish in time"
+            # the first background job was already running when the
+            # urgent one arrived; the urgent job must beat the rest
+            assert done_order.index(urgent) <= 1
+            return True
+
+        assert with_daemon(tmp_path / "store", scenario, run_workers=2, job_workers=1)

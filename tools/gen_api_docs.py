@@ -39,6 +39,7 @@ PACKAGES = [
     "repro.trees",
     "repro.experiments",
     "repro.obs",
+    "repro.service",
     "repro.cli",
     "repro.constants",
 ]
@@ -60,6 +61,7 @@ ROUTING_TABLE = """\
 | paper figures and their workloads | `repro.experiments.figures` |
 | saving/loading results, manifests | `repro.experiments.persistence` |
 | profiling, tracing, metrics registry | `repro.obs` |
+| the sweep/results daemon, its HTTP API, client, load tester | `repro.service` |
 | command-line verbs | `repro.cli` |
 | wire-format byte sizes | `repro.constants` |
 """
