@@ -32,6 +32,8 @@ Subcommands::
     repro-wsn client status job-000001                       # poll a job
     repro-wsn client fetch job-000001                        # fetch results
     repro-wsn client metrics                                 # daemon /metrics
+    repro-wsn client trace job-000001 --chrome-trace t.json  # span tree -> Perfetto
+    repro-wsn top --port 8642                                # live ops dashboard
     repro-wsn loadtest --requests 500 --concurrency 100      # hammer a warm daemon
 
 Figures print the same series the paper plots (see
@@ -335,6 +337,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="run with the standard probe timeline attached (the probe-overhead gate)",
     )
     bench_p.add_argument(
+        "--spans",
+        action="store_true",
+        help="record request-tracing spans around each run (the span-overhead gate)",
+    )
+    bench_p.add_argument(
         "--json",
         action="store_true",
         help="machine-readable benchmark payload on stdout (instead of the table)",
@@ -357,6 +364,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--port-file",
         metavar="PATH",
         help="write the bound port here once listening (for scripts using --port 0)",
+    )
+    serve_p.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit structured JSON logs (one object per line, with correlation ids)",
+    )
+    serve_p.add_argument(
+        "--no-spans",
+        action="store_true",
+        help="disable request-tracing span retention (tracing is on by default)",
+    )
+    serve_p.add_argument(
+        "--span-capacity",
+        type=int,
+        default=None,
+        metavar="N",
+        help="span ring-buffer size (default 8192; bounds trace memory)",
     )
 
     client_p = sub.add_parser("client", help="talk to a running repro-wsn daemon")
@@ -399,6 +423,49 @@ def build_parser() -> argparse.ArgumentParser:
     client_fetch.add_argument("job_id", help="job id")
     client_fetch.add_argument("--out", metavar="PATH", help="also write the JSON here")
     client_sub.add_parser("metrics", help="print the daemon's /metrics payload")
+    client_trace = client_sub.add_parser(
+        "trace", help="fetch a job's span tree (optionally export to Chrome/Perfetto)"
+    )
+    client_trace.add_argument("job_id", help="job id")
+    client_trace.add_argument(
+        "--chrome-trace",
+        metavar="PATH",
+        help="also write the spans as a Chrome trace (open in Perfetto/about:tracing)",
+    )
+    client_trace.add_argument(
+        "--timeline-key",
+        metavar="KEY",
+        help="merge this stored run's probe timeline into the Chrome trace",
+    )
+    client_spans = client_sub.add_parser(
+        "spans", help="print recent daemon spans (newest first)"
+    )
+    client_spans.add_argument("--limit", type=int, default=50, help="max spans")
+    client_spans.add_argument(
+        "--name", default=None, help="filter by span name (or prefix ending in '.')"
+    )
+    client_spans.add_argument("--trace", default=None, help="filter by trace id")
+
+    top_p = sub.add_parser(
+        "top", help="live terminal dashboard over a running daemon's /metrics"
+    )
+    top_p.add_argument("--host", default="127.0.0.1", help="daemon address")
+    top_p.add_argument("--port", type=int, default=8642, help="daemon port")
+    top_p.add_argument(
+        "--interval", type=float, default=2.0, help="refresh period (seconds)"
+    )
+    top_p.add_argument(
+        "--iterations",
+        type=int,
+        default=0,
+        metavar="N",
+        help="render N frames then exit (0 = run until interrupted)",
+    )
+    top_p.add_argument(
+        "--no-clear",
+        action="store_true",
+        help="append frames instead of redrawing in place (for logs/pipes)",
+    )
 
     loadtest_p = sub.add_parser(
         "loadtest", help="replay concurrent figure submissions against a daemon"
@@ -1036,6 +1103,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         workers=args.workers,
         timeline=args.timeline,
         profile=args.profile,
+        spans=args.spans,
     )
     path = save_bench(payload, args.out)
     if args.json:
@@ -1059,8 +1127,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     from .service import build_service
 
+    span_kwargs = {}
+    if args.span_capacity is not None:
+        span_kwargs["span_capacity"] = args.span_capacity
     daemon = build_service(
-        args.store, host=args.host, port=args.port, run_workers=args.workers
+        args.store,
+        host=args.host,
+        port=args.port,
+        run_workers=args.workers,
+        spans=not args.no_spans,
+        log_json=args.log_json,
+        **span_kwargs,
     )
 
     async def _serve() -> None:
@@ -1141,6 +1218,28 @@ def _cmd_client(args: argparse.Namespace) -> int:
             else:
                 print(text)
             return 0
+        if args.client_command == "trace":
+            payload = client.trace(args.job_id)
+            if args.chrome_trace:
+                from .obs.export import spans_to_chrome_trace
+
+                timeline = None
+                if args.timeline_key:
+                    timeline = client.run_timeline(args.timeline_key)
+                out = spans_to_chrome_trace(
+                    payload["spans"], args.chrome_trace, timeline=timeline
+                )
+                print(json.dumps(payload, indent=2, sort_keys=True))
+                print(f"chrome trace written: {out}")
+            else:
+                print(json.dumps(payload, indent=2, sort_keys=True))
+            return 0
+        if args.client_command == "spans":
+            payload = client.recent_spans(
+                limit=args.limit, name=args.name, trace=args.trace
+            )
+            print(json.dumps(payload, indent=2, sort_keys=True))
+            return 0
         print(json.dumps(client.metrics(), indent=2, sort_keys=True))
         return 0
     except ValueError as exc:
@@ -1155,6 +1254,18 @@ def _cmd_client(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 1
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from .service.top import run_top
+
+    return run_top(
+        host=args.host,
+        port=args.port,
+        interval=args.interval,
+        iterations=args.iterations,
+        clear=not args.no_clear,
+    )
 
 
 def _cmd_loadtest(args: argparse.Namespace) -> int:
@@ -1196,6 +1307,7 @@ _COMMANDS = {
     "timeline": _cmd_timeline,
     "serve": _cmd_serve,
     "client": _cmd_client,
+    "top": _cmd_top,
     "loadtest": _cmd_loadtest,
 }
 

@@ -176,6 +176,7 @@ def run_bench(
     workers: int = 0,
     timeline: bool = False,
     profile: Optional[str] = None,
+    spans: bool = False,
 ) -> dict:
     """Run one bench workload and assemble the perf payload.
 
@@ -183,21 +184,39 @@ def run_bench(
     kernel fast paths speed up); the optional parallel pass measures the
     executor and proves parallel == serial bit-for-bit.  ``timeline``
     runs the same workload with the standard probe timeline attached —
-    the probe-overhead gate: ``tools/check_bench.py`` compares entries
-    only against baselines with the same ``(profile, timeline)`` pair.
+    the probe-overhead gate.  ``spans`` wraps every run in
+    request-tracing spans the way the service daemon does (one ``run``
+    span + one ``worker.execute`` child per config, recorded into a
+    bounded :class:`~repro.obs.spans.SpanStore`) — the span-overhead
+    gate.  ``tools/check_bench.py`` compares entries only against
+    baselines with the same ``(profile, timeline, spans)`` triple.
     """
     from ..obs import ObsOptions
     from ..obs.manifest import _environment
+    from ..obs.spans import SpanStore
 
     profile = _resolve_profile(quick, profile)
     cache = default_field_cache()
     cache.clear()
     configs = bench_configs(profile=profile)
     obs = ObsOptions(timeline=True) if timeline else None
+    span_store = SpanStore() if spans else None
+
+    def _observe(cfg):
+        if span_store is None:
+            return run_observed(cfg, obs)
+        run_span = span_store.start(
+            "run", scheme=cfg.scheme, n_nodes=cfg.n_nodes, seed=cfg.seed
+        )
+        exec_span = span_store.start("worker.execute", parent=run_span)
+        out = run_observed(cfg, obs)
+        exec_span.end()
+        run_span.end()
+        return out
 
     per_run = []
     t0 = time.perf_counter()
-    observed = [run_observed(cfg, obs) for cfg in configs]
+    observed = [_observe(cfg) for cfg in configs]
     wall = time.perf_counter() - t0
 
     total_events = sum(o.events_processed for o in observed)
@@ -225,6 +244,7 @@ def run_bench(
         "profile": profile,
         "quick": profile == "quick",  # legacy flag, kept for old tooling
         "timeline": timeline,
+        "spans": spans,
         "workload": {k: list(v) if isinstance(v, tuple) else v for k, v in w.items()},
         "n_runs": len(configs),
         "wall_time_s": round(wall, 3),
@@ -240,6 +260,8 @@ def run_bench(
         payload["timeline_samples"] = sum(
             o.timeline.n_samples for o in observed if o.timeline is not None
         )
+    if span_store is not None:
+        payload["span_stats"] = span_store.stats()
 
     if workers and workers > 1:
         t1 = time.perf_counter()
@@ -293,6 +315,7 @@ def format_bench(payload: dict) -> str:
     """Human-readable bench summary (the CLI's output)."""
     cache = payload["field_cache"]
     tl = ", timelines on" if payload.get("timeline") else ""
+    tl += ", spans on" if payload.get("spans") else ""
     profile = payload.get("profile") or ("quick" if payload.get("quick") else "canonical")
     lines = [
         f"repro bench ({profile} workload{tl}, "

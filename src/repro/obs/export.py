@@ -36,6 +36,7 @@ __all__ = [
     "timeline_to_chrome_trace",
     "chrome_trace_to_timeline",
     "timeline_from_trace_jsonl",
+    "spans_to_chrome_trace",
 ]
 
 TRACE_VERSION = 1
@@ -230,6 +231,84 @@ def chrome_trace_to_timeline(path: Union[str, Path]):
             ],
         }
     )
+
+
+def spans_to_chrome_trace(
+    spans, path: Union[str, Path], timeline=None
+) -> Path:
+    """Export span payloads as Chrome complete events (Perfetto-loadable).
+
+    Each span becomes one ``"ph": "X"`` event; timestamps are rebased to
+    the earliest span start so the view opens at t=0.  Spans of one trace
+    share a ``tid``, so every request renders as its own track and the
+    parent/child nesting is visible as stacked slices.  Ids, status, and
+    attributes ride in ``args``; the raw span payloads are preserved
+    under ``otherData.spans`` so nothing is lost to the viewer format.
+
+    Pass ``timeline`` (a :class:`~repro.obs.timeline.Timeline` or its
+    dict form) to merge a run's counter tracks into the same file — one
+    Perfetto view holding service spans *and* in-sim probe series.
+    """
+    spans = [s.as_dict() if hasattr(s, "as_dict") else dict(s) for s in spans]
+    t0 = min((s["start_s"] for s in spans), default=0.0)
+    events: list[dict[str, Any]] = [
+        {"name": "process_name", "ph": "M", "pid": 1, "args": {"name": "repro service"}}
+    ]
+    tids: dict[str, int] = {}
+    for span in sorted(spans, key=lambda s: (s["trace_id"], s["start_s"])):
+        tid = tids.setdefault(span["trace_id"], len(tids) + 1)
+        if tid == len(tids):  # first span of this trace: name its track
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": 1,
+                    "tid": tid,
+                    "args": {"name": f"trace {span['trace_id']}"},
+                }
+            )
+        events.append(
+            {
+                "ph": "X",
+                "name": span["name"],
+                "cat": "span",
+                "pid": 1,
+                "tid": tid,
+                "ts": (span["start_s"] - t0) * 1e6,
+                "dur": max(span.get("duration_s", 0.0), 0.0) * 1e6,
+                "args": {
+                    "trace_id": span["trace_id"],
+                    "span_id": span["span_id"],
+                    "parent_id": span.get("parent_id"),
+                    "status": span.get("status", "ok"),
+                    **span.get("attributes", {}),
+                },
+            }
+        )
+    payload: dict[str, Any] = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"spans": spans, "span_epoch_s": t0},
+    }
+    if timeline is not None:
+        data = timeline.as_dict() if hasattr(timeline, "as_dict") else dict(timeline)
+        for probe in data.get("probes", ()):
+            for t, v in zip(data.get("times", []), probe["values"]):
+                payload["traceEvents"].append(
+                    {
+                        "ph": "C",
+                        "name": probe["name"],
+                        "pid": 1,
+                        "tid": 0,
+                        "ts": t * 1e6,
+                        "args": {"value": v},
+                    }
+                )
+        payload["otherData"]["timeline"] = data
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, sort_keys=True, default=str))
+    return path
 
 
 def timeline_from_trace_jsonl(path: Union[str, Path]):

@@ -38,6 +38,8 @@ __all__ = [
     "HistogramMetric",
     "CardinalityError",
     "DEFAULT_BUCKETS",
+    "quantile_from_counts",
+    "summarize_histogram",
 ]
 
 #: default histogram edges: latency-ish spread, seconds-oriented
@@ -136,6 +138,10 @@ class HistogramMetric:
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> Optional[float]:
+        """Estimate the q-quantile from the bucket counts (None if empty)."""
+        return quantile_from_counts(self.buckets, self.counts, q)
+
     def as_sample(self) -> Any:
         return {
             "buckets": list(self.buckets),
@@ -143,6 +149,60 @@ class HistogramMetric:
             "sum": self.sum,
             "count": self.count,
         }
+
+
+def quantile_from_counts(
+    buckets: Iterable[float], counts: Iterable[int], q: float
+) -> Optional[float]:
+    """Prometheus-style quantile estimate from fixed-bucket counts.
+
+    Linear interpolation inside the bucket holding the q-th observation:
+    the first bucket interpolates from 0, and the overflow bucket has no
+    upper edge so it clamps to the last finite edge (a deliberate
+    underestimate — the histogram cannot say more).  Returns None for an
+    empty histogram.  ``q`` is a fraction in [0, 1].
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    edges = list(buckets)
+    tallies = list(counts)
+    total = sum(tallies)
+    if total == 0:
+        return None
+    rank = q * total
+    cumulative = 0.0
+    for i, n in enumerate(tallies):
+        if n == 0:
+            continue
+        if cumulative + n >= rank:
+            if i >= len(edges):  # overflow bucket: clamp to last edge
+                return edges[-1]
+            lo = edges[i - 1] if i > 0 else 0.0
+            hi = edges[i]
+            return lo + (hi - lo) * max(0.0, rank - cumulative) / n
+        cumulative += n
+    return edges[-1]
+
+
+def summarize_histogram(
+    sample: dict[str, Any], qs: Iterable[float] = (0.5, 0.95, 0.99)
+) -> dict[str, Any]:
+    """Percentile summary of a histogram's ``as_sample()`` dict.
+
+    Works on snapshot payloads (e.g. what ``/metrics`` serves), so
+    clients can derive p50/p95/p99 without the live instrument.
+    """
+    count = sample.get("count", 0)
+    out: dict[str, Any] = {
+        "count": count,
+        "sum": sample.get("sum", 0.0),
+        "mean": (sample.get("sum", 0.0) / count) if count else 0.0,
+    }
+    for q in qs:
+        out[f"p{round(q * 100):d}"] = quantile_from_counts(
+            sample.get("buckets", ()), sample.get("counts", ()), q
+        )
+    return out
 
 
 class MetricsRegistry:

@@ -26,6 +26,16 @@ Layering (each module only looks down):
   ``repro client`` CLI verbs.
 * :mod:`.loadtest` — :func:`run_load_test`, the concurrent replay tool
   behind ``repro loadtest``.
+* :mod:`.logs` — :class:`JsonLogger`, line-oriented structured logs
+  with request/job/run correlation ids (``repro serve --log-json``).
+* :mod:`.top` — :func:`run_top`, the live terminal dashboard behind
+  ``repro top``.
+
+Every request is traced end to end through these layers via
+:mod:`repro.obs.spans`: the daemon roots an ``http.request`` span, the
+scheduler hangs queue-wait/dedup/execute/store spans under it (including
+in-worker spans propagated across the process boundary), and
+``GET /api/v1/jobs/<id>/trace`` serves the assembled tree.
 """
 
 from .backend import LocalDirBackend, StorageBackend
@@ -33,7 +43,9 @@ from .client import ServiceClient, ServiceError
 from .http import ServiceDaemon, build_service
 from .jobs import DEFAULT_PRIORITY, Job, JobRequest, RequestError, parse_request
 from .loadtest import run_load_test
+from .logs import JsonLogger
 from .scheduler import JobScheduler
+from .top import render_top, run_top
 
 __all__ = [
     "StorageBackend",
@@ -49,4 +61,7 @@ __all__ = [
     "ServiceClient",
     "ServiceError",
     "run_load_test",
+    "JsonLogger",
+    "render_top",
+    "run_top",
 ]

@@ -13,16 +13,29 @@ import http.client
 import json
 import time
 from typing import Any, Iterator, Optional
+from urllib.parse import quote
 
 __all__ = ["ServiceClient", "ServiceError"]
 
 
 class ServiceError(RuntimeError):
-    """A non-2xx daemon response."""
+    """A non-2xx daemon response.
 
-    def __init__(self, code: int, message: str) -> None:
+    ``payload`` is the daemon's full JSON error body — it carries the
+    request's ``correlation_id``, which is the trace id to hand to
+    ``GET /api/v1/trace?trace=...`` when debugging a failure.
+    """
+
+    def __init__(
+        self, code: int, message: str, payload: Optional[dict] = None
+    ) -> None:
         super().__init__(f"HTTP {code}: {message}")
         self.code = code
+        self.payload = payload if payload is not None else {}
+
+    @property
+    def correlation_id(self) -> Optional[str]:
+        return self.payload.get("correlation_id")
 
 
 class ServiceClient:
@@ -49,7 +62,9 @@ class ServiceClient:
             resp = conn.getresponse()
             data = json.loads(resp.read().decode("utf-8"))
             if resp.status >= 300:
-                raise ServiceError(resp.status, data.get("error", "unknown error"))
+                raise ServiceError(
+                    resp.status, data.get("error", "unknown error"), payload=data
+                )
             return data
         finally:
             conn.close()
@@ -106,6 +121,24 @@ class ServiceClient:
 
     def run_timeline(self, key: str) -> dict[str, Any]:
         return self._request("GET", f"/api/v1/runs/{key}/timeline")
+
+    def trace(self, job_id: str) -> dict[str, Any]:
+        """The job's span tree: ``{job_id, trace_id, spans, tree}``."""
+        return self._request("GET", f"/api/v1/jobs/{job_id}/trace")
+
+    def recent_spans(
+        self,
+        limit: int = 100,
+        name: Optional[str] = None,
+        trace: Optional[str] = None,
+    ) -> dict[str, Any]:
+        """Recent finished spans, newest first (``GET /api/v1/trace``)."""
+        params = [f"limit={limit}"]
+        if name:
+            params.append(f"name={quote(name)}")
+        if trace:
+            params.append(f"trace={quote(trace)}")
+        return self._request("GET", "/api/v1/trace?" + "&".join(params))
 
     # ------------------------------------------------------------------
     # conveniences

@@ -14,6 +14,8 @@ Routes (all under ``/api/v1`` except the operational pair)::
     GET  /api/v1/jobs/<id>          job status
     GET  /api/v1/jobs/<id>/events   SSE progress stream (until terminal)
     GET  /api/v1/jobs/<id>/result   results of a finished job
+    GET  /api/v1/jobs/<id>/trace    the job's span tree (request tracing)
+    GET  /api/v1/trace              recent spans (?limit=&name=&trace=)
     GET  /api/v1/runs               stored-run summaries (sqlite index)
     GET  /api/v1/runs/<key>         one stored entry (identity+metrics)
     GET  /api/v1/runs/<key>/timeline  stored probe timeline
@@ -24,6 +26,12 @@ Every request increments ``service.requests{route=...,code=...}`` and
 observes ``service.request_latency_s{route=...}`` — route labels are
 the *templates* (``/api/v1/jobs/{id}``), not raw paths, to keep label
 cardinality bounded.
+
+Every request also opens an ``http.request`` span whose trace id is the
+request's **correlation id**: error payloads echo it, structured logs
+carry it, and a submission's whole job tree (queue wait, dedup verdicts,
+worker execution, store writes) parents under it — see
+:mod:`repro.obs.spans` and ``GET /api/v1/jobs/<id>/trace``.
 """
 
 from __future__ import annotations
@@ -32,10 +40,13 @@ import asyncio
 import json
 import time
 from typing import Any, Optional
+from urllib.parse import parse_qs
 
-from ..obs.registry import MetricsRegistry
+from ..obs.registry import MetricsRegistry, summarize_histogram
+from ..obs.spans import DEFAULT_SPAN_CAPACITY, SpanStore, span_tree
 from .backend import StorageBackend
 from .jobs import RequestError, parse_request
+from .logs import JsonLogger
 from .scheduler import JobScheduler
 
 __all__ = ["ServiceDaemon", "build_service"]
@@ -77,6 +88,8 @@ class ServiceDaemon:
         self.backend = backend
         self.scheduler = scheduler
         self.registry = scheduler.registry
+        self.spans = scheduler.spans
+        self.log = scheduler.log
         self.host = host
         self.port = port
         self.sse_keepalive = sse_keepalive
@@ -114,33 +127,75 @@ class ServiceDaemon:
         started = time.perf_counter()
         route = "unknown"
         code = 500
+        # the span's trace id doubles as the request correlation id:
+        # error payloads echo it, log lines and the job's span tree join on it
+        span = self.spans.start("http.request")
         try:
+            parse_span = self.spans.start("http.parse", parent=span)
             parsed = await self._read_request(reader)
             if parsed is None:
+                parse_span.end(empty=True)
+                code = 0  # connection probe, no request to answer
                 return
-            method, path, body = parsed
-            route, code, payload, stream = self._dispatch(method, path, body)
+            method, path, query, body = parsed
+            parse_span.end(method=method, path=path)
+            span.set(method=method, path=path)
+            # resolve the route label up front so a handler that raises is
+            # still attributed to its route (error counters, access logs)
+            route = self._route_label(method, path)
+            route, code, payload, stream = self._dispatch(method, path, query, body, span)
             if stream is not None:
                 code = 200
                 await stream(writer)
             else:
+                write_span = self.spans.start("response.write", parent=span, code=code)
                 self._send_json(writer, code, payload)
+                write_span.end()
         except _HttpError as exc:
             code = exc.code
-            self._send_json(writer, exc.code, {"error": str(exc)})
+            self._send_json(
+                writer,
+                exc.code,
+                {"error": str(exc), "correlation_id": span.trace_id},
+            )
         except (ConnectionError, asyncio.IncompleteReadError):
             return  # client went away mid-request; nothing to answer
         except Exception as exc:  # noqa: BLE001 - one bad request must not kill the daemon
             code = 500
+            self.registry.counter("http.errors", route=route).inc()
+            self.log.error(
+                "http.error",
+                route=route,
+                correlation_id=span.trace_id,
+                error=f"{type(exc).__name__}: {exc}",
+            )
             try:
-                self._send_json(writer, 500, {"error": f"{type(exc).__name__}: {exc}"})
+                self._send_json(
+                    writer,
+                    500,
+                    {
+                        "error": f"{type(exc).__name__}: {exc}",
+                        "correlation_id": span.trace_id,
+                    },
+                )
             except ConnectionError:
                 pass
         finally:
+            duration = time.perf_counter() - started
+            span.end(
+                "error" if code >= 500 else "ok", route=route, code=code
+            )
             self.registry.counter("service.requests", route=route, code=str(code)).inc()
             self.registry.histogram(
                 "service.request_latency_s", _LATENCY_BUCKETS, route=route
-            ).observe(time.perf_counter() - started)
+            ).observe(duration)
+            self.log.log(
+                "http.request",
+                route=route,
+                code=code,
+                duration_s=round(duration, 6),
+                correlation_id=span.trace_id,
+            )
             try:
                 if writer.can_write_eof():
                     writer.write_eof()
@@ -152,7 +207,7 @@ class ServiceDaemon:
     @staticmethod
     async def _read_request(
         reader: asyncio.StreamReader,
-    ) -> Optional[tuple[str, str, bytes]]:
+    ) -> Optional[tuple[str, str, dict[str, str], bytes]]:
         request_line = await reader.readline()
         if not request_line.strip():
             return None
@@ -174,14 +229,24 @@ class ServiceDaemon:
         if length > MAX_BODY_BYTES:
             raise _HttpError(413, f"body exceeds {MAX_BODY_BYTES} bytes")
         body = await reader.readexactly(length) if length > 0 else b""
-        path = target.split("?", 1)[0]
-        return method, path, body
+        path, _, query_string = target.partition("?")
+        query = {k: v[-1] for k, v in parse_qs(query_string).items()}
+        return method, path, query, body
 
     # ------------------------------------------------------------------
     # routing
     # ------------------------------------------------------------------
-    def _dispatch(self, method: str, path: str, body: bytes):
+    def _dispatch(
+        self,
+        method: str,
+        path: str,
+        query: dict[str, str],
+        body: bytes,
+        span=None,
+    ):
         """Returns ``(route_label, code, payload, sse_coroutine_or_None)``."""
+        # NOTE: keep in sync with _route_label, which resolves the same
+        # patterns without side effects for error attribution
         parts = [p for p in path.split("/") if p]
         if parts == ["healthz"] and method == "GET":
             return "/healthz", 200, {"ok": True, "started_at": self.started_at}, None
@@ -191,11 +256,13 @@ class ServiceDaemon:
             rest = parts[2:]
             if rest == ["jobs"]:
                 if method == "POST":
-                    return "POST /api/v1/jobs", *self._submit(body), None
+                    return "POST /api/v1/jobs", *self._submit(body, span), None
                 if method == "GET":
                     jobs = [j.as_dict() for j in self.scheduler.list_jobs()]
                     return "GET /api/v1/jobs", 200, {"jobs": jobs}, None
                 raise _HttpError(405, f"{method} not allowed on /api/v1/jobs")
+            if rest == ["trace"] and method == "GET":
+                return "GET /api/v1/trace", 200, self._trace_payload(query), None
             if len(rest) >= 2 and rest[0] == "jobs" and method == "GET":
                 job = self.scheduler.get(rest[1])
                 if job is None:
@@ -209,6 +276,9 @@ class ServiceDaemon:
                     if job.status != "done":
                         raise _HttpError(409, f"job {job.id} is {job.status}")
                     return route, 200, job.result_payload(), None
+                if rest[2:] == ["trace"]:
+                    route = "GET /api/v1/jobs/{id}/trace"
+                    return route, 200, self._job_trace_payload(job), None
                 if rest[2:] == ["events"]:
                     stream = lambda w: self._stream_events(w, job)  # noqa: E731
                     return "GET /api/v1/jobs/{id}/events", 200, None, stream
@@ -228,7 +298,36 @@ class ServiceDaemon:
                     return "GET /api/v1/runs/{key}/timeline", 200, timeline, None
         raise _HttpError(404, f"no route for {method} {path}")
 
-    def _submit(self, body: bytes) -> tuple[int, dict[str, Any]]:
+    @staticmethod
+    def _route_label(method: str, path: str) -> str:
+        """The low-cardinality route label for a request path.
+
+        Pure pattern matching — no lookups, no side effects — so it can
+        run before dispatch; unmatched paths collapse to ``"unknown"``
+        rather than minting one counter series per garbage URL.
+        """
+        parts = [p for p in path.split("/") if p]
+        if parts == ["healthz"]:
+            return "/healthz"
+        if parts == ["metrics"]:
+            return "/metrics"
+        if parts[:2] == ["api", "v1"]:
+            rest = parts[2:]
+            if rest == ["jobs"] or rest == ["runs"] or rest == ["trace"]:
+                return f"{method} /api/v1/{rest[0]}"
+            if len(rest) >= 2 and rest[0] == "jobs":
+                if len(rest) == 2:
+                    return f"{method} /api/v1/jobs/{{id}}"
+                if rest[2:] in (["result"], ["trace"], ["events"]):
+                    return f"{method} /api/v1/jobs/{{id}}/{rest[2]}"
+            if len(rest) >= 2 and rest[0] == "runs":
+                if len(rest) == 2:
+                    return f"{method} /api/v1/runs/{{key}}"
+                if rest[2:] == ["timeline"]:
+                    return f"{method} /api/v1/runs/{{key}}/timeline"
+        return "unknown"
+
+    def _submit(self, body: bytes, span=None) -> tuple[int, dict[str, Any]]:
         try:
             data = json.loads(body.decode("utf-8")) if body else None
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
@@ -237,13 +336,45 @@ class ServiceDaemon:
             request = parse_request(data)
         except RequestError as exc:
             raise _HttpError(400, str(exc)) from exc
-        job, coalesced = self.scheduler.submit(request)
+        job, coalesced = self.scheduler.submit(request, parent=span)
         return 200, {"job": job.as_dict(), "coalesced": coalesced}
+
+    def _job_trace_payload(self, job) -> dict[str, Any]:
+        spans = self.spans.trace(job.trace_id) if job.trace_id else []
+        return {
+            "job_id": job.id,
+            "trace_id": job.trace_id,
+            "tracing_enabled": self.spans.enabled,
+            "spans": spans,
+            "tree": span_tree(spans),
+        }
+
+    def _trace_payload(self, query: dict[str, str]) -> dict[str, Any]:
+        raw_limit = query.get("limit", "100")
+        try:
+            limit = int(raw_limit)
+        except ValueError as exc:
+            raise _HttpError(400, f"bad limit {raw_limit!r}") from exc
+        if limit < 1:
+            raise _HttpError(400, f"limit must be positive, got {limit}")
+        spans = self.spans.recent(
+            limit=limit, name=query.get("name"), trace_id=query.get("trace")
+        )
+        return {"spans": spans, "stats": self.spans.stats()}
 
     def _metrics_payload(self) -> dict[str, Any]:
         hits = self.registry.value("store.hit")
         misses = self.registry.value("store.miss")
         lookups = hits + misses
+        snapshot = self.registry.snapshot()
+        # percentile summaries derived from the histogram buckets, so
+        # dashboards don't have to re-implement the interpolation
+        latency: dict[str, Any] = {}
+        prefix = "service.request_latency_s{route="
+        for key, sample in snapshot["histograms"].items():
+            if key.startswith(prefix) and key.endswith("}"):
+                latency[key[len(prefix):-1]] = summarize_histogram(sample)
+        job_wall = snapshot["histograms"].get("service.job_wall_s")
         return {
             "derived": {
                 "hit_ratio": (hits / lookups) if lookups else None,
@@ -252,8 +383,11 @@ class ServiceDaemon:
                 "workers_busy": self.registry.value("service.workers_busy"),
                 "jobs": len(self.scheduler.jobs),
             },
+            "latency": latency,
+            "job_wall": summarize_histogram(job_wall) if job_wall else None,
+            "spans": self.spans.stats(),
             "backend": self.backend.stats(),
-            "registry": self.registry.snapshot(),
+            "registry": snapshot,
         }
 
     # ------------------------------------------------------------------
@@ -304,10 +438,22 @@ def build_service(
     port: int = 0,
     run_workers: int = 2,
     registry: Optional[MetricsRegistry] = None,
+    spans: bool = True,
+    span_capacity: int = DEFAULT_SPAN_CAPACITY,
+    log_json: bool = False,
 ) -> ServiceDaemon:
-    """Wire backend + scheduler + daemon over one store directory."""
+    """Wire backend + scheduler + daemon over one store directory.
+
+    Request tracing is on by default (``spans=False`` or
+    ``span_capacity=0`` disables retention without touching the serving
+    path); ``log_json`` turns on structured JSON logs on stderr.
+    """
     from .backend import LocalDirBackend
 
     backend = LocalDirBackend(store_root, registry=registry)
-    scheduler = JobScheduler(backend, run_workers=run_workers)
+    span_store = SpanStore(span_capacity if spans else 0, registry=backend.registry)
+    log = JsonLogger(enabled=log_json)
+    scheduler = JobScheduler(
+        backend, run_workers=run_workers, spans=span_store, log=log
+    )
     return ServiceDaemon(backend, scheduler, host=host, port=port)

@@ -100,6 +100,13 @@ class Job:
     from_cache: bool = False
     #: bumped on every visible mutation (SSE change detection)
     version: int = 0
+    #: trace id of the submitting request — the whole span tree of this
+    #: job (queue wait, dedup verdicts, worker execution, store writes)
+    #: resolves under it via ``GET /api/v1/jobs/<id>/trace``
+    trace_id: Optional[str] = None
+    #: live span handles (scheduler-internal; not part of job identity)
+    span: Optional[Any] = field(default=None, repr=False, compare=False)
+    queue_span: Optional[Any] = field(default=None, repr=False, compare=False)
 
     @property
     def total(self) -> int:
@@ -131,6 +138,7 @@ class Job:
             "from_cache": self.from_cache,
             "error": self.error,
             "version": self.version,
+            "trace_id": self.trace_id,
         }
 
     def result_payload(self) -> dict[str, Any]:

@@ -1,0 +1,67 @@
+"""Structured JSON logging for the service daemon.
+
+One JSON object per line on a stream (stderr by default), so daemon
+output can be shipped straight into any log pipeline and joined against
+traces: every event carries the ids that matter — ``correlation_id``
+(the request's trace id), ``job`` and ``run.key`` where applicable — so
+a log line, a span tree, and a stored run artifact all cross-reference.
+
+Disabled loggers (the default — ``repro serve`` without ``--log-json``)
+are a no-op: one attribute check per call site, no formatting cost.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from typing import Any, Optional, TextIO
+
+__all__ = ["JsonLogger"]
+
+
+class JsonLogger:
+    """Line-oriented JSON event logger.
+
+    ``log("job.finished", job="job-000001", status="done")`` emits::
+
+        {"event": "job.finished", "job": "job-000001", "level": "info",
+         "service": "repro-serve", "status": "done", "ts": 1719...}
+
+    Keys are sorted, values fall back to ``str`` — a log call can never
+    raise out of the serving path.
+    """
+
+    __slots__ = ("enabled", "service", "stream", "lines")
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        stream: Optional[TextIO] = None,
+        service: str = "repro-serve",
+    ) -> None:
+        self.enabled = enabled
+        self.stream = stream
+        self.service = service
+        self.lines = 0
+
+    def log(self, event: str, level: str = "info", **fields: Any) -> None:
+        if not self.enabled:
+            return
+        record = {
+            "ts": time.time(),
+            "level": level,
+            "service": self.service,
+            "event": event,
+            **fields,
+        }
+        out = self.stream if self.stream is not None else sys.stderr
+        try:
+            out.write(json.dumps(record, sort_keys=True, default=str) + "\n")
+            out.flush()
+            self.lines += 1
+        except (ValueError, OSError):  # closed stream: logging must not kill serving
+            pass
+
+    def error(self, event: str, **fields: Any) -> None:
+        self.log(event, level="error", **fields)

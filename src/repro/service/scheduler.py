@@ -34,22 +34,54 @@ from __future__ import annotations
 import asyncio
 import dataclasses
 import itertools
+import os
 import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from typing import Optional
+from typing import Any, Optional
 
 from ..experiments.metrics import RunMetrics
 from ..experiments.sweeps import RunFailure, _safe_run
 from ..obs.registry import MetricsRegistry
+from ..obs.spans import SpanStore, make_span, new_span_id
 from .backend import StorageBackend
 from .jobs import Job, JobRequest
+from .logs import JsonLogger
 
-__all__ = ["JobScheduler"]
+__all__ = ["JobScheduler", "_traced_safe_run"]
 
 #: job wall-clock histogram edges (seconds) — jobs run longer than the
 #: default latency-oriented buckets
 JOB_WALL_BUCKETS = (0.005, 0.02, 0.1, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0, 300.0)
+
+
+def _traced_safe_run(index: int, cfg, ctx: Optional[dict[str, Any]]):
+    """Pool entry point: ``_safe_run`` plus an in-worker span.
+
+    The worker process cannot reach the daemon's :class:`SpanStore`, so
+    it returns ``(outcome, [span payload])`` built against the
+    propagated ids (``ctx``: trace_id + parent span id + run key); the
+    scheduler ingests the payloads and the tree crosses the process
+    boundary seamlessly.  With ``ctx=None`` (tracing off) this is
+    ``_safe_run`` plus one tuple — the simulation itself is untouched
+    either way, which is what keeps RunMetrics bit-identical.
+    """
+    start_s = time.time()
+    outcome = _safe_run(index, cfg)
+    if ctx is None:
+        return outcome, []
+    failed = isinstance(outcome, RunFailure)
+    span = make_span(
+        "worker.run",
+        ctx["trace_id"],
+        new_span_id(),
+        ctx["parent_id"],
+        start_s,
+        time.time(),
+        {"run.key": ctx.get("run_key"), "worker.pid": os.getpid()},
+        "error" if failed else "ok",
+    )
+    return outcome, [span]
 
 
 class JobScheduler:
@@ -61,9 +93,14 @@ class JobScheduler:
         run_workers: int = 2,
         job_workers: Optional[int] = None,
         registry: Optional[MetricsRegistry] = None,
+        spans: Optional[SpanStore] = None,
+        log: Optional[JsonLogger] = None,
     ) -> None:
         self.backend = backend
         self.registry = registry if registry is not None else backend.registry
+        #: span sink — on by default (bounded ring); SpanStore(0) disables
+        self.spans = spans if spans is not None else SpanStore(registry=self.registry)
+        self.log = log if log is not None else JsonLogger(enabled=False)
         self.run_workers = max(1, run_workers)
         #: concurrent jobs in flight; more than pool slots so an
         #: all-coalesced job cannot starve behind a pool-bound one
@@ -88,6 +125,8 @@ class JobScheduler:
     async def start(self) -> None:
         self._wakeup = asyncio.Event()
         self._pool = ProcessPoolExecutor(max_workers=self.run_workers)
+        self.registry.gauge("service.run_workers").set(self.run_workers)
+        self.registry.gauge("service.job_workers").set(self.job_workers)
         self._tasks = [
             asyncio.create_task(self._job_worker(), name=f"job-worker-{i}")
             for i in range(self.job_workers)
@@ -114,37 +153,79 @@ class JobScheduler:
     # ------------------------------------------------------------------
     # submission
     # ------------------------------------------------------------------
-    def submit(self, request: JobRequest) -> tuple[Job, bool]:
+    def submit(
+        self, request: JobRequest, parent: Optional[object] = None
+    ) -> tuple[Job, bool]:
         """Accept a parsed request; returns ``(job, coalesced)``.
 
         Runs already in the store resolve immediately; a request whose
         every run is stored completes synchronously (``from_cache``)
         without touching the queue.  A request key matching an active
         job coalesces onto it instead of enqueueing a duplicate.
+
+        ``parent`` (a span or span context, usually the daemon's
+        ``http.request`` span) roots the job's span tree in the
+        submitting request's trace.
         """
         existing = self._active.get(request.request_key)
         if existing is not None:
             self.registry.counter("service.jobs_coalesced").inc()
+            if parent is not None:
+                self.spans.event(
+                    "dedup",
+                    parent=parent,
+                    verdict="coalesced",
+                    job=existing.id,
+                    request_key=request.request_key,
+                )
+            self.log.log(
+                "job.coalesced", job=existing.id, request_key=request.request_key
+            )
             return existing, True
 
         job = Job(id=f"job-{next(self._job_seq):06d}", request=request)
+        span = self.spans.start(
+            "job",
+            parent=parent,
+            job=job.id,
+            kind=request.kind,
+            request_key=request.request_key,
+            priority=request.priority,
+        )
+        job.span = span
+        job.trace_id = span.trace_id
         job.results = [None] * job.total
         self.registry.counter("service.jobs_submitted", kind=request.kind).inc()
+        probe = self.spans.start("store.probe", parent=span, runs=job.total)
         for i, cfg in enumerate(request.configs):
             cached = self.backend.get_run(cfg)
             if cached is not None:
                 job.results[i] = cached
                 job.hits += 1
                 job.done += 1
+                # submit-time store hit: this run never reaches the queue
+                self.spans.event(
+                    "dedup", parent=span, verdict="store-hit", **{"run.key": request.run_keys[i]}
+                )
             else:
                 job.pending.append((i, cfg))
+        probe.end(hits=job.hits, misses=len(job.pending))
         self.jobs[job.id] = job
+        self.log.log(
+            "job.submitted",
+            job=job.id,
+            kind=request.kind,
+            correlation_id=span.trace_id,
+            runs=job.total,
+            store_hits=job.hits,
+        )
         if not job.pending:
             job.from_cache = True
             job.finished_at = time.time()
             self._finish(job, "done")
         else:
             self._active[request.request_key] = job
+            job.queue_span = self.spans.start("queue.wait", parent=span, job=job.id)
             self._queue.put_nowait((request.priority, next(self._seq), job.id))
             self._gauge_queue.inc()
             self._touch(job)
@@ -196,6 +277,9 @@ class JobScheduler:
             self._gauge_busy.inc()
             job.status = "running"
             job.started_at = time.time()
+            if job.queue_span is not None:
+                job.queue_span.end()
+            self.log.log("job.started", job=job.id, correlation_id=job.trace_id)
             self._touch(job)
             try:
                 await self._execute(job)
@@ -222,6 +306,28 @@ class JobScheduler:
             self.registry.histogram("service.job_wall_s", JOB_WALL_BUCKETS).observe(
                 job.finished_at - job.submitted_at
             )
+        if job.queue_span is not None:
+            job.queue_span.end()
+        if job.span is not None:
+            job.span.end(
+                "error" if status == "failed" else "ok",
+                job_status=status,
+                from_cache=job.from_cache,
+                hits=job.hits,
+                executed=job.executed,
+                coalesced=job.coalesced,
+            )
+        self.log.log(
+            "job.finished",
+            job=job.id,
+            correlation_id=job.trace_id,
+            status=status,
+            from_cache=job.from_cache,
+            hits=job.hits,
+            executed=job.executed,
+            coalesced=job.coalesced,
+            error=job.error,
+        )
         self._touch(job)
 
     async def _execute(self, job: Job) -> None:
@@ -236,11 +342,20 @@ class JobScheduler:
 
     async def _run_one(self, job: Job, index: int, cfg) -> None:
         key = job.request.run_keys[index]
+        run_span = self.spans.start(
+            "run", parent=job.span, **{"run.key": key, "index": index}
+        )
         shared = self._inflight.get(key)
         if shared is not None:
             # another job owns this run; share its future
             self.registry.counter("service.runs_coalesced").inc()
             job.coalesced += 1
+            self.spans.event(
+                "dedup", parent=run_span, verdict="in-flight", **{"run.key": key}
+            )
+            self.log.log(
+                "run.coalesced", job=job.id, correlation_id=job.trace_id, **{"run.key": key}
+            )
             outcome = await shared
         else:
             # the run may have landed in the store since submission
@@ -249,44 +364,81 @@ class JobScheduler:
             cached = self.backend.get_run(cfg)
             if cached is not None:
                 job.hits += 1
+                self.spans.event(
+                    "dedup", parent=run_span, verdict="store-hit", **{"run.key": key}
+                )
+                self.log.log(
+                    "run.hit", job=job.id, correlation_id=job.trace_id, **{"run.key": key}
+                )
                 outcome = cached
             else:
+                self.spans.event(
+                    "dedup", parent=run_span, verdict="miss", **{"run.key": key}
+                )
                 future: asyncio.Future = asyncio.get_running_loop().create_future()
                 self._inflight[key] = future
                 outcome = None
                 try:
-                    outcome = await self._execute_run(index, cfg)
+                    outcome = await self._execute_run(index, cfg, key, run_span)
                     if isinstance(outcome, RunMetrics):
                         # persist before resolving waiters: by the time
                         # anyone observes completion, the store has it
+                        put = self.spans.start(
+                            "store.put", parent=run_span, **{"run.key": key}
+                        )
                         self.backend.put_run(cfg, outcome)
+                        put.end()
                     else:
                         self.registry.counter("service.runs_failed").inc()
                     job.executed += 1
+                    self.log.log(
+                        "run.executed",
+                        job=job.id,
+                        correlation_id=job.trace_id,
+                        ok=isinstance(outcome, RunMetrics),
+                        **{"run.key": key},
+                    )
                 finally:
                     self._inflight.pop(key, None)
                     if outcome is None:  # cancelled before the run resolved
                         outcome = RunFailure(index, cfg, "run aborted")
                     if not future.done():
                         future.set_result(outcome)
-        if isinstance(outcome, RunFailure) and outcome.index != index:
+        failed = isinstance(outcome, RunFailure)
+        run_span.end("error" if failed else "ok")
+        if failed and outcome.index != index:
             outcome = dataclasses.replace(outcome, index=index)
         job.results[index] = outcome
         job.done += 1
         self._touch(job)
 
-    async def _execute_run(self, index: int, cfg):
+    async def _execute_run(self, index: int, cfg, key: str, parent=None):
         """One simulation on the pool; a dead worker becomes a failure."""
         pool = self._pool
         assert pool is not None, "scheduler not started"
         self.registry.counter("service.runs_executed").inc()
         loop = asyncio.get_running_loop()
+        span = self.spans.start("worker.execute", parent=parent, **{"run.key": key})
+        # propagate ids into the worker process so its in-worker span
+        # parents under this one; skip the pickle round trip when off
+        ctx = (
+            {"trace_id": span.trace_id, "parent_id": span.span_id, "run_key": key}
+            if self.spans.enabled
+            else None
+        )
         try:
-            return await loop.run_in_executor(pool, _safe_run, index, cfg)
+            outcome, worker_spans = await loop.run_in_executor(
+                pool, _traced_safe_run, index, cfg, ctx
+            )
+            self.spans.ingest(worker_spans)
+            span.end("error" if isinstance(outcome, RunFailure) else "ok")
+            return outcome
         except BrokenProcessPool as exc:
+            span.end("error", error=f"worker process died: {exc}")
             self._rebuild_pool(pool)
             return RunFailure(index, cfg, f"worker process died: {exc}")
         except Exception as exc:  # pragma: no cover - defensive
+            span.end("error", error=f"{type(exc).__name__}: {exc}")
             return RunFailure(index, cfg, f"{type(exc).__name__}: {exc}")
 
     def _rebuild_pool(self, broken: ProcessPoolExecutor) -> None:

@@ -1,0 +1,151 @@
+"""``repro top`` — a live terminal dashboard over the daemon's /metrics.
+
+One screenful, refreshed in place: worker utilization, queue depth,
+job/run/dedup counters, span-ring health, and a per-route latency table
+with the p50/p95/p99 summaries the daemon now derives from its latency
+histograms.  Pure rendering (:func:`render_top`) is separated from the
+fetch/refresh loop (:func:`run_top`) so tests can feed synthetic
+payloads without a socket.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Any, Optional, TextIO
+
+from .client import ServiceClient, ServiceError
+
+__all__ = ["render_top", "run_top"]
+
+#: ANSI: clear screen + home (plain strings; no terminfo dependency)
+_CLEAR = "\x1b[2J\x1b[H"
+
+
+def _fmt_ms(seconds: Optional[float]) -> str:
+    if seconds is None:
+        return "-"
+    return f"{seconds * 1e3:8.2f}"
+
+
+def _fmt_ratio(value: Optional[float]) -> str:
+    return "-" if value is None else f"{value * 100:5.1f}%"
+
+
+def _counter_total(counters: dict[str, Any], name: str) -> float:
+    """Sum every label-series of one counter family (``name`` and
+    ``name{...}`` flat keys)."""
+    total = 0.0
+    for key, value in counters.items():
+        if key == name or key.startswith(name + "{"):
+            total += value
+    return total
+
+
+def _bar(fraction: float, width: int = 20) -> str:
+    fraction = min(1.0, max(0.0, fraction))
+    filled = round(fraction * width)
+    return "#" * filled + "." * (width - filled)
+
+
+def render_top(
+    metrics: dict[str, Any], health: Optional[dict[str, Any]] = None
+) -> str:
+    """Render one dashboard frame from a ``/metrics`` payload."""
+    derived = metrics.get("derived", {})
+    registry = metrics.get("registry", {})
+    counters = registry.get("counters", {})
+    gauges = registry.get("gauges", {})
+    spans = metrics.get("spans", {})
+    backend = metrics.get("backend", {})
+
+    run_workers = gauges.get("service.run_workers", 0) or 0
+    busy = derived.get("workers_busy", 0) or 0
+    queue = derived.get("queue_depth", 0) or 0
+    utilization = (busy / run_workers) if run_workers else 0.0
+
+    uptime = ""
+    if health and health.get("started_at"):
+        uptime = f"  up {time.time() - health['started_at']:8.0f}s"
+
+    lines = [
+        f"repro serve — live{uptime}",
+        "",
+        f"workers  [{_bar(utilization)}] {busy:.0f}/{run_workers:.0f} busy"
+        f"   queue depth {queue:.0f}",
+        f"jobs     submitted {_counter_total(counters, 'service.jobs_submitted'):.0f}"
+        f"  done {_counter_total(counters, 'service.jobs_done'):.0f}"
+        f"  failed {_counter_total(counters, 'service.jobs_failed'):.0f}"
+        f"  coalesced {_counter_total(counters, 'service.jobs_coalesced'):.0f}"
+        f"  active {derived.get('jobs', 0):.0f} known",
+        f"runs     executed {_counter_total(counters, 'service.runs_executed'):.0f}"
+        f"  coalesced {_counter_total(counters, 'service.runs_coalesced'):.0f}"
+        f"  failed {_counter_total(counters, 'service.runs_failed'):.0f}",
+        f"dedup    store hit ratio {_fmt_ratio(derived.get('hit_ratio'))}"
+        f"  ({derived.get('store_lookups', 0):.0f} lookups,"
+        f" {backend.get('entries', 0)} runs stored)",
+        f"spans    retained {spans.get('retained', 0)}/{spans.get('capacity', 0)}"
+        f"  active {spans.get('active', 0)}"
+        f"  dropped {spans.get('dropped', 0)}",
+        f"errors   http 5xx {_counter_total(counters, 'http.errors'):.0f}",
+        "",
+        f"{'route':<34} {'reqs':>7} {'p50 ms':>8} {'p95 ms':>8} {'p99 ms':>8}",
+    ]
+    latency = metrics.get("latency", {})
+    for route in sorted(latency):
+        summary = latency[route]
+        lines.append(
+            f"{route:<34} {summary.get('count', 0):>7}"
+            f" {_fmt_ms(summary.get('p50'))}"
+            f" {_fmt_ms(summary.get('p95'))}"
+            f" {_fmt_ms(summary.get('p99'))}"
+        )
+    if not latency:
+        lines.append("(no requests observed yet)")
+    job_wall = metrics.get("job_wall")
+    if job_wall and job_wall.get("count"):
+        lines.append("")
+        lines.append(
+            f"job wall time: n={job_wall['count']}"
+            f" mean {job_wall['mean']:.3f}s"
+            f" p50 {job_wall.get('p50'):.3f}s"
+            f" p95 {job_wall.get('p95'):.3f}s"
+            f" p99 {job_wall.get('p99'):.3f}s"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def run_top(
+    host: str = "127.0.0.1",
+    port: int = 8642,
+    interval: float = 2.0,
+    iterations: int = 0,
+    stream: Optional[TextIO] = None,
+    clear: bool = True,
+) -> int:
+    """Fetch-and-render loop (``iterations=0`` runs until interrupted).
+
+    Returns a process exit code: 0 on a clean run, 1 if the daemon was
+    unreachable on the first fetch.
+    """
+    out = stream if stream is not None else sys.stdout
+    client = ServiceClient(host=host, port=port)
+    n = 0
+    while True:
+        try:
+            metrics = client.metrics()
+            health = client.health()
+        except (ConnectionError, OSError, ServiceError) as exc:
+            out.write(f"repro top: cannot reach daemon at {host}:{port}: {exc}\n")
+            return 1
+        if clear:
+            out.write(_CLEAR)
+        out.write(render_top(metrics, health))
+        out.flush()
+        n += 1
+        if iterations and n >= iterations:
+            return 0
+        try:
+            time.sleep(interval)
+        except KeyboardInterrupt:  # pragma: no cover - interactive exit
+            return 0

@@ -13,16 +13,35 @@ from repro.service import JobScheduler, LocalDirBackend, ServiceDaemon
 from repro.service.client import ServiceClient
 
 
-def with_daemon(store_root, scenario, run_workers=2, job_workers=None):
-    """Run ``scenario(client, daemon)`` against a live daemon; returns its value."""
+def with_daemon(
+    store_root,
+    scenario,
+    run_workers=2,
+    job_workers=None,
+    spans=None,
+    log=None,
+    sse_keepalive=15.0,
+):
+    """Run ``scenario(client, daemon)`` against a live daemon; returns its value.
+
+    ``spans`` (a SpanStore) and ``log`` (a JsonLogger) override the
+    scheduler's defaults; ``sse_keepalive`` shortens the SSE keep-alive
+    period for disconnect tests.
+    """
     box = {}
 
     async def main():
         backend = LocalDirBackend(store_root)
         scheduler = JobScheduler(
-            backend, run_workers=run_workers, job_workers=job_workers
+            backend,
+            run_workers=run_workers,
+            job_workers=job_workers,
+            spans=spans,
+            log=log,
         )
-        daemon = ServiceDaemon(backend, scheduler, host="127.0.0.1", port=0)
+        daemon = ServiceDaemon(
+            backend, scheduler, host="127.0.0.1", port=0, sse_keepalive=sse_keepalive
+        )
         await daemon.start()
         errors = []
 

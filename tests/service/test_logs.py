@@ -1,0 +1,85 @@
+"""Structured JSON logs: line format, the disabled default, and
+end-to-end correlation between log lines and the job's span tree."""
+
+import io
+import json
+
+from repro.service.logs import JsonLogger
+
+from .helpers import with_daemon
+
+FIG_SPEC = {
+    "kind": "figure",
+    "figure": "fig5",
+    "profile": "smoke",
+    "xs": [50],
+    "trials": 1,
+}
+
+
+class TestJsonLogger:
+    def test_lines_are_parseable_json_with_envelope(self):
+        out = io.StringIO()
+        log = JsonLogger(stream=out)
+        log.log("job.submitted", job="job-000001", runs=3)
+        log.error("http.error", route="/metrics")
+        lines = [json.loads(l) for l in out.getvalue().splitlines()]
+        assert len(lines) == 2
+        assert lines[0]["event"] == "job.submitted"
+        assert lines[0]["level"] == "info"
+        assert lines[0]["service"] == "repro-serve"
+        assert lines[0]["job"] == "job-000001"
+        assert lines[0]["ts"] > 0
+        assert lines[1]["level"] == "error"
+        assert log.lines == 2
+
+    def test_disabled_logger_is_silent(self):
+        out = io.StringIO()
+        log = JsonLogger(enabled=False, stream=out)
+        log.log("anything", a=1)
+        assert out.getvalue() == ""
+        assert log.lines == 0
+
+    def test_keys_are_sorted_for_stable_diffs(self):
+        out = io.StringIO()
+        JsonLogger(stream=out).log("e", zebra=1, alpha=2)
+        keys = list(json.loads(out.getvalue()).keys())
+        assert keys == sorted(keys)
+
+
+class TestEndToEndCorrelation:
+    def test_log_lines_join_the_span_tree_on_correlation_id(self, tmp_path):
+        out = io.StringIO()
+
+        def scenario(client, daemon):
+            job = client.submit(FIG_SPEC)["job"]
+            client.wait(job["id"], timeout=180)
+            return job, client.trace(job["id"])
+
+        job, trace = with_daemon(
+            tmp_path / "store", scenario, log=JsonLogger(stream=out)
+        )
+        lines = [json.loads(l) for l in out.getvalue().splitlines()]
+        events = {l["event"] for l in lines}
+        assert {"job.submitted", "job.started", "run.executed",
+                "job.finished", "http.request"} <= events
+
+        # the job lifecycle lines all carry the trace id of the
+        # submitting request — grep one id, see the whole story
+        lifecycle = [
+            l for l in lines
+            if l["event"].startswith("job.") and l.get("job") == job["id"]
+        ]
+        assert lifecycle and all(
+            l["correlation_id"] == trace["trace_id"] for l in lifecycle
+        )
+        # ...and the http access line for the submit shares it too
+        assert any(
+            l["event"] == "http.request"
+            and l["correlation_id"] == trace["trace_id"]
+            for l in lines
+        )
+        finished = next(l for l in lines if l["event"] == "job.finished")
+        assert finished["status"] == "done"
+        submitted = next(l for l in lines if l["event"] == "job.submitted")
+        assert finished["executed"] == submitted["runs"]  # cold: all executed

@@ -1,0 +1,119 @@
+"""SSE robustness: late subscribers and mid-stream disconnects.
+
+Two failure modes the progress stream must survive: a client that
+subscribes after the job already finished (must still get the terminal
+snapshot, not hang), and a client that vanishes mid-stream (the
+handler task must notice and exit rather than leak, parked forever in
+``wait_change``).
+"""
+
+import asyncio
+import socket
+import time
+
+from .helpers import with_daemon
+
+FIG_SPEC = {
+    "kind": "figure",
+    "figure": "fig5",
+    "profile": "smoke",
+    "xs": [50],
+    "trials": 1,
+}
+
+
+def _live_handlers(daemon) -> int:
+    """Count un-finished connection-handler tasks on the daemon's loop."""
+    loop = daemon._server.get_loop()
+
+    async def _count():
+        return sum(
+            1
+            for t in asyncio.all_tasks()
+            if not t.done() and "_handle_conn" in repr(t.get_coro())
+        )
+
+    return asyncio.run_coroutine_threadsafe(_count(), loop).result(5)
+
+
+class TestLateSubscriber:
+    def test_subscriber_after_finish_gets_terminal_event(self, tmp_path):
+        def scenario(client, daemon):
+            job = client.submit(FIG_SPEC)["job"]
+            client.wait(job["id"], timeout=180)
+            # subscribe only now, long after the last version bump
+            return list(client.stream(job["id"]))
+
+        events = with_daemon(tmp_path / "store", scenario)
+        assert len(events) == 1  # one terminal snapshot, then EOF
+        assert events[0]["status"] == "done"
+        assert events[0]["progress"]["done"] == events[0]["progress"]["total"]
+
+    def test_late_subscriber_to_failed_job_terminates_too(self, tmp_path):
+        import dataclasses
+
+        from repro.experiments.config import ExperimentConfig, smoke
+
+        cfg = ExperimentConfig.from_profile(
+            smoke(), "greedy", 2, seed=1, n_sources=5, n_sinks=5
+        )
+        bad = {"kind": "run", "config": dataclasses.asdict(cfg)}
+
+        def scenario(client, daemon):
+            job = client.submit(bad)["job"]
+            status = client.wait(job["id"], timeout=180)
+            assert status["status"] == "failed"
+            return list(client.stream(job["id"]))
+
+        events = with_daemon(tmp_path / "store", scenario)
+        assert len(events) == 1
+        assert events[0]["status"] == "failed"
+
+
+class TestMidStreamDisconnect:
+    def test_disconnect_does_not_leak_handler_task(self, tmp_path):
+        def scenario(client, daemon):
+            job = client.submit(FIG_SPEC)["job"]
+            # raw socket so we can drop the connection without cleanup
+            sock = socket.create_connection(("127.0.0.1", daemon.port), timeout=10)
+            sock.sendall(
+                f"GET /api/v1/jobs/{job['id']}/events HTTP/1.1\r\n"
+                f"Host: 127.0.0.1\r\n\r\n".encode("ascii")
+            )
+            first = sock.recv(4096)  # headers (+ first snapshot)
+            assert b"200 OK" in first
+            assert _live_handlers(daemon) >= 1
+            sock.close()  # vanish mid-stream, no goodbye
+
+            client.wait(job["id"], timeout=180)
+            # the abandoned handler must notice within ~a keep-alive
+            # period and exit; poll rather than sleep a fixed amount
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline:
+                if _live_handlers(daemon) == 0:
+                    return True
+                time.sleep(0.05)
+            return _live_handlers(daemon)
+
+        leaked = with_daemon(
+            tmp_path / "store", scenario, sse_keepalive=0.2
+        )
+        assert leaked is True, f"{leaked} SSE handler task(s) still alive"
+
+    def test_stream_survives_for_connected_subscribers(self, tmp_path):
+        """A dropped subscriber must not poison the job for live ones."""
+
+        def scenario(client, daemon):
+            job = client.submit(FIG_SPEC)["job"]
+            sock = socket.create_connection(("127.0.0.1", daemon.port), timeout=10)
+            sock.sendall(
+                f"GET /api/v1/jobs/{job['id']}/events HTTP/1.1\r\n"
+                f"Host: 127.0.0.1\r\n\r\n".encode("ascii")
+            )
+            sock.recv(4096)
+            sock.close()
+            events = list(client.stream(job["id"]))  # a healthy subscriber
+            return events
+
+        events = with_daemon(tmp_path / "store", scenario, sse_keepalive=0.2)
+        assert events[-1]["status"] == "done"

@@ -1,0 +1,108 @@
+"""The ``repro top`` dashboard: pure rendering plus one live refresh."""
+
+import io
+
+from repro.service.top import render_top, run_top
+
+from .helpers import with_daemon
+
+FIG_SPEC = {
+    "kind": "figure",
+    "figure": "fig5",
+    "profile": "smoke",
+    "xs": [50],
+    "trials": 1,
+}
+
+SYNTHETIC_METRICS = {
+    "derived": {
+        "workers_busy": 1,
+        "queue_depth": 3,
+        "jobs": 2,
+        "hit_ratio": 0.25,
+        "store_lookups": 8,
+    },
+    "registry": {
+        "counters": {
+            "service.jobs_submitted{kind=figure}": 4,
+            "service.jobs_submitted{kind=run}": 1,
+            "service.jobs_done": 3,
+            "service.jobs_failed": 1,
+            "service.jobs_coalesced": 2,
+            "service.runs_executed": 6,
+            "http.errors{route=/metrics}": 1,
+        },
+        "gauges": {"service.run_workers": 2},
+    },
+    "spans": {"capacity": 8192, "retained": 40, "active": 1, "dropped": 0},
+    "backend": {"entries": 6},
+    "latency": {
+        "GET /metrics": {
+            "count": 7,
+            "sum": 0.014,
+            "mean": 0.002,
+            "p50": 0.001,
+            "p95": 0.005,
+            "p99": 0.009,
+        }
+    },
+    "job_wall": {
+        "count": 4,
+        "sum": 8.0,
+        "mean": 2.0,
+        "p50": 1.5,
+        "p95": 3.0,
+        "p99": 3.5,
+    },
+}
+
+
+class TestRenderTop:
+    def test_renders_synthetic_payload(self):
+        frame = render_top(SYNTHETIC_METRICS)
+        assert "1/2 busy" in frame
+        assert "queue depth 3" in frame
+        # counter families sum across label series
+        assert "submitted 5" in frame
+        assert "coalesced 2" in frame
+        assert "store hit ratio  25.0%" in frame
+        assert "6 runs stored" in frame
+        assert "retained 40/8192" in frame
+        assert "http 5xx 1" in frame
+        # latency row: route, count, then the three quantiles in ms
+        assert "GET /metrics" in frame
+        assert "1.00" in frame and "5.00" in frame and "9.00" in frame
+        assert "job wall time: n=4" in frame
+
+    def test_renders_empty_payload(self):
+        frame = render_top({})
+        assert "no requests observed yet" in frame
+        assert "0/0 busy" in frame
+
+    def test_uptime_from_health(self):
+        frame = render_top(SYNTHETIC_METRICS, health={"started_at": 0.0})
+        assert "up " in frame
+
+
+class TestRunTop:
+    def test_one_live_iteration(self, tmp_path):
+        def scenario(client, daemon):
+            job = client.submit(FIG_SPEC)["job"]
+            client.wait(job["id"], timeout=180)
+            out = io.StringIO()
+            code = run_top(
+                port=daemon.port, iterations=1, stream=out, clear=False
+            )
+            return code, out.getvalue()
+
+        code, frame = with_daemon(tmp_path / "store", scenario)
+        assert code == 0
+        assert "repro serve — live" in frame
+        assert "POST /api/v1/jobs" in frame  # live latency table row
+        assert "\x1b[2J" not in frame  # clear=False leaves the frame greppable
+
+    def test_unreachable_daemon_exits_nonzero(self):
+        out = io.StringIO()
+        code = run_top(port=1, iterations=1, stream=out, clear=False)
+        assert code == 1
+        assert "cannot reach daemon" in out.getvalue()

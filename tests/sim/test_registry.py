@@ -133,3 +133,68 @@ class TestSnapshot:
         assert snap["gauges"] == {"g": 1.5}
         assert snap["histograms"]["h"]["counts"] == [1, 0, 1]
         assert snap["histograms"]["h"]["count"] == 2
+
+
+class TestQuantiles:
+    """Percentile estimation on known distributions (the /metrics p50/p95/p99)."""
+
+    def test_uniform_within_one_bucket_interpolates(self):
+        from repro.obs import quantile_from_counts
+
+        # 100 observations uniform in (0, 1]: the estimator assumes
+        # uniformity within a bucket, so quantiles are exact here
+        assert quantile_from_counts((1.0,), [100, 0], 0.5) == pytest.approx(0.5)
+        assert quantile_from_counts((1.0,), [100, 0], 0.95) == pytest.approx(0.95)
+        assert quantile_from_counts((1.0,), [100, 0], 0.99) == pytest.approx(0.99)
+
+    def test_known_two_bucket_distribution(self):
+        from repro.obs import quantile_from_counts
+
+        # 90 observations in (0, 10], 10 in (10, 100]
+        buckets, counts = (10.0, 100.0), [90, 10, 0]
+        assert quantile_from_counts(buckets, counts, 0.5) == pytest.approx(10 * 50 / 90)
+        # p95: rank 95 falls 5 observations into the second bucket
+        assert quantile_from_counts(buckets, counts, 0.95) == pytest.approx(
+            10 + 90 * (95 - 90) / 10
+        )
+        assert quantile_from_counts(buckets, counts, 1.0) == pytest.approx(100.0)
+
+    def test_overflow_bucket_clamps_to_last_edge(self):
+        from repro.obs import quantile_from_counts
+
+        # everything above the last edge: the histogram can only say ">= 2"
+        assert quantile_from_counts((1.0, 2.0), [0, 0, 50], 0.99) == 2.0
+
+    def test_empty_histogram_returns_none(self):
+        from repro.obs import quantile_from_counts
+
+        assert quantile_from_counts((1.0,), [0, 0], 0.5) is None
+
+    def test_bad_q_rejected(self):
+        from repro.obs import quantile_from_counts
+
+        with pytest.raises(ValueError):
+            quantile_from_counts((1.0,), [1, 0], 1.5)
+
+    def test_histogram_quantile_method(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h", buckets=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.5, 1.5, 3.0):
+            h.observe(v)
+        assert h.quantile(0.0) == pytest.approx(0.0)
+        assert h.quantile(1.0) == pytest.approx(4.0)
+        assert 1.0 <= h.quantile(0.5) <= 2.0
+
+    def test_summarize_histogram_from_snapshot(self):
+        from repro.obs import summarize_histogram
+
+        reg = MetricsRegistry()
+        h = reg.histogram("h", buckets=(1.0,))
+        for _ in range(100):
+            h.observe(0.5)
+        summary = summarize_histogram(json.loads(json.dumps(h.as_sample())))
+        assert summary["count"] == 100
+        assert summary["mean"] == pytest.approx(0.5)
+        assert summary["p50"] == pytest.approx(0.5)
+        assert summary["p95"] == pytest.approx(0.95)
+        assert summary["p99"] == pytest.approx(0.99)

@@ -12,10 +12,12 @@ Usage::
         --baseline BENCH_sweep.json --threshold 0.25
 
 The baseline entry is the most recent committed result with the same
-``(profile, timeline)`` pair as the candidate (different profiles have
-different event mixes, and timeline-on runs pay probe overhead, so none
-of those are ever compared to each other; entries predating named
-profiles are keyed by their legacy ``quick`` flag).  A hostname mismatch
+``(profile, timeline, spans)`` triple as the candidate (different
+profiles have different event mixes, and timeline-on runs pay probe
+overhead and spans-on runs pay tracing overhead, so none of those are
+ever compared to each other; entries predating named profiles are keyed
+by their legacy ``quick`` flag, and entries predating the spans flag
+read as spans-off).  A hostname mismatch
 is reported — cross-machine throughput comparisons are noisy, which is
 one reason the threshold is generous — but the gate is still enforced.
 """
@@ -46,12 +48,14 @@ def entry_profile(entry: dict) -> str:
 
 
 def pick_baseline(
-    entries: list[dict], profile: str, timeline: bool = False
+    entries: list[dict], profile: str, timeline: bool = False, spans: bool = False
 ) -> dict | None:
     matching = [
         e
         for e in entries
-        if entry_profile(e) == profile and bool(e.get("timeline")) is timeline
+        if entry_profile(e) == profile
+        and bool(e.get("timeline")) is timeline
+        and bool(e.get("spans")) is spans
     ]
     return matching[-1] if matching else None
 
@@ -76,11 +80,13 @@ def main(argv: list[str] | None = None) -> int:
         load_entries(Path(args.baseline)),
         profile,
         bool(current.get("timeline")),
+        bool(current.get("spans")),
     )
     if baseline is None:
         print(
             f"check_bench: no baseline with profile={profile} "
-            f"timeline={bool(current.get('timeline'))} in "
+            f"timeline={bool(current.get('timeline'))} "
+            f"spans={bool(current.get('spans'))} in "
             f"{args.baseline}; nothing to gate against"
         )
         return 0

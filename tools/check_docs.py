@@ -35,8 +35,14 @@ DOC_FILES = ["README.md", "DESIGN.md", "EXPERIMENTS.md", "ROADMAP.md"]
 
 #: non-package modules documented in docs/API.md alongside the packages
 #: (repro.net.channel is the pluggable PHY surface — losing its section
-#: would orphan the DESIGN.md §14 contract, so its coverage is gated)
-EXTRA_API_MODULES = ["repro.net.channel", "repro.cli", "repro.constants"]
+#: would orphan the DESIGN.md §14 contract; repro.obs.spans is the
+#: request-tracing surface behind DESIGN.md §16 — both are gated)
+EXTRA_API_MODULES = [
+    "repro.net.channel",
+    "repro.obs.spans",
+    "repro.cli",
+    "repro.constants",
+]
 
 # [text](target) and ![alt](target) — target split off any title/anchor
 _LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")

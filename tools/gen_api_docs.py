@@ -39,6 +39,7 @@ PACKAGES = [
     "repro.trees",
     "repro.experiments",
     "repro.obs",
+    "repro.obs.spans",
     "repro.service",
     "repro.cli",
     "repro.constants",
@@ -61,7 +62,9 @@ ROUTING_TABLE = """\
 | paper figures and their workloads | `repro.experiments.figures` |
 | saving/loading results, manifests | `repro.experiments.persistence` |
 | profiling, tracing, metrics registry | `repro.obs` |
+| request spans, trace trees, correlation ids | `repro.obs.spans` |
 | the sweep/results daemon, its HTTP API, client, load tester | `repro.service` |
+| span trees, JSON logs, the `repro top` dashboard | `repro.service` (`http`/`logs`/`top`) |
 | command-line verbs | `repro.cli` |
 | wire-format byte sizes | `repro.constants` |
 """
